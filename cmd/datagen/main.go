@@ -1,0 +1,100 @@
+// Command datagen generates the synthetic AmLight-style capture —
+// benign web traffic plus the Table I attack episodes — and writes it
+// as an .amtr trace, or inspects an existing trace.
+//
+// Usage:
+//
+//	datagen -out capture.amtr [-scale small] [-seed 42]
+//	datagen -inspect capture.amtr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/amlight/intddos"
+)
+
+func main() {
+	out := flag.String("out", "", "write a generated trace to this path")
+	inspect := flag.String("inspect", "", "print statistics for an existing trace")
+	features := flag.String("features", "", "collect INT telemetry and write the per-packet feature dataset as CSV to this path")
+	scale := flag.String("scale", intddos.ScaleSmall, "workload scale: tiny, small, or full")
+	seed := flag.Int64("seed", 42, "generation seed")
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		inspectTrace(*inspect)
+	case *features != "":
+		exportFeatures(*features, *scale, *seed)
+	case *out != "":
+		w := intddos.BuildWorkload(*scale, *seed)
+		if err := intddos.WriteTrace(*out, w.Records); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records (%s scale, seed %d) to %s\n", len(w.Records), *scale, *seed, *out)
+		fmt.Println("attack schedule:")
+		for _, ep := range w.Schedule {
+			fmt.Printf("  %v\n", ep)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// exportFeatures replays a workload through the testbed and writes
+// the INT feature dataset for external ML tooling.
+func exportFeatures(path, scale string, seed int64) {
+	c, err := intddos.Collect(intddos.DataConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if err := intddos.WriteDatasetCSV(f, c.INT); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d feature rows (%d features) to %s\n", c.INT.Len(), c.INT.Features(), path)
+}
+
+func inspectTrace(path string) {
+	recs, err := intddos.ReadTrace(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	byType := map[string]int{}
+	bytes := map[string]int64{}
+	for i := range recs {
+		byType[recs[i].AttackType]++
+		bytes[recs[i].AttackType] += int64(recs[i].Length)
+	}
+	names := make([]string, 0, len(byType))
+	for n := range byType {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %d records", path, len(recs))
+	if len(recs) > 0 {
+		fmt.Printf(" spanning %v", recs[len(recs)-1].At-recs[0].At)
+	}
+	fmt.Println()
+	for _, n := range names {
+		fmt.Printf("  %-10s %8d packets %12d bytes\n", n, byType[n], bytes[n])
+	}
+}

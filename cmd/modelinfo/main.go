@@ -1,0 +1,68 @@
+// Command modelinfo inspects a trained model bundle written by
+// `intddos -save-bundle`: the feature vector, the scaler
+// coefficients the Prediction module loads (§III-4), each member
+// model's structure, and — for Random Forests — a readable dump of
+// one tree.
+//
+// Usage:
+//
+//	modelinfo -bundle ensemble.bundle [-tree 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/amlight/intddos"
+	"github.com/amlight/intddos/internal/ml/forest"
+)
+
+func main() {
+	path := flag.String("bundle", "", "bundle file to inspect")
+	tree := flag.Int("tree", -1, "dump this tree index of the first Random Forest member")
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	bundle, err := intddos.LoadEnsemble(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modelinfo:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("bundle: %d models, %d features\n", len(bundle.Models), len(bundle.FeatureNames))
+	fmt.Println("features (with scaler coefficients):")
+	for i, name := range bundle.FeatureNames {
+		mean, std := 0.0, 0.0
+		if i < len(bundle.Scaler.Mean) {
+			mean, std = bundle.Scaler.Mean[i], bundle.Scaler.Std[i]
+		}
+		fmt.Printf("  %2d %-26s mean=%-14.6g std=%.6g\n", i, name, mean, std)
+	}
+
+	for _, m := range bundle.Models {
+		fmt.Printf("model %s:", m.Name())
+		if rf, ok := any(m).(*forest.Forest); ok {
+			s := rf.Summary()
+			fmt.Printf(" %d trees, %d nodes (%d leaves), max depth %d\n",
+				s.Trees, s.Nodes, s.Leaves, s.MaxDepth)
+			imps := rf.Importances()
+			top, topV := -1, 0.0
+			for j, v := range imps {
+				if v > topV {
+					top, topV = j, v
+				}
+			}
+			if top >= 0 && top < len(bundle.FeatureNames) {
+				fmt.Printf("  most important feature: %s (%.3f)\n", bundle.FeatureNames[top], topV)
+			}
+			if *tree >= 0 {
+				fmt.Println(rf.Dump(*tree, bundle.FeatureNames))
+			}
+			continue
+		}
+		fmt.Println(" (opaque parameters; see package docs)")
+	}
+}

@@ -1,0 +1,181 @@
+// Command reproduce regenerates every table and figure of the
+// paper's evaluation section on the simulated substrate and prints
+// them in the paper's layout.
+//
+// Usage:
+//
+//	reproduce [-scale tiny|small|full] [-seed N] [-only table3,figure5,...]
+//
+// With no -only filter every artifact is produced: Tables I–VI and
+// Figures 3, 4, 5, and 7, plus the episode-coverage analysis and the
+// queue-feature ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/amlight/intddos"
+)
+
+func main() {
+	scale := flag.String("scale", intddos.ScaleSmall, "workload scale: tiny, small, or full")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	only := flag.String("only", "", "comma-separated subset: table1..table6, figure3, figure4, figure5, figure7, coverage, ablation")
+	packets := flag.Int("packets", 2500, "packets per flow type in the live (Table VI) replays")
+	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	fmt.Printf("# Reproduction run: scale=%s seed=%d\n\n", *scale, *seed)
+	start := time.Now()
+
+	needTables := sel("table1") || sel("table3") || sel("table4") || sel("table5") ||
+		sel("figure3") || sel("figure4") || sel("ablation") || (sel("roc") && len(want) > 0)
+	needCoverage := sel("figure5") || sel("coverage")
+
+	var tablesCap, coverageCap *intddos.Capture
+	var err error
+	if needTables {
+		tablesCap, err = intddos.Collect(intddos.DataConfig{Scale: *scale, Seed: *seed})
+		fail(err)
+		fmt.Printf("capture (tables rate 1/%d): %d packets, %d INT rows, %d sFlow rows\n\n",
+			tablesCap.Config.SFlowRate, len(tablesCap.Workload.Records), tablesCap.INT.Len(), tablesCap.SFlow.Len())
+	}
+	if needCoverage {
+		coverageCap, err = intddos.Collect(intddos.DataConfig{
+			Scale: *scale, Seed: *seed, SFlowRate: intddos.CoverageSFlowRate(*scale),
+		})
+		fail(err)
+	}
+
+	if sel("table1") {
+		rows := intddos.RunTableI(tablesCap)
+		fmt.Println(intddos.FormatTableI(rows))
+		writeCSV(*csvDir, "table1.csv", func(w io.Writer) error { return intddos.WriteTableICSV(w, rows) })
+	}
+	if sel("table2") {
+		fmt.Println(intddos.FormatTableII(intddos.RunTableII()))
+	}
+	if sel("table3") || sel("figure3") || sel("figure4") {
+		t3, err := intddos.RunTableIII(tablesCap, *seed)
+		fail(err)
+		if sel("table3") {
+			fmt.Println(intddos.FormatEvalRows(
+				"TABLE III: ML model performance, INT vs sFlow (90:10 split)", t3.Rows))
+			writeCSV(*csvDir, "table3.csv", func(w io.Writer) error { return intddos.WriteEvalCSV(w, t3.Rows) })
+		}
+		if sel("figure3") {
+			fmt.Println(intddos.FormatConfusion("FIGURE 3: Confusion matrix, RF on INT", t3.RFConfusionINT))
+		}
+		if sel("figure4") {
+			fmt.Println(intddos.FormatConfusion("FIGURE 4: Confusion matrix, RF on sFlow", t3.RFConfusionSFlow))
+		}
+	}
+	if sel("table4") {
+		t4, err := intddos.RunTableIV(tablesCap, *seed)
+		fail(err)
+		fmt.Println(intddos.FormatEvalRows(
+			"TABLE IV: Zero-day performance (train: June 6-10, test: June 11, SlowLoris unseen)", t4))
+		writeCSV(*csvDir, "table4.csv", func(w io.Writer) error { return intddos.WriteEvalCSV(w, t4) })
+	}
+	if sel("table5") {
+		t5, err := intddos.RunTableV(tablesCap, *seed)
+		fail(err)
+		fmt.Println(intddos.FormatTableVMatrix(t5))
+		fmt.Println(intddos.FormatTableV(t5))
+	}
+	if sel("figure5") {
+		fig, err := intddos.RunFigure5(coverageCap, 240, *seed)
+		fail(err)
+		fmt.Println(intddos.FormatFigure5(fig))
+		writeCSV(*csvDir, "figure5.csv", func(w io.Writer) error { return intddos.WriteFigure5CSV(w, fig) })
+	}
+	if sel("coverage") {
+		fmt.Println(intddos.FormatEpisodeCoverage(
+			intddos.RunEpisodeCoverage(coverageCap), coverageCap.Config.SFlowRate))
+	}
+	if sel("ablation") {
+		withQ, withoutQ, err := intddos.FeatureAblation(tablesCap, *seed)
+		fail(err)
+		fmt.Println(intddos.FormatEvalRows(
+			"ABLATION: RF with vs without queue-occupancy features",
+			[]intddos.EvalResult{withQ, withoutQ}))
+		withH, withoutH, err := intddos.HopLatencyAblation(
+			intddos.DataConfig{Scale: *scale, Seed: *seed}, *seed)
+		fail(err)
+		fmt.Println(intddos.FormatEvalRows(
+			"ABLATION: RF with vs without the hop-latency features the paper excluded",
+			[]intddos.EvalResult{withH, withoutH}))
+	}
+	if sel("roc") && len(want) > 0 {
+		// Extension artifact; produced on request.
+		rows, err := intddos.RunROC(tablesCap, *seed)
+		fail(err)
+		fmt.Println(intddos.FormatROC(rows))
+	}
+	if sel("mitigation") && len(want) > 0 {
+		// Extension artifact; produced on request.
+		rows, err := intddos.RunMitigation(intddos.LiveConfig{
+			Scale: *scale, Seed: *seed, PacketsPerType: *packets,
+		})
+		fail(err)
+		fmt.Println(intddos.FormatMitigation(rows))
+	}
+	if sel("scaling") && len(want) > 0 {
+		// Not part of the default artifact set; produced on request.
+		scfg := intddos.ScalingConfig{Scale: *scale, Seed: *seed}
+		points, err := intddos.RunScalingStudy(scfg)
+		fail(err)
+		fmt.Println(intddos.FormatScaling(points, scfg))
+		writeCSV(*csvDir, "scaling.csv", func(w io.Writer) error { return intddos.WriteScalingCSV(w, points) })
+	}
+	if sel("table6") || sel("figure7") {
+		live, err := intddos.RunTableVI(intddos.LiveConfig{
+			Scale: *scale, Seed: *seed, PacketsPerType: *packets,
+		})
+		fail(err)
+		if sel("table6") {
+			fmt.Println(intddos.FormatTableVI(live))
+			writeCSV(*csvDir, "table6.csv", func(w io.Writer) error { return intddos.WriteTableVICSV(w, live) })
+		}
+		if sel("figure7") {
+			fmt.Println(intddos.FormatFigure7(live, intddos.Benign, 100))
+			fmt.Println(intddos.FormatFigure7(live, intddos.SlowLoris, 100))
+			writeCSV(*csvDir, "figure7_benign.csv", func(w io.Writer) error {
+				return intddos.WriteFigure7CSV(w, live, intddos.Benign)
+			})
+			writeCSV(*csvDir, "figure7_slowloris.csv", func(w io.Writer) error {
+				return intddos.WriteFigure7CSV(w, live, intddos.SlowLoris)
+			})
+		}
+	}
+
+	fmt.Printf("# done in %.1fs\n", time.Since(start).Seconds())
+}
+
+// writeCSV writes one CSV artifact when -csv is set.
+func writeCSV(dir, name string, fn func(io.Writer) error) {
+	if dir == "" {
+		return
+	}
+	fail(intddos.WriteCSVFile(dir, name, fn))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+}

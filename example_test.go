@@ -1,0 +1,70 @@
+package intddos_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/amlight/intddos"
+)
+
+// Example demonstrates the shortest path from nothing to a trained
+// DDoS detector: generate a monitored capture, train Random Forest on
+// the INT feature rows, and score it.
+func Example() {
+	capture, err := intddos.Collect(intddos.DataConfig{Scale: intddos.ScaleTiny, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := capture.INT.Split(0.1, 42)
+	res, err := intddos.TrainEval(intddos.StageOneModels()[0], train, test, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("features=%d accuracy=%.2f\n", capture.INT.Features(), res.Scores.Accuracy)
+	// Output: features=15 accuracy=1.00
+}
+
+// ExamplePaperSchedule shows the Table I episode layout on a
+// compressed timeline.
+func ExamplePaperSchedule() {
+	sched := intddos.PaperSchedule(intddos.Second, 10*intddos.Millisecond)
+	counts := map[string]int{}
+	for _, ep := range sched {
+		counts[ep.Type]++
+	}
+	fmt.Println(len(sched), counts[intddos.SYNFlood], counts[intddos.SlowLoris])
+	// Output: 11 5 2
+}
+
+// ExampleRunTableII prints the feature-availability comparison that
+// motivates the INT-versus-sFlow study.
+func ExampleRunTableII() {
+	missing := 0
+	for _, row := range intddos.RunTableII() {
+		if !row.SFlow {
+			missing++
+			fmt.Println(row.Feature)
+		}
+	}
+	fmt.Println(missing, "families unavailable from sFlow")
+	// Output:
+	// Queue Occupancy*
+	// Hop Latency*
+	// 2 families unavailable from sFlow
+}
+
+// ExampleNewMicroburstDetector finds queue-buildup events in a
+// replayed capture — the telemetry substrate's original AmLight use
+// case.
+func ExampleNewMicroburstDetector() {
+	w := intddos.BuildWorkload(intddos.ScaleTiny, 42)
+	tb := intddos.NewTestbed(intddos.TestbedConfig{})
+	det := intddos.NewMicroburstDetector(8, 2*intddos.Millisecond)
+	tb.Collector.OnReport = det.Observe
+	rp := tb.Replayer(w.Records)
+	rp.Start()
+	tb.Run()
+	det.Flush()
+	fmt.Println(len(det.Bursts) > 0)
+	// Output: true
+}

@@ -1,0 +1,3 @@
+module github.com/amlight/intddos
+
+go 1.22

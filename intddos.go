@@ -1,0 +1,364 @@
+// Package intddos reproduces "Leveraging In-band Network Telemetry
+// for Automated DDoS Detection in Production Programmable Networks:
+// The AmLight Use Case" (SC 2024) as a self-contained Go library.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - a deterministic discrete-event network simulator with
+//     INT-capable switches (internal/netsim, internal/telemetry);
+//   - an sFlow sampling stack for the comparative experiments
+//     (internal/sflow);
+//   - workload generators for the paper's benign web traffic and the
+//     Table I attack episodes (internal/traffic), plus a
+//     tcpreplay-style trace format (internal/trace);
+//   - the Data Processor's 5-tuple flow table and Table II feature
+//     extraction (internal/flow);
+//   - from-scratch ML: Random Forest, Gaussian Naive Bayes, KNN, and
+//     MLP neural networks with scaling, metrics, and feature
+//     importance (internal/ml/...);
+//   - the paper's four-module automated detection mechanism
+//     (internal/core) around an in-memory database (internal/store);
+//   - experiment runners regenerating every table and figure of the
+//     paper's evaluation (internal/experiment).
+//
+// Quick start:
+//
+//	capture, err := intddos.Collect(intddos.DataConfig{Scale: intddos.ScaleSmall, Seed: 42})
+//	res, err := intddos.RunTableIII(capture, 42)
+//	fmt.Print(intddos.FormatEvalRows("Table III", res.Rows))
+package intddos
+
+import (
+	"github.com/amlight/intddos/internal/core"
+	"github.com/amlight/intddos/internal/experiment"
+	"github.com/amlight/intddos/internal/flow"
+	"github.com/amlight/intddos/internal/mitigate"
+	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/sflow"
+	"github.com/amlight/intddos/internal/telemetry"
+	"github.com/amlight/intddos/internal/testbed"
+	"github.com/amlight/intddos/internal/trace"
+	"github.com/amlight/intddos/internal/traffic"
+)
+
+// Workload scale presets.
+const (
+	ScaleTiny  = traffic.ScaleTiny
+	ScaleSmall = traffic.ScaleSmall
+	ScaleFull  = traffic.ScaleFull
+)
+
+// Attack type names (Table I / Table VI row keys).
+const (
+	Benign    = traffic.Benign
+	SYNScan   = traffic.SYNScan
+	UDPScan   = traffic.UDPScan
+	SYNFlood  = traffic.SYNFlood
+	SlowLoris = traffic.SlowLoris
+)
+
+// Simulation time (nanoseconds on the virtual clock).
+type Time = netsim.Time
+
+// Common durations.
+const (
+	Nanosecond  = netsim.Nanosecond
+	Microsecond = netsim.Microsecond
+	Millisecond = netsim.Millisecond
+	Second      = netsim.Second
+)
+
+// Capture and experiment types.
+type (
+	// DataConfig parameterizes workload capture.
+	DataConfig = experiment.DataConfig
+	// Capture is a monitored workload with INT and sFlow datasets.
+	Capture = experiment.Capture
+	// EvalResult is one model-comparison row (Tables III/IV).
+	EvalResult = experiment.EvalResult
+	// TableIIIResult bundles Table III with Figures 3 and 4.
+	TableIIIResult = experiment.TableIIIResult
+	// TableIRow is one attack episode with its packet count.
+	TableIRow = experiment.TableIRow
+	// TableVRow is one model's top-five feature importances.
+	TableVRow = experiment.TableVRow
+	// Figure5 is the timeline comparison of truth vs predictions.
+	Figure5 = experiment.Figure5
+	// TimelinePoint is one Figure 5 bucket.
+	TimelinePoint = experiment.TimelinePoint
+	// EpisodeCoverage counts per-episode observations per source.
+	EpisodeCoverage = experiment.EpisodeCoverage
+	// LiveConfig parameterizes the stage-2 live experiment.
+	LiveConfig = experiment.LiveConfig
+	// LiveResult is the stage-2 outcome (Table VI, Figure 7).
+	LiveResult = experiment.LiveResult
+	// ModelSpec names a trainable model family.
+	ModelSpec = experiment.ModelSpec
+	// ScalingConfig parameterizes the processing-capability sweep.
+	ScalingConfig = experiment.ScalingConfig
+	// ScalingPoint is one offered-load measurement.
+	ScalingPoint = experiment.ScalingPoint
+	// ROCRow is one model/source ROC summary.
+	ROCRow = experiment.ROCRow
+	// MitigationResult summarizes one closed-loop mitigation replay.
+	MitigationResult = experiment.MitigationResult
+)
+
+// ML layer types.
+type (
+	// Dataset is a dense feature matrix with binary labels.
+	Dataset = ml.Dataset
+	// Scores bundles accuracy, recall, precision, and F1.
+	Scores = ml.Scores
+	// ConfusionMatrix is the 2×2 positives/negatives matrix.
+	ConfusionMatrix = ml.ConfusionMatrix
+	// Classifier is a trainable binary classifier.
+	Classifier = ml.Classifier
+	// StandardScaler standardizes features to zero mean, unit var.
+	StandardScaler = ml.StandardScaler
+	// Bundle is a deployable model set: ensemble + scaler + feature
+	// names, as the Prediction module loads at initialization.
+	Bundle = ml.Bundle
+)
+
+// Substrate types for building custom setups.
+type (
+	// Workload is a generated capture plus its attack schedule.
+	Workload = traffic.Workload
+	// WorkloadConfig shapes workload generation.
+	WorkloadConfig = traffic.Config
+	// Schedule is the list of attack episodes.
+	Schedule = traffic.Schedule
+	// Episode is one attack window.
+	Episode = traffic.Episode
+	// Record is one captured packet in a trace.
+	Record = trace.Record
+	// Replayer injects a trace through a host (tcpreplay analogue).
+	Replayer = trace.Replayer
+	// Testbed is the Figure 6 single-switch rig.
+	Testbed = testbed.Testbed
+	// TestbedConfig parameterizes the rig.
+	TestbedConfig = testbed.Config
+	// Report is one decoded INT telemetry report.
+	Report = telemetry.Report
+	// NetCollector terminates report datagrams on a real UDP socket.
+	NetCollector = telemetry.NetCollector
+	// ReportSender ships encoded reports to a collector over UDP.
+	ReportSender = telemetry.ReportSender
+	// FlowSample is one decoded sFlow sample.
+	FlowSample = sflow.FlowSample
+	// FeatureSet selects the model input features.
+	FeatureSet = flow.FeatureSet
+	// FlowKey is the 5-tuple flow identity.
+	FlowKey = flow.Key
+	// Mechanism is the paper's automated detection pipeline.
+	Mechanism = core.Mechanism
+	// MechanismConfig parameterizes the pipeline.
+	MechanismConfig = core.Config
+	// Live is the wall-clock concurrent runtime of the pipeline.
+	Live = core.Live
+	// LiveRuntimeConfig parameterizes the wall-clock runtime.
+	LiveRuntimeConfig = core.LiveConfig
+	// Decision is one final smoothed classification.
+	Decision = core.Decision
+	// TypeResult is one Table VI row.
+	TypeResult = core.TypeResult
+)
+
+// Extension modules: microburst detection over the same telemetry
+// feed (the paper's reference [8]) and the mitigation hooks it lists
+// as future work.
+type (
+	// Microburst is one detected queue-buildup event.
+	Microburst = telemetry.Microburst
+	// MicroburstDetector coalesces hot queue-occupancy runs.
+	MicroburstDetector = telemetry.MicroburstDetector
+	// MitigationRule is one generated drop rule.
+	MitigationRule = mitigate.Rule
+	// MitigateConfig parameterizes rule generation.
+	MitigateConfig = mitigate.Config
+	// RuleGenerator turns attack decisions into expiring drop rules.
+	RuleGenerator = mitigate.Generator
+)
+
+// NewMicroburstDetector builds a detector with the given queue-depth
+// threshold and quiet period.
+func NewMicroburstDetector(threshold uint32, quiet Time) *MicroburstDetector {
+	return telemetry.NewMicroburstDetector(threshold, quiet)
+}
+
+// NewRuleGenerator builds a mitigation rule generator.
+func NewRuleGenerator(cfg MitigateConfig) *RuleGenerator { return mitigate.NewGenerator(cfg) }
+
+// BuildWorkload generates the June 6–11 benign-plus-attacks capture
+// at the given scale preset.
+func BuildWorkload(scale string, seed int64) *Workload {
+	return traffic.Build(traffic.ConfigForScale(scale, seed))
+}
+
+// PaperSchedule maps Table I onto a compressed timeline.
+func PaperSchedule(dayLen, minEpisode Time) Schedule {
+	return traffic.PaperSchedule(dayLen, minEpisode)
+}
+
+// NewTestbed assembles the Figure 6 topology.
+func NewTestbed(cfg TestbedConfig) *Testbed { return testbed.New(cfg) }
+
+// NewMechanism builds the automated detection pipeline on a testbed's
+// engine; wire it with tb.Collector.OnReport = m.HandleReport.
+func NewMechanism(tb *Testbed, cfg MechanismConfig) (*Mechanism, error) {
+	return core.New(tb.Eng, cfg)
+}
+
+// NewLiveRuntime builds the wall-clock concurrent runtime of the
+// mechanism, for driving with real (non-simulated) report feeds.
+func NewLiveRuntime(cfg LiveRuntimeConfig) (*Live, error) { return core.NewLive(cfg) }
+
+// ListenReports opens a UDP INT-report collector on addr
+// ("127.0.0.1:0" picks a free port).
+func ListenReports(addr string) (*NetCollector, error) { return telemetry.ListenReports(addr) }
+
+// DialReports connects a report sender to a collector address.
+func DialReports(addr string) (*ReportSender, error) { return telemetry.DialReports(addr, 0) }
+
+// INTFeatures returns the paper's 15-feature INT input vector.
+func INTFeatures() FeatureSet { return flow.INTFeatures() }
+
+// SFlowFeatures returns the 12 features derivable from sampled data.
+func SFlowFeatures() FeatureSet { return flow.SFlowFeatures() }
+
+// Collect replays a workload through the testbed with INT and sFlow
+// attached and materializes both datasets.
+func Collect(cfg DataConfig) (*Capture, error) { return experiment.Collect(cfg) }
+
+// TablesSFlowRate returns the sampling rate preserving per-class
+// sample volumes at a workload scale.
+func TablesSFlowRate(scale string) int { return experiment.TablesSFlowRate(scale) }
+
+// CoverageSFlowRate returns the sampling rate preserving the
+// production deployment's per-episode sample proportions.
+func CoverageSFlowRate(scale string) int { return experiment.CoverageSFlowRate(scale) }
+
+// StageOneModels returns the §IV-B model families (RF, GNB, KNN, NN).
+func StageOneModels() []ModelSpec { return experiment.StageOneModels() }
+
+// StageTwoModels returns the §IV-C ensemble members (MLP, RF, GNB).
+func StageTwoModels() []ModelSpec { return experiment.StageTwoModels() }
+
+// TrainEval fits one model spec and scores it.
+func TrainEval(spec ModelSpec, train, test *Dataset, seed int64) (EvalResult, error) {
+	return experiment.TrainEval(spec, train, test, seed)
+}
+
+// FitModel standardizes and fits one model, returning the classifier
+// and its scaler.
+func FitModel(spec ModelSpec, train *Dataset, seed int64) (Classifier, *StandardScaler, error) {
+	return experiment.FitModel(spec, train, seed)
+}
+
+// RunTableI returns the attack schedule with packet counts.
+func RunTableI(c *Capture) []TableIRow { return experiment.RunTableI(c) }
+
+// RunTableII returns the Table II feature-availability matrix.
+func RunTableII() []flow.AvailabilityRow { return experiment.RunTableII() }
+
+// RunTableIII runs the 90:10-split model comparison.
+func RunTableIII(c *Capture, seed int64) (*TableIIIResult, error) {
+	return experiment.RunTableIII(c, seed)
+}
+
+// RunTableIV runs the zero-day (SlowLoris held-out) comparison.
+func RunTableIV(c *Capture, seed int64) ([]EvalResult, error) {
+	return experiment.RunTableIV(c, seed)
+}
+
+// RunTableV computes per-model top-five feature importances.
+func RunTableV(c *Capture, seed int64) ([]TableVRow, error) {
+	return experiment.RunTableV(c, seed)
+}
+
+// RunTableVI runs the live automated-detection experiment.
+func RunTableVI(cfg LiveConfig) (*LiveResult, error) { return experiment.RunTableVI(cfg) }
+
+// RunFigure5 sweeps RF predictions across the capture timeline.
+func RunFigure5(c *Capture, buckets int, seed int64) (*Figure5, error) {
+	return experiment.RunFigure5(c, buckets, seed)
+}
+
+// RunEpisodeCoverage counts per-episode observations per source.
+func RunEpisodeCoverage(c *Capture) []EpisodeCoverage {
+	return experiment.RunEpisodeCoverage(c)
+}
+
+// RunScalingStudy sweeps offered load through the prediction
+// pipeline, quantifying the §V processing-capability discussion.
+func RunScalingStudy(cfg ScalingConfig) ([]ScalingPoint, error) {
+	return experiment.RunScalingStudy(cfg)
+}
+
+// RunROC computes threshold-free ROC/AUC comparisons for the
+// probability-capable models on both monitoring sources.
+func RunROC(c *Capture, seed int64) ([]ROCRow, error) { return experiment.RunROC(c, seed) }
+
+// RunMitigation closes the detection→drop-rule loop in the data
+// plane and measures per-attack suppression.
+func RunMitigation(cfg LiveConfig) ([]MitigationResult, error) {
+	return experiment.RunMitigation(cfg)
+}
+
+// FeatureAblation contrasts INT with and without queue-occupancy
+// features.
+func FeatureAblation(c *Capture, seed int64) (withQueue, withoutQueue EvalResult, err error) {
+	return experiment.FeatureAblation(c, seed)
+}
+
+// HopLatencyAblation restores the hop-latency features the paper
+// excluded and measures their contribution.
+func HopLatencyAblation(cfg DataConfig, seed int64) (with, without EvalResult, err error) {
+	return experiment.HopLatencyAblation(cfg, seed)
+}
+
+// Rendering helpers (text output matching the paper's artifacts).
+var (
+	FormatTableI          = experiment.FormatTableI
+	FormatTableII         = experiment.FormatTableII
+	FormatEvalRows        = experiment.FormatEvalRows
+	FormatConfusion       = experiment.FormatConfusion
+	FormatTableV          = experiment.FormatTableV
+	FormatTableVI         = experiment.FormatTableVI
+	FormatFigure5         = experiment.FormatFigure5
+	FormatFigure7         = experiment.FormatFigure7
+	FormatEpisodeCoverage = experiment.FormatEpisodeCoverage
+	FormatScaling         = experiment.FormatScaling
+	FormatROC             = experiment.FormatROC
+	FormatMitigation      = experiment.FormatMitigation
+	FormatTableVMatrix    = experiment.FormatTableVMatrix
+)
+
+// CSV exports for re-plotting outside Go.
+var (
+	WriteEvalCSV    = experiment.WriteEvalCSV
+	WriteTableICSV  = experiment.WriteTableICSV
+	WriteFigure5CSV = experiment.WriteFigure5CSV
+	WriteTableVICSV = experiment.WriteTableVICSV
+	WriteFigure7CSV = experiment.WriteFigure7CSV
+	WriteScalingCSV = experiment.WriteScalingCSV
+	WriteDatasetCSV = experiment.WriteDatasetCSV
+	WriteCSVFile    = experiment.WriteCSVFile
+)
+
+// ReadTrace and WriteTrace persist packet captures.
+var (
+	ReadTrace  = trace.ReadFile
+	WriteTrace = trace.WriteFile
+)
+
+// SaveEnsemble writes trained models plus their shared scaler to a
+// bundle file.
+func SaveEnsemble(path string, models []Classifier, scaler *StandardScaler, featureNames []string) error {
+	return experiment.SaveEnsemble(path, models, scaler, featureNames)
+}
+
+// LoadEnsemble restores a bundle written by SaveEnsemble.
+func LoadEnsemble(path string) (*Bundle, error) { return experiment.LoadEnsemble(path) }

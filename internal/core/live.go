@@ -1,0 +1,264 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/amlight/intddos/internal/flow"
+	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/store"
+	"github.com/amlight/intddos/internal/telemetry"
+)
+
+// LiveConfig parameterizes the wall-clock runtime of the mechanism.
+type LiveConfig struct {
+	// Features selects the model input vector (default: the paper's
+	// 15 INT features).
+	Features flow.FeatureSet
+	// Models is the pre-trained ensemble.
+	Models []ml.Classifier
+	// Scaler standardizes snapshots; required.
+	Scaler *ml.StandardScaler
+
+	// PollInterval is the CentralServer polling period (default 5 ms
+	// wall time).
+	PollInterval time.Duration
+	// PollBatch bounds records fetched per poll (default 256).
+	PollBatch int
+	// QueueCap bounds the prediction input channel (default 4096);
+	// beyond it updates are shed and counted.
+	QueueCap int
+	// Workers is the number of prediction goroutines (default 1,
+	// like the paper's single Python predictor).
+	Workers int
+
+	// ModelQuorum and VoteWindow mirror the simulated mechanism
+	// (defaults 2-of-ensemble and 3).
+	ModelQuorum int
+	VoteWindow  int
+	// SkipNewRecords restricts prediction to record updates (§III-3
+	// strict reading).
+	SkipNewRecords bool
+}
+
+// Live runs the four Figure 2 modules as concurrent goroutines over
+// the wall clock — the deployment mode of the paper's production
+// implementation — sharing the same flow table, database, and voting
+// logic as the simulated Mechanism. Timestamps are wall-clock
+// nanoseconds widened into the same Time domain the rest of the
+// repository uses.
+type Live struct {
+	cfg LiveConfig
+
+	mu      sync.Mutex // guards table, windows, decisions
+	table   *flow.Table
+	windows map[flow.Key][]int
+
+	DB     *store.DB
+	cursor uint64
+
+	reqCh chan store.FlowRecord
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	decisions []Decision
+	// OnDecision observes every final decision (called off the
+	// prediction goroutine; keep it fast).
+	OnDecision func(Decision)
+
+	// Stats (atomics: read while running).
+	Reports     atomic.Int64
+	Snapshots   atomic.Int64
+	Predictions atomic.Int64
+	Shed        atomic.Int64
+}
+
+// NewLive validates cfg and builds the runtime.
+func NewLive(cfg LiveConfig) (*Live, error) {
+	if len(cfg.Models) == 0 {
+		return nil, errors.New("core: no models configured")
+	}
+	if cfg.Scaler == nil {
+		return nil, errors.New("core: scaler required")
+	}
+	if cfg.Features == nil {
+		cfg.Features = flow.INTFeatures()
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 5 * time.Millisecond
+	}
+	if cfg.PollBatch <= 0 {
+		cfg.PollBatch = 256
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.ModelQuorum <= 0 {
+		cfg.ModelQuorum = (len(cfg.Models) + 2) / 2
+	}
+	if cfg.ModelQuorum > len(cfg.Models) {
+		cfg.ModelQuorum = (len(cfg.Models) + 1) / 2
+	}
+	if cfg.VoteWindow <= 0 {
+		cfg.VoteWindow = 3
+	}
+	l := &Live{
+		cfg:     cfg,
+		table:   flow.NewTable(),
+		windows: make(map[flow.Key][]int),
+		DB:      store.New(),
+		reqCh:   make(chan store.FlowRecord, cfg.QueueCap),
+		quit:    make(chan struct{}),
+	}
+	l.DB.JournalNew = !cfg.SkipNewRecords
+	return l, nil
+}
+
+// now returns the wall clock in the repository's Time domain.
+func now() netsim.Time { return netsim.Time(time.Now().UnixNano()) }
+
+// Start launches the CentralServer and Prediction goroutines.
+func (l *Live) Start() {
+	l.wg.Add(1)
+	go l.centralServer()
+	for w := 0; w < l.cfg.Workers; w++ {
+		l.wg.Add(1)
+		go l.predictionWorker()
+	}
+}
+
+// Stop terminates the pipeline and waits for the goroutines. Pending
+// queue items are abandoned.
+func (l *Live) Stop() {
+	close(l.quit)
+	l.wg.Wait()
+}
+
+// HandleReport ingests one decoded INT report (INT Data Collection →
+// Data Processor). Safe for concurrent use.
+func (l *Live) HandleReport(r *telemetry.Report) {
+	l.Reports.Add(1)
+	l.Ingest(flow.FromINT(r, now()))
+}
+
+// Ingest folds a normalized observation into the flow table and
+// writes its snapshot to the database. Safe for concurrent use.
+func (l *Live) Ingest(pi flow.PacketInfo) {
+	if pi.At == 0 {
+		pi.At = now()
+	}
+	l.mu.Lock()
+	st, _ := l.table.Observe(pi)
+	feats := st.Features(nil, l.cfg.Features)
+	key, reg, last, updates := st.Key, st.RegisteredAt, st.LastAt, st.Updates
+	l.mu.Unlock()
+	l.DB.UpsertFlow(key, feats, reg, last, updates, pi.Label, pi.AttackType)
+	l.Snapshots.Add(1)
+}
+
+// Decisions returns a copy of the decision log.
+func (l *Live) Decisions() []Decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Decision, len(l.decisions))
+	copy(out, l.decisions)
+	return out
+}
+
+// centralServer polls the database journal and feeds the prediction
+// queue, shedding when it is full.
+func (l *Live) centralServer() {
+	defer l.wg.Done()
+	ticker := time.NewTicker(l.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-ticker.C:
+			recs, cur := l.DB.PollUpdates(l.cursor, l.cfg.PollBatch)
+			l.cursor = cur
+			l.DB.TrimJournal(cur)
+			for _, rec := range recs {
+				select {
+				case l.reqCh <- rec:
+				default:
+					l.Shed.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// predictionWorker standardizes snapshots, runs the ensemble, and
+// aggregates decisions.
+func (l *Live) predictionWorker() {
+	defer l.wg.Done()
+	scaled := make([]float64, len(l.cfg.Features))
+	for {
+		select {
+		case <-l.quit:
+			return
+		case rec := <-l.reqCh:
+			l.cfg.Scaler.TransformRow(scaled, rec.Features)
+			votes := make([]int, len(l.cfg.Models))
+			ones := 0
+			for i, m := range l.cfg.Models {
+				votes[i] = m.Predict(scaled)
+				ones += votes[i]
+			}
+			l.Predictions.Add(1)
+			raw := 0
+			if ones >= l.cfg.ModelQuorum {
+				raw = 1
+			}
+			l.finish(rec, raw, votes)
+		}
+	}
+}
+
+// finish applies window voting and logs the decision.
+func (l *Live) finish(rec store.FlowRecord, raw int, votes []int) {
+	t := now()
+	l.mu.Lock()
+	w := append(l.windows[rec.Key], raw)
+	if len(w) > l.cfg.VoteWindow {
+		w = w[len(w)-l.cfg.VoteWindow:]
+	}
+	l.windows[rec.Key] = w
+	sum := 0
+	for _, v := range w {
+		sum += v
+	}
+	label := 0
+	if 2*sum > len(w) {
+		label = 1
+	}
+	d := Decision{
+		Key:        rec.Key,
+		Label:      label,
+		Seq:        rec.Updates - 1,
+		At:         t,
+		Latency:    t - rec.UpdatedAt,
+		Votes:      votes,
+		Truth:      rec.Truth,
+		AttackType: rec.AttackType,
+	}
+	l.decisions = append(l.decisions, d)
+	cb := l.OnDecision
+	l.mu.Unlock()
+
+	l.DB.AppendPrediction(store.PredictionRecord{
+		Key: rec.Key, Label: label, At: t, Latency: d.Latency,
+		Votes: votes, Truth: rec.Truth, AttackType: rec.AttackType,
+	})
+	if cb != nil {
+		cb(d)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/amlight/intddos/internal/flow"
+	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/telemetry"
+)
+
+func liveConfig(models ...ml.Classifier) LiveConfig {
+	feats := flow.INTFeatures()
+	return LiveConfig{
+		Features:     feats,
+		Models:       models,
+		Scaler:       identityScaler(len(feats)),
+		PollInterval: time.Millisecond,
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+func liveObs(sport uint16, length int, label bool, typ string) flow.PacketInfo {
+	return flow.PacketInfo{
+		Key: flow.Key{
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
+			SrcPort: sport, DstPort: 80, Proto: netsim.TCP,
+		},
+		Length: length, HasTelemetry: true,
+		Label: label, AttackType: typ,
+	}
+}
+
+func TestLiveValidatesConfig(t *testing.T) {
+	if _, err := NewLive(LiveConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewLive(LiveConfig{Models: []ml.Classifier{attackDetector()}}); err == nil {
+		t.Error("missing scaler accepted")
+	}
+}
+
+func TestLiveEndToEnd(t *testing.T) {
+	l, err := NewLive(liveConfig(attackDetector()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	defer l.Stop()
+
+	for i := 0; i < 5; i++ {
+		l.Ingest(liveObs(7, 40, true, "synflood"))
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return len(l.Decisions()) == 5 }) {
+		t.Fatalf("decisions = %d, want 5", len(l.Decisions()))
+	}
+	for i, d := range l.Decisions() {
+		if d.Label != 1 {
+			t.Errorf("decision %d label = %d", i, d.Label)
+		}
+		if d.Latency <= 0 {
+			t.Errorf("decision %d latency = %v", i, d.Latency)
+		}
+		if !d.Correct() {
+			t.Errorf("decision %d incorrect", i)
+		}
+	}
+	if l.Snapshots.Load() != 5 || l.Predictions.Load() != 5 {
+		t.Errorf("snapshots=%d predictions=%d", l.Snapshots.Load(), l.Predictions.Load())
+	}
+}
+
+func TestLiveConcurrentIngest(t *testing.T) {
+	l, err := NewLive(liveConfig(attackDetector()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	defer l.Stop()
+
+	const goroutines, per = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Ingest(liveObs(uint16(1000+g), 1000, false, "benign"))
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := goroutines * per
+	if !waitFor(t, 5*time.Second, func() bool { return len(l.Decisions()) == want }) {
+		t.Fatalf("decisions = %d, want %d", len(l.Decisions()), want)
+	}
+	// All benign under the size-threshold stub.
+	for _, d := range l.Decisions() {
+		if d.Label != 0 {
+			t.Fatalf("benign flow flagged: %+v", d)
+		}
+	}
+}
+
+func TestLiveHandleReport(t *testing.T) {
+	l, err := NewLive(liveConfig(attackDetector()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Decision
+	var mu sync.Mutex
+	l.OnDecision = func(d Decision) { mu.Lock(); got = append(got, d); mu.Unlock() }
+	l.Start()
+	defer l.Stop()
+
+	rep := &telemetry.Report{
+		Src: netip.MustParseAddr("10.0.0.9"), Dst: netip.MustParseAddr("10.0.0.2"),
+		SrcPort: 5, DstPort: 80, Proto: netsim.TCP, Length: 40,
+		Hops:  []telemetry.HopMetadata{{QueueDepth: 1, IngressTS: 10, EgressTS: 20}},
+		Truth: telemetry.Truth{Label: true, AttackType: "synscan"},
+	}
+	l.HandleReport(rep)
+	if !waitFor(t, 2*time.Second, func() bool { mu.Lock(); defer mu.Unlock(); return len(got) == 1 }) {
+		t.Fatal("no decision from report")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Label != 1 || got[0].AttackType != "synscan" {
+		t.Errorf("decision = %+v", got[0])
+	}
+}
+
+// slowModel delays predictions so the queue can fill.
+type slowModel struct{ d time.Duration }
+
+func (s slowModel) Name() string                 { return "slow" }
+func (s slowModel) Fit([][]float64, []int) error { return nil }
+func (s slowModel) Predict([]float64) int        { time.Sleep(s.d); return 0 }
+
+func TestLiveShedsUnderOverload(t *testing.T) {
+	cfg := liveConfig(slowModel{d: 20 * time.Millisecond})
+	cfg.QueueCap = 4
+	cfg.PollInterval = time.Millisecond
+	l, err := NewLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	defer l.Stop()
+	for i := 0; i < 100; i++ {
+		l.Ingest(liveObs(uint16(i), 500, false, "benign"))
+	}
+	if !waitFor(t, 3*time.Second, func() bool {
+		return int(l.Shed.Load())+len(l.Decisions()) >= 20
+	}) {
+		t.Fatal("pipeline made no progress")
+	}
+	if l.Shed.Load() == 0 {
+		t.Error("no shedding despite tiny queue and slow model")
+	}
+}
+
+func TestLiveStopIsIdempotentlySafe(t *testing.T) {
+	l, err := NewLive(liveConfig(attackDetector()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	l.Ingest(liveObs(1, 40, true, "synscan"))
+	l.Stop()
+	// Ingest after stop must not panic (goroutines gone, DB still ok).
+	l.Ingest(liveObs(2, 40, true, "synscan"))
+}

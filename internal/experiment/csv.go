@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+// CSV exports mirror the text renderings in machine-readable form so
+// the tables and figure series can be re-plotted outside Go.
+
+// WriteEvalCSV writes Table III/IV-style rows.
+func WriteEvalCSV(w io.Writer, rows []EvalResult) error {
+	cw := csv.NewWriter(w)
+	cw.Write([]string{"data", "model", "accuracy", "recall", "precision", "f1", "train_rows", "test_rows"})
+	for _, r := range rows {
+		cw.Write([]string{
+			r.Data, r.Model,
+			f(r.Scores.Accuracy), f(r.Scores.Recall), f(r.Scores.Precision), f(r.Scores.F1),
+			itoa(r.TrainRows), itoa(r.TestRows),
+		})
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableICSV writes the episode schedule.
+func WriteTableICSV(w io.Writer, rows []TableIRow) error {
+	cw := csv.NewWriter(w)
+	cw.Write([]string{"attack", "start_ns", "end_ns", "packets"})
+	for _, r := range rows {
+		cw.Write([]string{r.Type, itoa64(int64(r.Start)), itoa64(int64(r.End)), itoa(r.Packets)})
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure5CSV writes the timeline buckets for both sources.
+func WriteFigure5CSV(w io.Writer, fig *Figure5) error {
+	cw := csv.NewWriter(w)
+	cw.Write([]string{"source", "bucket_start_ns", "rows", "truth_frac", "pred_frac", "active_episode"})
+	width := fig.Horizon / netsim.Time(fig.Buckets)
+	emit := func(src string, points []TimelinePoint) {
+		for _, p := range points {
+			mid := p.T + width/2
+			cw.Write([]string{
+				src, itoa64(int64(p.T)), itoa(p.Rows),
+				f(p.Truth), f(p.Pred), fig.Episodes.ActiveAt(mid),
+			})
+		}
+	}
+	emit("int", fig.INT)
+	emit("sflow", fig.SFlow)
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableVICSV writes the live-detection summary.
+func WriteTableVICSV(w io.Writer, res *LiveResult) error {
+	cw := csv.NewWriter(w)
+	cw.Write([]string{"type", "accuracy", "misclassified", "total", "avg_pred_s", "max_pred_s", "p99_pred_s"})
+	for _, r := range res.Rows {
+		cw.Write([]string{
+			r.Type, f(r.Accuracy), itoa(r.Misclassified), itoa(r.Total),
+			f(r.AvgLatency.Seconds()), f(r.MaxLatency.Seconds()), f(r.P99Latency.Seconds()),
+		})
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure7CSV writes the per-decision series for one flow type.
+func WriteFigure7CSV(w io.Writer, res *LiveResult, typ string) error {
+	cw := csv.NewWriter(w)
+	cw.Write([]string{"index", "flow_seq", "label", "truth", "correct", "latency_ns"})
+	for i, d := range res.Decisions[typ] {
+		truth := 0
+		if d.Truth {
+			truth = 1
+		}
+		cw.Write([]string{
+			itoa(i), itoa(d.Seq), itoa(d.Label), itoa(truth),
+			fmt.Sprintf("%t", d.Correct()), itoa64(int64(d.Latency)),
+		})
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScalingCSV writes the load sweep.
+func WriteScalingCSV(w io.Writer, points []ScalingPoint) error {
+	cw := csv.NewWriter(w)
+	cw.Write([]string{"offered_pps", "decided", "shed", "max_backlog", "avg_pred_ns", "p99_pred_ns", "max_pred_ns", "throughput_pps"})
+	for _, p := range points {
+		cw.Write([]string{
+			f(p.OfferedPPS), itoa(p.Decisions), itoa(p.Dropped), itoa(p.MaxBacklog),
+			itoa64(int64(p.AvgLatency)), itoa64(int64(p.P99Latency)), itoa64(int64(p.MaxLatency)),
+			f(p.ThroughputPPS),
+		})
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDatasetCSV exports a feature dataset (header row of feature
+// names plus label/type/time columns) for external ML tooling.
+func WriteDatasetCSV(w io.Writer, d *ml.Dataset) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, d.Names...), "label", "attack_type", "at_ns")
+	cw.Write(header)
+	row := make([]string, 0, len(header))
+	for i := range d.X {
+		row = row[:0]
+		for _, v := range d.X[i] {
+			row = append(row, f(v))
+		}
+		typ, at := "", int64(0)
+		if i < len(d.Meta) {
+			typ, at = d.Meta[i].Type, d.Meta[i].At
+		}
+		row = append(row, itoa(d.Y[i]), typ, itoa64(at))
+		cw.Write(row)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile creates path and runs the writer against it.
+func WriteCSVFile(dir, name string, fn func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	fp, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := fn(fp); err != nil {
+		fp.Close()
+		return err
+	}
+	return fp.Close()
+}
+
+func f(v float64) string    { return fmt.Sprintf("%g", v) }
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func itoa64(v int64) string { return fmt.Sprintf("%d", v) }

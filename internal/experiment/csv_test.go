@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/amlight/intddos/internal/core"
+	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/traffic"
+)
+
+// parseCSV decodes and sanity-checks a rendered CSV.
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("csv has %d rows", len(rows))
+	}
+	return rows
+}
+
+func TestWriteEvalCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteEvalCSV(&buf, []EvalResult{
+		{Data: "INT", Model: "RF", Scores: ml.Scores{Accuracy: 0.99, F1: 0.98}, TrainRows: 10, TestRows: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if rows[0][0] != "data" || rows[1][0] != "INT" || rows[1][1] != "RF" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestWriteTableICSVAndFigure5CSV(t *testing.T) {
+	c := capture(t)
+	var buf bytes.Buffer
+	if err := WriteTableICSV(&buf, RunTableI(c)); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 12 { // header + 11 episodes
+		t.Errorf("table1 rows = %d", len(rows))
+	}
+
+	fig, err := RunFigure5(c, 60, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFigure5CSV(&buf, fig); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf)
+	if len(rows) != 1+2*60 {
+		t.Errorf("figure5 rows = %d, want 121", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows[1:] {
+		seen[r[0]] = true
+	}
+	if !seen["int"] || !seen["sflow"] {
+		t.Errorf("sources = %v", seen)
+	}
+}
+
+func TestWriteTableVIAndFigure7CSV(t *testing.T) {
+	res := &LiveResult{
+		Rows: []core.TypeResult{{Type: "benign", Total: 2, Accuracy: 1, AvgLatency: netsim.Second}},
+		Decisions: map[string][]core.Decision{
+			"benign": {{Label: 0, Truth: false, Latency: 5}, {Label: 1, Truth: false, Latency: 7, Seq: 1}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTableVICSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if rows[1][0] != "benign" || rows[1][4] != "1" {
+		t.Errorf("table6 rows = %v", rows)
+	}
+	buf.Reset()
+	if err := WriteFigure7CSV(&buf, res, "benign"); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("figure7 rows = %d", len(rows))
+	}
+	if rows[2][4] != "false" { // second decision is a false alarm
+		t.Errorf("correctness column = %v", rows[2])
+	}
+}
+
+func TestWriteScalingCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteScalingCSV(&buf, []ScalingPoint{
+		{OfferedPPS: 100, Decisions: 50, Dropped: 2, MaxBacklog: 9, AvgLatency: 10, ThroughputPPS: 49.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if rows[1][0] != "100" || rows[1][1] != "50" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestWriteDatasetCSV(t *testing.T) {
+	d := &ml.Dataset{Names: []string{"a", "b"}}
+	d.Append([]float64{1, 2}, 1, ml.RowMeta{At: 7, Type: traffic.SYNScan})
+	d.Append([]float64{3, 4}, 0, ml.RowMeta{At: 9, Type: traffic.Benign})
+	var buf bytes.Buffer
+	if err := WriteDatasetCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 || len(rows[0]) != 5 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[1][2] != "1" || rows[1][3] != traffic.SYNScan || rows[2][3] != traffic.Benign {
+		t.Errorf("label/type columns = %v", rows)
+	}
+}
+
+func TestWriteCSVFile(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	err := WriteCSVFile(dir, "x.csv", func(w io.Writer) error {
+		_, e := w.Write([]byte("a,b\n1,2\n"))
+		return e
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "x.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "a,b") {
+		t.Errorf("file = %q", got)
+	}
+}

@@ -1,0 +1,380 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/traffic"
+)
+
+// tinyCapture is shared across tests; collection is deterministic.
+var tinyCapture *Capture
+
+func capture(t *testing.T) *Capture {
+	t.Helper()
+	if tinyCapture == nil {
+		c, err := Collect(DataConfig{Scale: traffic.ScaleTiny, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tinyCapture = c
+	}
+	return tinyCapture
+}
+
+func TestCollectProducesBothDatasets(t *testing.T) {
+	c := capture(t)
+	if c.INT.Len() == 0 || c.SFlow.Len() == 0 {
+		t.Fatalf("INT=%d sFlow=%d rows", c.INT.Len(), c.SFlow.Len())
+	}
+	// INT sees every delivered packet.
+	if c.INT.Len() != c.Delivered {
+		t.Errorf("INT rows %d != delivered %d", c.INT.Len(), c.Delivered)
+	}
+	// sFlow is roughly 1-in-rate.
+	want := c.Delivered / c.Config.SFlowRate
+	if c.SFlow.Len() < want/2 || c.SFlow.Len() > want*2 {
+		t.Errorf("sFlow rows %d, want ≈%d", c.SFlow.Len(), want)
+	}
+	if err := c.INT.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := c.SFlow.Validate(); err != nil {
+		t.Error(err)
+	}
+	if c.INT.Features() != 15 || c.SFlow.Features() != 12 {
+		t.Errorf("feature widths %d/%d, want 15/12", c.INT.Features(), c.SFlow.Features())
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	a, err := Collect(DataConfig{Scale: traffic.ScaleTiny, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(DataConfig{Scale: traffic.ScaleTiny, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.INT.Len() != b.INT.Len() || a.SFlow.Len() != b.SFlow.Len() {
+		t.Fatal("same-seed collections differ in size")
+	}
+	for i := range a.INT.X {
+		for j := range a.INT.X[i] {
+			if a.INT.X[i][j] != b.INT.X[i][j] {
+				t.Fatalf("INT row %d feature %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSplitAtTimeAndDropType(t *testing.T) {
+	c := capture(t)
+	cut := c.DayCut(5)
+	before, after := SplitAtTime(c.INT, cut)
+	if before.Len()+after.Len() != c.INT.Len() {
+		t.Error("time split lost rows")
+	}
+	for i := range after.Meta {
+		if after.Meta[i].At < cut {
+			t.Fatal("after-partition row before cut")
+		}
+	}
+	noLoris := DropType(c.INT, traffic.SlowLoris)
+	for i := range noLoris.Meta {
+		if noLoris.Meta[i].Type == traffic.SlowLoris {
+			t.Fatal("DropType left a slowloris row")
+		}
+	}
+	if noLoris.Len() >= c.INT.Len() {
+		t.Error("DropType removed nothing")
+	}
+}
+
+func TestTableIRunner(t *testing.T) {
+	c := capture(t)
+	rows := RunTableI(c)
+	if len(rows) != 11 {
+		t.Fatalf("Table I rows = %d, want 11", len(rows))
+	}
+	for _, r := range rows {
+		if r.Packets == 0 {
+			t.Errorf("episode %s at %v has no packets", r.Type, r.Start)
+		}
+	}
+	out := FormatTableI(rows)
+	if !strings.Contains(out, "synflood") || !strings.Contains(out, "TABLE I") {
+		t.Error("Table I rendering incomplete")
+	}
+}
+
+func TestTableIIRunner(t *testing.T) {
+	rows := RunTableII()
+	out := FormatTableII(rows)
+	if !strings.Contains(out, "Queue Occupancy*") {
+		t.Error("Table II rendering missing queue row")
+	}
+	// Exactly the two telemetry-only families are sFlow-unavailable.
+	missing := strings.Count(out, " X")
+	if missing != 2 {
+		t.Errorf("sFlow-unavailable rows = %d, want 2", missing)
+	}
+}
+
+func TestTableIIIShapes(t *testing.T) {
+	c := capture(t)
+	res, err := RunTableIII(c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (4 models × 2 sources)", len(res.Rows))
+	}
+	byKey := map[string]EvalResult{}
+	for _, r := range res.Rows {
+		byKey[r.Data+"/"+r.Model] = r
+	}
+	// Headline shapes: RF and KNN on INT ≥ 0.97 at tiny scale; every
+	// model beats a coin flip; the RF/INT confusion matrix is the
+	// Figure 3 artifact.
+	if a := byKey["INT/RF"].Scores.Accuracy; a < 0.97 {
+		t.Errorf("INT/RF accuracy = %v", a)
+	}
+	if a := byKey["INT/KNN"].Scores.Accuracy; a < 0.95 {
+		t.Errorf("INT/KNN accuracy = %v", a)
+	}
+	for k, r := range byKey {
+		if r.Scores.Accuracy < 0.55 {
+			t.Errorf("%s accuracy = %v — below coin flip", k, r.Scores.Accuracy)
+		}
+	}
+	if res.RFConfusionINT.Total() == 0 || res.RFConfusionSFlow.Total() == 0 {
+		t.Error("figure 3/4 confusion matrices empty")
+	}
+	out := FormatEvalRows("t3", res.Rows)
+	if !strings.Contains(out, "INT") || !strings.Contains(out, "sFlow") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestTableIVZeroDayShapes(t *testing.T) {
+	c := capture(t)
+	rows, err := RunTableIV(c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Data == "INT" && r.Model == "RF" && r.Scores.Accuracy < 0.95 {
+			t.Errorf("zero-day INT/RF accuracy = %v", r.Scores.Accuracy)
+		}
+	}
+}
+
+func TestTableVImportance(t *testing.T) {
+	c := capture(t)
+	rows, err := RunTableV(c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("models = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Top) != 5 {
+			t.Errorf("%s top features = %d, want 5", r.Model, len(r.Top))
+		}
+		for _, f := range r.Top {
+			if f.Name == "" {
+				t.Errorf("%s has unnamed feature", r.Model)
+			}
+		}
+	}
+	out := FormatTableV(rows)
+	if !strings.Contains(out, "RF") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFigure5Coverage(t *testing.T) {
+	c := capture(t)
+	fig, err := RunFigure5(c, 120, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// INT covers every attack type, including SlowLoris.
+	for _, typ := range traffic.AttackTypes {
+		if fig.CoverageOfType(fig.INT, typ) == 0 {
+			t.Errorf("INT has no coverage of %s", typ)
+		}
+	}
+	// sFlow must cover the high-volume attacks; SlowLoris coverage is
+	// seed-dependent at tiny scale, asserted at the small scale in the
+	// integration test instead.
+	if fig.CoverageOfType(fig.SFlow, traffic.SYNFlood) == 0 {
+		t.Error("sFlow missed every flood bucket")
+	}
+	out := FormatFigure5(fig)
+	if !strings.Contains(out, "INT:") || !strings.Contains(out, "sFlow:") {
+		t.Error("rendering incomplete")
+	}
+	if len(fig.INT) != 120 || len(fig.SFlow) != 120 {
+		t.Errorf("bucket counts %d/%d", len(fig.INT), len(fig.SFlow))
+	}
+}
+
+func TestFeatureAblation(t *testing.T) {
+	c := capture(t)
+	withQ, withoutQ, err := FeatureAblation(c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withQ.Scores.Accuracy < 0.9 || withoutQ.Scores.Accuracy < 0.9 {
+		t.Errorf("ablation accuracies %v / %v", withQ.Scores.Accuracy, withoutQ.Scores.Accuracy)
+	}
+	if withQ.TestRows != withoutQ.TestRows {
+		t.Error("ablation arms saw different test sets")
+	}
+}
+
+func TestEpisodeCoverageRunner(t *testing.T) {
+	c := capture(t)
+	rows := RunEpisodeCoverage(c)
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.INTPackets == 0 {
+			t.Errorf("INT missed episode %s at %v", r.Episode.Type, r.Episode.Start)
+		}
+	}
+	out := FormatEpisodeCoverage(rows, c.Config.SFlowRate)
+	if !strings.Contains(out, "slowloris") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestTableVILive(t *testing.T) {
+	res, err := RunTableVI(LiveConfig{
+		Scale:          traffic.ScaleTiny,
+		Seed:           42,
+		PacketsPerType: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("Table VI rows = %d, want 5", len(res.Rows))
+	}
+	byType := map[string]float64{}
+	var benignAvg, attackAvgMax float64
+	for _, r := range res.Rows {
+		byType[r.Type] = r.Accuracy
+		if r.Total == 0 {
+			t.Errorf("%s scored no decisions", r.Type)
+		}
+		if r.Type == traffic.Benign {
+			benignAvg = r.AvgLatency.Seconds()
+		} else if r.Type != traffic.SlowLoris {
+			if v := r.AvgLatency.Seconds(); v > attackAvgMax {
+				attackAvgMax = v
+			}
+		}
+	}
+	// Shape assertions from the paper: attacks detected well, and the
+	// benign replay's prediction latency dominated by backlog.
+	for _, typ := range []string{traffic.SYNScan, traffic.UDPScan, traffic.SYNFlood} {
+		if byType[typ] < 0.9 {
+			t.Errorf("%s accuracy = %v, want ≥0.9", typ, byType[typ])
+		}
+	}
+	if byType[traffic.SlowLoris] < 0.6 {
+		t.Errorf("zero-day slowloris accuracy = %v", byType[traffic.SlowLoris])
+	}
+	if benignAvg < attackAvgMax {
+		t.Errorf("benign avg latency %vs not above attack max %vs", benignAvg, attackAvgMax)
+	}
+	if !strings.Contains(FormatTableVI(res), "TABLE VI") {
+		t.Error("rendering incomplete")
+	}
+	if !strings.Contains(FormatFigure7(res, traffic.SlowLoris, 80), "FIGURE 7") {
+		t.Error("figure 7 rendering incomplete")
+	}
+}
+
+func TestTrainEvalErrors(t *testing.T) {
+	spec := StageOneModels()[0]
+	empty := &ml.Dataset{}
+	if _, err := TrainEval(spec, empty, empty, 1); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestHopLatencyAblation(t *testing.T) {
+	with, without, err := HopLatencyAblation(DataConfig{Scale: traffic.ScaleTiny, Seed: 42}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Scores.Accuracy < 0.95 || without.Scores.Accuracy < 0.95 {
+		t.Errorf("ablation accuracies %v / %v", with.Scores.Accuracy, without.Scores.Accuracy)
+	}
+	if with.TestRows != without.TestRows {
+		t.Error("ablation arms saw different test sets")
+	}
+	// The 18-feature arm actually used the extended vector.
+	if with.Data == without.Data {
+		t.Error("arm labels identical")
+	}
+}
+
+func TestRunROC(t *testing.T) {
+	c := capture(t)
+	rows, err := RunROC(c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RF, GNB, NN on two sources.
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.AUC < 0.9 {
+			t.Errorf("%s/%s AUC = %v", r.Data, r.Model, r.AUC)
+		}
+		if r.Best.TPR < r.Best.FPR {
+			t.Errorf("%s/%s best point below chance: %+v", r.Data, r.Model, r.Best)
+		}
+		if len(r.Curve) < 2 {
+			t.Errorf("%s/%s curve too short", r.Data, r.Model)
+		}
+	}
+	if !strings.Contains(FormatROC(rows), "AUC") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFormatTableVMatrix(t *testing.T) {
+	rows := []TableVRow{
+		{Model: "RF", Top: []ml.FeatureImportance{{Name: "A"}, {Name: "B"}}},
+		{Model: "GNB", Top: []ml.FeatureImportance{{Name: "A"}, {Name: "C"}}},
+	}
+	out := FormatTableVMatrix(rows)
+	if !strings.Contains(out, "RF") || !strings.Contains(out, "GNB") {
+		t.Error("model columns missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header, column row, then 3 feature rows (A, B, C).
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// A appears in both models and must come first.
+	if !strings.HasPrefix(lines[2], "A") {
+		t.Errorf("shared feature not ranked first:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "Y") {
+		t.Errorf("no checkmarks:\n%s", out)
+	}
+}

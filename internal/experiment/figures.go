@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/traffic"
+)
+
+// TimelinePoint is one bucket of the Figure 5 timeline.
+type TimelinePoint struct {
+	T     netsim.Time // bucket start
+	Rows  int         // observations in the bucket
+	Truth float64     // fraction of rows with attack ground truth
+	Pred  float64     // fraction of rows the RF model called attack
+}
+
+// Figure5 is the real-data-versus-RF-predictions comparison: the
+// same timeline seen through INT (every packet) and through sampled
+// sFlow, with the attack episodes marked. The paper's headline
+// observation — sFlow has no data at all inside the SlowLoris
+// episodes — appears here as zero-row buckets.
+type Figure5 struct {
+	Episodes  traffic.Schedule
+	Horizon   netsim.Time
+	Buckets   int
+	SFlowRate int
+	INT       []TimelinePoint
+	SFlow     []TimelinePoint
+}
+
+// RunFigure5 trains an RF per monitoring source on its 90% split and
+// sweeps predictions across the full capture timeline. Use a capture
+// collected at CoverageSFlowRate so sampling fidelity matches the
+// production deployment.
+func RunFigure5(c *Capture, buckets int, seed int64) (*Figure5, error) {
+	if buckets <= 0 {
+		buckets = 240
+	}
+	horizon := c.Workload.Horizon()
+	// Episode-length flooring can push the last episodes slightly past
+	// the nominal capture end; the timeline must cover them.
+	if n := len(c.Workload.Schedule); n > 0 {
+		if end := c.Workload.Schedule[n-1].End; end > horizon {
+			horizon = end + 50*netsim.Millisecond
+		}
+	}
+	fig := &Figure5{
+		Episodes:  c.Workload.Schedule,
+		Horizon:   horizon,
+		Buckets:   buckets,
+		SFlowRate: c.Config.SFlowRate,
+	}
+	spec := StageOneModels()[0] // RF
+	for _, src := range []struct {
+		name string
+		data *ml.Dataset
+		out  *[]TimelinePoint
+	}{{"INT", c.INT, &fig.INT}, {"sFlow", c.SFlow, &fig.SFlow}} {
+		train, _ := src.data.Split(0.1, seed)
+		fitTrain := train
+		if spec.TrainCap > 0 {
+			fitTrain = train.Subsample(spec.TrainCap, seed)
+		}
+		model, scaler, err := FitModel(spec, fitTrain, seed)
+		if err != nil {
+			return nil, fmt.Errorf("figure 5 %s: %w", src.name, err)
+		}
+		pred := predictAll(model, scaler.Transform(src.data.X))
+		*src.out = bucketize(src.data, pred, fig.Horizon, buckets)
+	}
+	return fig, nil
+}
+
+// bucketize folds time-stamped rows into fixed-width buckets.
+func bucketize(d *ml.Dataset, pred []int, horizon netsim.Time, buckets int) []TimelinePoint {
+	width := horizon / netsim.Time(buckets)
+	if width <= 0 {
+		width = 1
+	}
+	out := make([]TimelinePoint, buckets)
+	for b := range out {
+		out[b].T = netsim.Time(b) * width
+	}
+	for i := range d.X {
+		b := int(netsim.Time(d.Meta[i].At) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= buckets {
+			b = buckets - 1
+		}
+		out[b].Rows++
+		out[b].Truth += float64(d.Y[i])
+		out[b].Pred += float64(pred[i])
+	}
+	for b := range out {
+		if out[b].Rows > 0 {
+			out[b].Truth /= float64(out[b].Rows)
+			out[b].Pred /= float64(out[b].Rows)
+		}
+	}
+	return out
+}
+
+// CoverageOfType sums rows inside episodes of one attack type, used
+// by tests to assert the SlowLoris-invisibility property.
+func (f *Figure5) CoverageOfType(points []TimelinePoint, typ string) int {
+	total := 0
+	for _, p := range points {
+		if p.Rows == 0 {
+			continue
+		}
+		mid := p.T + f.Horizon/netsim.Time(f.Buckets)/2
+		if f.Episodes.ActiveAt(mid) == typ {
+			total += p.Rows
+		}
+	}
+	return total
+}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/amlight/intddos/internal/ml"
+)
+
+// ROCRow is one model/source operating-characteristic summary.
+type ROCRow struct {
+	Data  string
+	Model string
+	AUC   float64
+	// Best is the Youden-optimal operating point.
+	Best ml.ROCPoint
+	// Curve is the full sweep (for CSV/plotting).
+	Curve []ml.ROCPoint
+}
+
+// RunROC computes ROC curves and AUC for the probability-capable
+// stage-one models (RF, GNB, NN) on both monitoring sources — an
+// evaluation-depth extension beyond the paper's fixed-threshold
+// metrics.
+func RunROC(c *Capture, seed int64) ([]ROCRow, error) {
+	var out []ROCRow
+	for _, src := range []struct {
+		name string
+		data *ml.Dataset
+	}{{"INT", c.INT}, {"sFlow", c.SFlow}} {
+		train, test := src.data.Split(0.1, seed)
+		for _, spec := range StageOneModels() {
+			if spec.Name == "KNN" {
+				continue // no continuous score
+			}
+			fitTrain := train
+			if spec.TrainCap > 0 {
+				fitTrain = train.Subsample(spec.TrainCap, seed)
+			}
+			model, scaler, err := FitModel(spec, fitTrain, seed)
+			if err != nil {
+				return nil, fmt.Errorf("roc %s/%s: %w", src.name, spec.Name, err)
+			}
+			pc, ok := probaOf(model)
+			if !ok {
+				continue
+			}
+			scores := ml.ScoreRows(pc, scaler.Transform(test.X))
+			curve := ml.ROC(test.Y, scores)
+			if curve == nil {
+				continue
+			}
+			out = append(out, ROCRow{
+				Data:  src.name,
+				Model: spec.Name,
+				AUC:   ml.AUC(curve),
+				Best:  ml.BestThreshold(curve),
+				Curve: curve,
+			})
+		}
+	}
+	return out, nil
+}
+
+// probaOf unwraps probability access, including the adaptive NN
+// wrapper.
+func probaOf(c ml.Classifier) (ml.ProbaClassifier, bool) {
+	if pc, ok := c.(ml.ProbaClassifier); ok {
+		return pc, true
+	}
+	if a, ok := c.(*adaptiveNN); ok && a.net != nil {
+		return a.net, true
+	}
+	return nil, false
+}
+
+// FormatROC renders the AUC summary.
+func FormatROC(rows []ROCRow) string {
+	var b strings.Builder
+	b.WriteString("ROC ANALYSIS: threshold-free model comparison (extension)\n")
+	fmt.Fprintf(&b, "%-6s %-5s %8s %16s %8s %8s\n", "Data", "Model", "AUC", "Best threshold", "TPR", "FPR")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %-5s %8.4f %16.4g %8.4f %8.4f\n",
+			r.Data, r.Model, r.AUC, r.Best.Threshold, r.Best.TPR, r.Best.FPR)
+	}
+	return b.String()
+}

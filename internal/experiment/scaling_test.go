@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/traffic"
+)
+
+func TestScalingStudyShapes(t *testing.T) {
+	cfg := ScalingConfig{
+		Scale:       traffic.ScaleTiny,
+		Seed:        42,
+		Packets:     400,
+		ServiceTime: 5 * netsim.Millisecond, // 200 predictions/s
+		QueueCap:    200,
+		OfferedPPS:  []float64{50, 400, 4000},
+	}
+	points, err := RunScalingStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	under, at, over := points[0], points[1], points[2]
+
+	// Under capacity: everything decided, no shedding, low latency.
+	if under.Decisions != 400 || under.Dropped != 0 {
+		t.Errorf("underload: decided=%d dropped=%d", under.Decisions, under.Dropped)
+	}
+	if under.AvgLatency > 50*netsim.Millisecond {
+		t.Errorf("underload avg latency = %v", under.AvgLatency)
+	}
+
+	// Latency must grow monotonically with offered load.
+	if !(under.AvgLatency < at.AvgLatency && at.AvgLatency < over.AvgLatency) {
+		t.Errorf("latency not increasing: %v, %v, %v",
+			under.AvgLatency, at.AvgLatency, over.AvgLatency)
+	}
+
+	// Far over capacity: the bounded queue must shed load and the
+	// backlog must hit the cap.
+	if over.Dropped == 0 {
+		t.Error("overload shed nothing despite queue cap")
+	}
+	if over.MaxBacklog < cfg.QueueCap {
+		t.Errorf("overload backlog = %d, want ≥ cap %d", over.MaxBacklog, cfg.QueueCap)
+	}
+	if over.Decisions+over.Dropped != 400 {
+		t.Errorf("overload decided %d + dropped %d != 400", over.Decisions, over.Dropped)
+	}
+
+	out := FormatScaling(points, cfg)
+	if !strings.Contains(out, "SCALING STUDY") || !strings.Contains(out, "Offered") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestScalingDefaultSweep(t *testing.T) {
+	cfg := ScalingConfig{Scale: traffic.ScaleTiny, Seed: 1, Packets: 120, ServiceTime: 2 * netsim.Millisecond}
+	points, err := RunScalingStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 7 {
+		t.Errorf("default sweep = %d points, want 7", len(points))
+	}
+}

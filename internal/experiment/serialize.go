@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/ml/bayes"
+	"github.com/amlight/intddos/internal/ml/forest"
+	"github.com/amlight/intddos/internal/ml/knn"
+	"github.com/amlight/intddos/internal/ml/neural"
+)
+
+// ModelFactory reconstructs empty models by family name for bundle
+// loading. "NN" and "MLP" both map to the neural implementation; the
+// display name is restored from the stream itself.
+func ModelFactory(name string) (ml.BinaryModel, error) {
+	switch name {
+	case "RF":
+		return forest.New(forest.Config{}), nil
+	case "GNB":
+		return bayes.New(), nil
+	case "KNN":
+		return knn.New(0), nil
+	case "NN", "MLP":
+		return neural.New(neural.Config{DisplayName: name}), nil
+	default:
+		return nil, fmt.Errorf("unknown model family %q", name)
+	}
+}
+
+// SaveEnsemble writes trained models plus their shared scaler to a
+// bundle file — the artifact the paper's Prediction module loads at
+// initialization.
+func SaveEnsemble(path string, models []ml.Classifier, scaler *ml.StandardScaler, featureNames []string) error {
+	b := &ml.Bundle{FeatureNames: featureNames, Scaler: scaler}
+	for _, m := range models {
+		bm, ok := m.(ml.BinaryModel)
+		if !ok {
+			return fmt.Errorf("experiment: model %s is not serializable", m.Name())
+		}
+		b.Models = append(b.Models, bm)
+	}
+	return ml.SaveBundle(path, b)
+}
+
+// LoadEnsemble restores a bundle written by SaveEnsemble.
+func LoadEnsemble(path string) (*ml.Bundle, error) {
+	return ml.LoadBundle(path, ModelFactory)
+}

@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/amlight/intddos/internal/ml"
+)
+
+// TestEnsembleBundleRoundTrip trains every model family, saves the
+// bundle, reloads it, and verifies prediction equivalence row by row
+// — the Prediction module's load path.
+func TestEnsembleBundleRoundTrip(t *testing.T) {
+	c := capture(t)
+	train, test := c.INT.Split(0.1, 42)
+	small := train.Subsample(4000, 42)
+
+	scaler := &ml.StandardScaler{}
+	Z, err := scaler.FitTransform(small.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models []ml.Classifier
+	for _, spec := range StageOneModels() {
+		m := spec.New(42)
+		fitTrain := Z
+		fitY := small.Y
+		if spec.Name == "KNN" {
+			sub := small.Subsample(500, 42)
+			fitTrain = scaler.Transform(sub.X)
+			fitY = sub.Y
+		}
+		if err := m.Fit(fitTrain, fitY); err != nil {
+			t.Fatalf("fit %s: %v", spec.Name, err)
+		}
+		models = append(models, m)
+	}
+
+	path := filepath.Join(t.TempDir(), "ensemble.bundle")
+	if err := SaveEnsemble(path, models, scaler, c.INT.Names); err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := LoadEnsemble(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.Models) != len(models) {
+		t.Fatalf("loaded %d models, want %d", len(bundle.Models), len(models))
+	}
+	if len(bundle.FeatureNames) != 15 {
+		t.Errorf("feature names = %d", len(bundle.FeatureNames))
+	}
+	for j := range scaler.Mean {
+		if bundle.Scaler.Mean[j] != scaler.Mean[j] || bundle.Scaler.Std[j] != scaler.Std[j] {
+			t.Fatalf("scaler coefficient %d differs after round trip", j)
+		}
+	}
+
+	probe := test.Subsample(500, 7)
+	Zp := scaler.Transform(probe.X)
+	for i, orig := range models {
+		loaded := bundle.Models[i]
+		if loaded.Name() != orig.Name() {
+			t.Errorf("model %d name %q != %q", i, loaded.Name(), orig.Name())
+		}
+		for r, x := range Zp {
+			if got, want := loaded.Predict(x), orig.Predict(x); got != want {
+				t.Fatalf("%s: prediction differs at row %d after round trip (%d vs %d)",
+					orig.Name(), r, got, want)
+			}
+		}
+	}
+}
+
+func TestModelFactoryUnknown(t *testing.T) {
+	if _, err := ModelFactory("SVM"); err == nil {
+		t.Error("unknown family accepted")
+	}
+	for _, name := range []string{"RF", "GNB", "KNN", "NN", "MLP"} {
+		if _, err := ModelFactory(name); err != nil {
+			t.Errorf("factory rejected %s: %v", name, err)
+		}
+	}
+}
+
+func TestBundleRejectsGarbage(t *testing.T) {
+	if _, err := ml.ReadBundleBytes([]byte("not a bundle at all"), ModelFactory); err == nil {
+		t.Error("garbage bundle accepted")
+	}
+}
+
+func TestUntrainedModelsRefuseMarshal(t *testing.T) {
+	for _, spec := range StageOneModels() {
+		m := spec.New(1)
+		bm, ok := m.(ml.BinaryModel)
+		if !ok {
+			t.Fatalf("%s does not implement BinaryModel", spec.Name)
+		}
+		if _, err := bm.MarshalBinary(); err == nil {
+			t.Errorf("untrained %s marshaled without error", spec.Name)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/amlight/intddos/internal/flow"
+	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/ml/forest"
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/traffic"
+)
+
+// TableIRow is one episode of the simulated attack schedule.
+type TableIRow struct {
+	Type    string
+	Start   netsim.Time
+	End     netsim.Time
+	Packets int
+}
+
+// RunTableI returns the workload's attack schedule with per-episode
+// packet counts — the reproduction of Table I on the compressed
+// timeline.
+func RunTableI(c *Capture) []TableIRow {
+	rows := make([]TableIRow, 0, len(c.Workload.Schedule))
+	for _, ep := range c.Workload.Schedule {
+		row := TableIRow{Type: ep.Type, Start: ep.Start, End: ep.End}
+		for i := range c.Workload.Records {
+			r := &c.Workload.Records[i]
+			if r.Label && r.AttackType == ep.Type && r.At >= ep.Start && r.At < ep.End {
+				row.Packets++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RunTableII returns the Table II feature-availability matrix.
+func RunTableII() []flow.AvailabilityRow { return flow.Availability() }
+
+// TableIIIResult bundles the Table III rows with the RF confusion
+// matrices behind Figures 3 and 4.
+type TableIIIResult struct {
+	Rows []EvalResult
+	// RFConfusionINT is Figure 3; RFConfusionSFlow Figure 4.
+	RFConfusionINT   ml.ConfusionMatrix
+	RFConfusionSFlow ml.ConfusionMatrix
+}
+
+// RunTableIII trains the four stage-1 models on INT and sFlow data
+// with the paper's 90:10 random split and scores them.
+func RunTableIII(c *Capture, seed int64) (*TableIIIResult, error) {
+	out := &TableIIIResult{}
+	for _, src := range []struct {
+		name string
+		data *ml.Dataset
+	}{{"INT", c.INT}, {"sFlow", c.SFlow}} {
+		train, test := src.data.Split(0.1, seed)
+		for _, spec := range StageOneModels() {
+			res, err := TrainEval(spec, train, test, seed)
+			if err != nil {
+				return nil, fmt.Errorf("table III %s/%s: %w", src.name, spec.Name, err)
+			}
+			res.Data = src.name
+			out.Rows = append(out.Rows, res)
+			if spec.Name == "RF" {
+				if src.name == "INT" {
+					out.RFConfusionINT = res.Confusion
+				} else {
+					out.RFConfusionSFlow = res.Confusion
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunTableIV reproduces the zero-day experiment: flows up to June 10
+// (days 0–4) train the models; June 11 (day 5) — whose attacks are
+// SYN floods plus the never-trained SlowLoris — is the test set.
+func RunTableIV(c *Capture, seed int64) ([]EvalResult, error) {
+	cut := c.DayCut(5)
+	var out []EvalResult
+	for _, src := range []struct {
+		name string
+		data *ml.Dataset
+	}{{"INT", c.INT}, {"sFlow", c.SFlow}} {
+		train, test := SplitAtTime(src.data, cut)
+		for _, spec := range StageOneModels() {
+			res, err := TrainEval(spec, train, test, seed)
+			if err != nil {
+				return nil, fmt.Errorf("table IV %s/%s: %w", src.name, spec.Name, err)
+			}
+			res.Data = src.name
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// TableVRow lists one model's five most important features.
+type TableVRow struct {
+	Model string
+	Top   []ml.FeatureImportance
+}
+
+// RunTableV computes per-model feature importance on the INT data:
+// native Gini importance for RF, permutation importance for the
+// rest, and returns each model's top five.
+func RunTableV(c *Capture, seed int64) ([]TableVRow, error) {
+	train, test := c.INT.Split(0.1, seed)
+	probe := test.Subsample(2000, seed+2)
+	var out []TableVRow
+	for _, spec := range StageOneModels() {
+		fitTrain := train
+		if spec.TrainCap > 0 {
+			fitTrain = train.Subsample(spec.TrainCap, seed)
+		}
+		model, scaler, err := FitModel(spec, fitTrain, seed)
+		if err != nil {
+			return nil, fmt.Errorf("table V %s: %w", spec.Name, err)
+		}
+		var imps []ml.FeatureImportance
+		if rf, ok := model.(*forest.Forest); ok {
+			for j, v := range rf.Importances() {
+				imps = append(imps, ml.FeatureImportance{Index: j, Name: c.INT.Names[j], Value: v})
+			}
+		} else {
+			p := probe
+			if spec.Name == "KNN" {
+				p = probe.Subsample(500, seed+3)
+			}
+			imps = ml.PermutationImportance(model, scaler.Transform(p.X), p.Y, c.INT.Names, seed)
+		}
+		out = append(out, TableVRow{Model: spec.Name, Top: ml.TopK(imps, 5)})
+	}
+	return out, nil
+}
+
+// FeatureAblation contrasts INT with and without the telemetry-only
+// queue-occupancy features, quantifying what the Table II advantage
+// is worth (a design-choice ablation from DESIGN.md §6).
+func FeatureAblation(c *Capture, seed int64) (withQueue, withoutQueue EvalResult, err error) {
+	spec := StageOneModels()[0] // RF
+	train, test := c.INT.Split(0.1, seed)
+	withQueue, err = TrainEval(spec, train, test, seed)
+	if err != nil {
+		return
+	}
+	withQueue.Data = "INT (15 features)"
+
+	// Project out the queue features.
+	keep := []int{}
+	noQ := flow.SFlowFeatures()
+	for _, f := range noQ {
+		keep = append(keep, c.INTFeatures.Index(f))
+	}
+	project := func(d *ml.Dataset) *ml.Dataset {
+		out := &ml.Dataset{Names: noQ.Names(), Y: d.Y, Meta: d.Meta}
+		out.X = make([][]float64, len(d.X))
+		for i, row := range d.X {
+			pr := make([]float64, len(keep))
+			for j, k := range keep {
+				pr[j] = row[k]
+			}
+			out.X[i] = pr
+		}
+		return out
+	}
+	withoutQueue, err = TrainEval(spec, project(train), project(test), seed)
+	withoutQueue.Data = "INT minus queue features"
+	return
+}
+
+// HopLatencyAblation restores the hop-latency feature variants the
+// paper excluded (§IV-B2, for scale-consistency reasons) and measures
+// what they are worth: it collects a capture with the 18-feature
+// vector, trains RF on it, and on its projection back to the paper's
+// 15 features.
+func HopLatencyAblation(cfg DataConfig, seed int64) (with, without EvalResult, err error) {
+	cfg.INTSet = flow.INTFeaturesWithHopLatency()
+	c, err := Collect(cfg)
+	if err != nil {
+		return
+	}
+	spec := StageOneModels()[0] // RF
+	train, test := c.INT.Split(0.1, seed)
+	with, err = TrainEval(spec, train, test, seed)
+	if err != nil {
+		return
+	}
+	with.Data = "INT + hop latency (18 features)"
+
+	plain := flow.INTFeatures()
+	keep := make([]int, len(plain))
+	for i, f := range plain {
+		keep[i] = c.INTFeatures.Index(f)
+	}
+	project := func(d *ml.Dataset) *ml.Dataset {
+		out := &ml.Dataset{Names: plain.Names(), Y: d.Y, Meta: d.Meta}
+		out.X = make([][]float64, len(d.X))
+		for i, row := range d.X {
+			pr := make([]float64, len(keep))
+			for j, k := range keep {
+				pr[j] = row[k]
+			}
+			out.X[i] = pr
+		}
+		return out
+	}
+	without, err = TrainEval(spec, project(train), project(test), seed)
+	without.Data = "INT (paper's 15 features)"
+	return
+}
+
+// EpisodeCoverage reports, for each Table I episode, how many packets
+// each monitoring source captured — the quantitative backing for
+// Figure 5's "sFlow missed SlowLoris" observation.
+type EpisodeCoverage struct {
+	Episode      traffic.Episode
+	INTPackets   int
+	SFlowSamples int
+}
+
+// RunEpisodeCoverage computes per-episode capture counts.
+func RunEpisodeCoverage(c *Capture) []EpisodeCoverage {
+	out := make([]EpisodeCoverage, len(c.Workload.Schedule))
+	for i, ep := range c.Workload.Schedule {
+		out[i].Episode = ep
+	}
+	count := func(d *ml.Dataset, bump func(i int)) {
+		for r := range d.X {
+			if d.Y[r] != 1 {
+				continue
+			}
+			at := netsim.Time(d.Meta[r].At)
+			// Observations land slightly after emission, so attribute
+			// each row to the most recent episode of its type that had
+			// started by then.
+			for i := len(c.Workload.Schedule) - 1; i >= 0; i-- {
+				ep := c.Workload.Schedule[i]
+				if d.Meta[r].Type == ep.Type && at >= ep.Start {
+					bump(i)
+					break
+				}
+			}
+		}
+	}
+	count(c.INT, func(i int) { out[i].INTPackets++ })
+	count(c.SFlow, func(i int) { out[i].SFlowSamples++ })
+	return out
+}

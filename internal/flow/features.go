@@ -1,0 +1,129 @@
+package flow
+
+// FeatureID names one extractable feature. The *Cum/*Avg/*Std
+// variants mirror the paper's Table V subscripts: cumulative,
+// average, and standard deviation of the per-packet series. The
+// cumulative inter-arrival time is the flow duration (Table II note).
+type FeatureID int
+
+// Feature identifiers.
+const (
+	FProto FeatureID = iota
+	FPktSize
+	FPktSizeCum
+	FPktSizeAvg
+	FPktSizeStd
+	FIAT
+	FIATCum
+	FIATAvg
+	FIATStd
+	FQueue
+	FQueueAvg
+	FQueueStd
+	FCount
+	FPPS
+	FBPS
+	FHopLat
+	FHopLatAvg
+	FHopLatStd
+	FSrcPort
+	FDstPort
+	numFeatureIDs
+)
+
+// featureNames indexes display names by FeatureID.
+var featureNames = [numFeatureIDs]string{
+	"Protocol",
+	"Packet Size", "Packet Size_cum", "Packet Size_avg", "Packet Size_std",
+	"Inter Arrival Time", "Inter Arrival Time_cum", "Inter Arrival Time_avg", "Inter Arrival Time_std",
+	"Queue Occupancy", "Queue Occupancy_avg", "Queue Occupancy_std",
+	"Packet Count", "Packets/s", "Bytes/s",
+	"Hop Latency", "Hop Latency_avg", "Hop Latency_std",
+	"Source Port", "Destination Port",
+}
+
+// String returns the feature's display name.
+func (f FeatureID) String() string {
+	if f < 0 || f >= numFeatureIDs {
+		return "unknown"
+	}
+	return featureNames[f]
+}
+
+// FeatureSet is an ordered selection of features forming the model's
+// input vector.
+type FeatureSet []FeatureID
+
+// Names returns display names in vector order.
+func (fs FeatureSet) Names() []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	return out
+}
+
+// Index returns the vector position of f, or -1.
+func (fs FeatureSet) Index(f FeatureID) int {
+	for i, g := range fs {
+		if g == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// INTFeatures returns the 15 packet- and flow-level features the
+// paper's testbed models consume (Table II INT column minus hop
+// latency, which §IV-B2 excludes for scale-consistency reasons).
+func INTFeatures() FeatureSet {
+	return FeatureSet{
+		FProto,
+		FPktSize, FPktSizeCum, FPktSizeAvg, FPktSizeStd,
+		FIAT, FIATCum, FIATAvg, FIATStd,
+		FQueue, FQueueAvg, FQueueStd,
+		FCount, FPPS, FBPS,
+	}
+}
+
+// SFlowFeatures returns the features derivable from sampled sFlow
+// data: the INT set minus the telemetry-only queue occupancy
+// variants.
+func SFlowFeatures() FeatureSet {
+	return FeatureSet{
+		FProto,
+		FPktSize, FPktSizeCum, FPktSizeAvg, FPktSizeStd,
+		FIAT, FIATCum, FIATAvg, FIATStd,
+		FCount, FPPS, FBPS,
+	}
+}
+
+// INTFeaturesWithHopLatency returns the full Table II INT column
+// including the hop-latency variants, for the ablation that restores
+// the feature the paper dropped.
+func INTFeaturesWithHopLatency() FeatureSet {
+	return append(INTFeatures(), FHopLat, FHopLatAvg, FHopLatStd)
+}
+
+// AvailabilityRow is one row of the paper's Table II: a feature
+// family and whether each monitoring source provides it.
+type AvailabilityRow struct {
+	Feature string
+	INT     bool
+	SFlow   bool
+}
+
+// Availability reproduces Table II: the feature families and their
+// availability under INT versus sFlow.
+func Availability() []AvailabilityRow {
+	return []AvailabilityRow{
+		{"Source & Destination IP", true, true},
+		{"Source & Destination Port", true, true},
+		{"Protocol", true, true},
+		{"Queue Occupancy*", true, false},
+		{"Hop Latency*", true, false},
+		{"Packet Size*", true, true},
+		{"Inter Arrival Time*", true, true},
+		{"Packets & Bytes per Second", true, true},
+	}
+}

@@ -1,0 +1,96 @@
+package flow
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/sflow"
+	"github.com/amlight/intddos/internal/telemetry"
+)
+
+// Key is the Flow ID: the five-tuple {source IP, destination IP,
+// source port, destination port, protocol} the paper (and [17])
+// identifies flows by.
+type Key struct {
+	Src     netip.Addr
+	Dst     netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   netsim.Proto
+}
+
+// String renders the key in the repository's canonical flow notation.
+func (k Key) String() string {
+	return fmt.Sprintf("%s:%d>%s:%d/%s", k.Src, k.SrcPort, k.Dst, k.DstPort, k.Proto)
+}
+
+// PacketInfo is one monitored packet observation, normalized from
+// either monitoring source. Telemetry fields are valid only when
+// HasTelemetry is set (INT); sFlow observations carry header fields
+// alone — the Table II gap between the two tools.
+type PacketInfo struct {
+	Key    Key
+	Length int
+	Flags  netsim.TCPFlags
+
+	// At is the collector-local arrival time of the observation (the
+	// only full-resolution clock available; INT's own stamps are
+	// 32-bit and wrap).
+	At netsim.Time
+
+	// HasTelemetry marks INT observations.
+	HasTelemetry bool
+	// IngressTS/EgressTS are the sink-hop 32-bit hardware timestamps.
+	IngressTS netsim.Timestamp32
+	EgressTS  netsim.Timestamp32
+	// QueueDepth is the sink-hop queue occupancy at dequeue.
+	QueueDepth uint32
+	// HopLatencyNs is the total path residence time.
+	HopLatencyNs uint64
+
+	// Ground truth for training/evaluation bookkeeping.
+	Label      bool
+	AttackType string
+}
+
+// FromINT normalizes a decoded INT report received at time at. Queue
+// occupancy and timestamps are taken from the last hop (the sink
+// switch), which in the testbed is the hop closest to the victim;
+// hop latency sums the whole stack.
+func FromINT(r *telemetry.Report, at netsim.Time) PacketInfo {
+	pi := PacketInfo{
+		Key: Key{
+			Src: r.Src, Dst: r.Dst,
+			SrcPort: r.SrcPort, DstPort: r.DstPort, Proto: r.Proto,
+		},
+		Length:       int(r.Length),
+		Flags:        r.Flags,
+		At:           at,
+		HasTelemetry: true,
+		HopLatencyNs: uint64(r.PathLatency()),
+		Label:        r.Truth.Label,
+		AttackType:   r.Truth.AttackType,
+	}
+	if h, ok := r.LastHop(); ok {
+		pi.IngressTS = h.IngressTS
+		pi.EgressTS = h.EgressTS
+		pi.QueueDepth = h.QueueDepth
+	}
+	return pi
+}
+
+// FromSFlow normalizes an sFlow flow sample received at time at.
+func FromSFlow(s *sflow.FlowSample, at netsim.Time) PacketInfo {
+	return PacketInfo{
+		Key: Key{
+			Src: s.Src, Dst: s.Dst,
+			SrcPort: s.SrcPort, DstPort: s.DstPort, Proto: s.Proto,
+		},
+		Length:     int(s.Length),
+		Flags:      s.Flags,
+		At:         at,
+		Label:      s.Truth.Label,
+		AttackType: s.Truth.AttackType,
+	}
+}

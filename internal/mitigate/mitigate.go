@@ -1,0 +1,205 @@
+// Package mitigate implements the flow-rule generation hooks the
+// paper leaves as future work (§III footnote 2; cf. Aslam et al.'s
+// ONOS flood defender): it turns attack decisions from the detection
+// mechanism into expiring drop rules a programmable data plane could
+// install. Detection remains the paper's scope; this module exists so
+// a deployment has somewhere to send its verdicts.
+package mitigate
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/amlight/intddos/internal/core"
+	"github.com/amlight/intddos/internal/flow"
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+// RuleScope selects what a generated rule matches.
+type RuleScope int
+
+// Rule scopes, narrowest first.
+const (
+	// ScopeFlow drops the exact 5-tuple.
+	ScopeFlow RuleScope = iota
+	// ScopeSource drops everything from the offending source address
+	// (the right scope for scans and SlowLoris; useless against
+	// spoofed floods).
+	ScopeSource
+)
+
+// Rule is one generated drop rule.
+type Rule struct {
+	Scope     RuleScope
+	Key       flow.Key // fully meaningful for ScopeFlow; Src for ScopeSource
+	CreatedAt netsim.Time
+	ExpiresAt netsim.Time
+	Hits      int
+}
+
+// String renders the rule like a flow-table entry.
+func (r Rule) String() string {
+	switch r.Scope {
+	case ScopeSource:
+		return fmt.Sprintf("drop src=%s until %v", r.Key.Src, r.ExpiresAt)
+	default:
+		return fmt.Sprintf("drop %s until %v", r.Key, r.ExpiresAt)
+	}
+}
+
+// Config parameterizes rule generation.
+type Config struct {
+	// TTL is the rule lifetime; refreshed when the same target is
+	// re-flagged (default 5 s virtual).
+	TTL netsim.Time
+	// SourceThreshold escalates to a source-scoped rule once this
+	// many distinct flows from one source have been flagged
+	// (default 3).
+	SourceThreshold int
+	// MaxRules bounds the table; new rules are rejected beyond it
+	// (default 10000).
+	MaxRules int
+}
+
+// Generator turns decisions into rules.
+type Generator struct {
+	cfg Config
+
+	rules      map[string]*Rule
+	flowsBySrc map[string]map[flow.Key]bool
+
+	// Stats
+	Generated int
+	Escalated int // source-scope escalations
+	Rejected  int // dropped at MaxRules
+}
+
+// NewGenerator builds a generator; zero-valued config fields take
+// defaults.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.TTL <= 0 {
+		cfg.TTL = 5 * netsim.Second
+	}
+	if cfg.SourceThreshold <= 0 {
+		cfg.SourceThreshold = 3
+	}
+	if cfg.MaxRules <= 0 {
+		cfg.MaxRules = 10000
+	}
+	return &Generator{
+		cfg:        cfg,
+		rules:      make(map[string]*Rule),
+		flowsBySrc: make(map[string]map[flow.Key]bool),
+	}
+}
+
+// HandleDecision consumes one mechanism decision; benign decisions
+// are ignored. Wire it to core.Mechanism.OnDecision.
+func (g *Generator) HandleDecision(d core.Decision) {
+	if d.Label != 1 {
+		return
+	}
+	src := d.Key.Src.String()
+	flows := g.flowsBySrc[src]
+	if flows == nil {
+		flows = make(map[flow.Key]bool)
+		g.flowsBySrc[src] = flows
+	}
+	flows[d.Key] = true
+
+	if len(flows) >= g.cfg.SourceThreshold {
+		g.install("src:"+src, Rule{Scope: ScopeSource, Key: flow.Key{Src: d.Key.Src}}, d.At, true)
+		return
+	}
+	g.install("flow:"+d.Key.String(), Rule{Scope: ScopeFlow, Key: d.Key}, d.At, false)
+}
+
+// install adds or refreshes a rule.
+func (g *Generator) install(id string, r Rule, now netsim.Time, escalation bool) {
+	if existing, ok := g.rules[id]; ok {
+		existing.ExpiresAt = now + g.cfg.TTL
+		existing.Hits++
+		return
+	}
+	if len(g.rules) >= g.cfg.MaxRules {
+		g.Rejected++
+		return
+	}
+	r.CreatedAt = now
+	r.ExpiresAt = now + g.cfg.TTL
+	r.Hits = 1
+	g.rules[id] = &r
+	g.Generated++
+	if escalation {
+		g.Escalated++
+	}
+}
+
+// Expire removes rules past their TTL at now, returning how many were
+// dropped.
+func (g *Generator) Expire(now netsim.Time) int {
+	n := 0
+	for id, r := range g.rules {
+		if now >= r.ExpiresAt {
+			delete(g.rules, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Match reports whether a packet with the given key would be dropped
+// under the current rule set at time now.
+func (g *Generator) Match(k flow.Key, now netsim.Time) bool {
+	if r, ok := g.rules["src:"+k.Src.String()]; ok && now < r.ExpiresAt {
+		r.Hits++
+		return true
+	}
+	if r, ok := g.rules["flow:"+k.String()]; ok && now < r.ExpiresAt {
+		r.Hits++
+		return true
+	}
+	return false
+}
+
+// Rules returns the active rules sorted by creation time.
+func (g *Generator) Rules() []Rule {
+	out := make([]Rule, 0, len(g.rules))
+	for _, r := range g.rules {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CreatedAt < out[j].CreatedAt })
+	return out
+}
+
+// Len returns the number of installed rules.
+func (g *Generator) Len() int { return len(g.rules) }
+
+// Compile translates one generated rule into the data-plane ACL form.
+func Compile(r Rule) netsim.ACLRule {
+	out := netsim.ACLRule{Src: r.Key.Src, ExpiresAt: r.ExpiresAt}
+	if r.Scope == ScopeFlow {
+		out.Dst = r.Key.Dst
+		out.SrcPort = r.Key.SrcPort
+		out.DstPort = r.Key.DstPort
+		out.Proto = r.Key.Proto
+	}
+	return out
+}
+
+// InstallInto wires the generator to a switch ACL: every newly
+// generated or escalated rule is compiled and installed in the data
+// plane as it is created. Returns the wrapped decision handler to
+// hook to core.Mechanism.OnDecision.
+func (g *Generator) InstallInto(acl *netsim.ACL) func(core.Decision) {
+	installed := map[string]bool{}
+	return func(d core.Decision) {
+		g.HandleDecision(d)
+		for id, r := range g.rules {
+			if !installed[id] {
+				installed[id] = true
+				acl.Install(Compile(*r))
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package mitigate
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/amlight/intddos/internal/core"
+	"github.com/amlight/intddos/internal/flow"
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+func attacker(sport uint16) flow.Key {
+	return flow.Key{
+		Src: netip.MustParseAddr("203.0.113.77"), Dst: netip.MustParseAddr("10.0.0.2"),
+		SrcPort: sport, DstPort: 80, Proto: netsim.TCP,
+	}
+}
+
+func decision(k flow.Key, label int, at netsim.Time) core.Decision {
+	return core.Decision{Key: k, Label: label, At: at}
+}
+
+func TestGeneratorIgnoresBenign(t *testing.T) {
+	g := NewGenerator(Config{})
+	g.HandleDecision(decision(attacker(1), 0, 0))
+	if g.Len() != 0 {
+		t.Errorf("benign decision generated %d rules", g.Len())
+	}
+}
+
+func TestGeneratorFlowRule(t *testing.T) {
+	g := NewGenerator(Config{TTL: netsim.Second})
+	k := attacker(1)
+	g.HandleDecision(decision(k, 1, 100))
+	if g.Len() != 1 {
+		t.Fatalf("rules = %d", g.Len())
+	}
+	if !g.Match(k, 200) {
+		t.Error("flagged flow not matched")
+	}
+	if g.Match(attacker(2), 200) {
+		t.Error("unrelated flow matched")
+	}
+	// Expiry.
+	if g.Match(k, 100+netsim.Second+1) {
+		t.Error("expired rule still matches")
+	}
+}
+
+func TestGeneratorEscalatesToSource(t *testing.T) {
+	g := NewGenerator(Config{SourceThreshold: 3})
+	for p := uint16(1); p <= 3; p++ {
+		g.HandleDecision(decision(attacker(p), 1, netsim.Time(p)))
+	}
+	if g.Escalated != 1 {
+		t.Fatalf("escalations = %d, want 1", g.Escalated)
+	}
+	// Any flow from that source now matches, even a fresh port.
+	if !g.Match(attacker(999), 10) {
+		t.Error("source rule did not cover new flow")
+	}
+}
+
+func TestGeneratorRefreshExtendsTTL(t *testing.T) {
+	g := NewGenerator(Config{TTL: 100})
+	k := attacker(1)
+	g.HandleDecision(decision(k, 1, 0))
+	g.HandleDecision(decision(k, 1, 80)) // refresh at t=80 → expires 180
+	if !g.Match(k, 150) {
+		t.Error("refreshed rule expired early")
+	}
+	if g.Generated != 1 {
+		t.Errorf("generated = %d, want 1 (refresh, not new)", g.Generated)
+	}
+}
+
+func TestGeneratorExpireSweep(t *testing.T) {
+	g := NewGenerator(Config{TTL: 100})
+	g.HandleDecision(decision(attacker(1), 1, 0))
+	g.HandleDecision(decision(attacker(2), 1, 500))
+	if n := g.Expire(300); n != 1 {
+		t.Errorf("expired = %d, want 1", n)
+	}
+	if g.Len() != 1 {
+		t.Errorf("rules = %d after sweep", g.Len())
+	}
+}
+
+func TestGeneratorMaxRules(t *testing.T) {
+	g := NewGenerator(Config{MaxRules: 2, SourceThreshold: 100})
+	for p := uint16(1); p <= 5; p++ {
+		k := attacker(p)
+		k.Src = netip.AddrFrom4([4]byte{10, 1, 0, byte(p)}) // distinct sources
+		g.HandleDecision(decision(k, 1, 0))
+	}
+	if g.Len() != 2 {
+		t.Errorf("rules = %d, want cap 2", g.Len())
+	}
+	if g.Rejected != 3 {
+		t.Errorf("rejected = %d, want 3", g.Rejected)
+	}
+}
+
+func TestRulesSortedAndRendered(t *testing.T) {
+	g := NewGenerator(Config{SourceThreshold: 2})
+	g.HandleDecision(decision(attacker(1), 1, 10))
+	g.HandleDecision(decision(attacker(2), 1, 20)) // escalates
+	rules := g.Rules()
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	if rules[0].CreatedAt > rules[1].CreatedAt {
+		t.Error("rules not sorted by creation")
+	}
+	foundSrc := false
+	for _, r := range rules {
+		if r.Scope == ScopeSource {
+			foundSrc = true
+			if r.String() == "" || r.String()[:8] != "drop src" {
+				t.Errorf("render = %q", r.String())
+			}
+		}
+	}
+	if !foundSrc {
+		t.Error("no source-scoped rule after escalation")
+	}
+}

@@ -1,0 +1,124 @@
+// Package bayes implements Gaussian Naive Bayes, the lightweight
+// GNB baseline of the paper's Tables III–VI.
+package bayes
+
+import (
+	"errors"
+	"math"
+)
+
+// GaussianNB models each feature as an independent per-class
+// Gaussian, with scikit-learn-style variance smoothing for numeric
+// stability.
+type GaussianNB struct {
+	// VarSmoothing is the fraction of the largest feature variance
+	// added to every variance (default 1e-9, as in scikit-learn).
+	VarSmoothing float64
+
+	prior [2]float64   // log class priors
+	mean  [2][]float64 // per-class feature means
+	vr    [2][]float64 // per-class feature variances
+	ready bool
+}
+
+// New returns an untrained classifier with default smoothing.
+func New() *GaussianNB { return &GaussianNB{VarSmoothing: 1e-9} }
+
+// Name implements ml.Classifier.
+func (g *GaussianNB) Name() string { return "GNB" }
+
+// Fit estimates per-class feature means and variances.
+func (g *GaussianNB) Fit(X [][]float64, y []int) error {
+	if len(X) == 0 {
+		return errors.New("bayes: empty training set")
+	}
+	if len(X) != len(y) {
+		return errors.New("bayes: rows and labels differ")
+	}
+	w := len(X[0])
+	var count [2]int
+	for c := 0; c < 2; c++ {
+		g.mean[c] = make([]float64, w)
+		g.vr[c] = make([]float64, w)
+	}
+	for i, row := range X {
+		c := y[i]
+		count[c]++
+		for j, v := range row {
+			g.mean[c][j] += v
+		}
+	}
+	if count[0] == 0 || count[1] == 0 {
+		return errors.New("bayes: training set must contain both classes")
+	}
+	for c := 0; c < 2; c++ {
+		for j := range g.mean[c] {
+			g.mean[c][j] /= float64(count[c])
+		}
+	}
+	for i, row := range X {
+		c := y[i]
+		for j, v := range row {
+			d := v - g.mean[c][j]
+			g.vr[c][j] += d * d
+		}
+	}
+	maxVar := 0.0
+	for c := 0; c < 2; c++ {
+		for j := range g.vr[c] {
+			g.vr[c][j] /= float64(count[c])
+			if g.vr[c][j] > maxVar {
+				maxVar = g.vr[c][j]
+			}
+		}
+	}
+	if g.VarSmoothing <= 0 {
+		g.VarSmoothing = 1e-9
+	}
+	eps := g.VarSmoothing * maxVar
+	if eps == 0 {
+		eps = g.VarSmoothing
+	}
+	for c := 0; c < 2; c++ {
+		for j := range g.vr[c] {
+			g.vr[c][j] += eps
+		}
+	}
+	n := float64(len(X))
+	g.prior[0] = math.Log(float64(count[0]) / n)
+	g.prior[1] = math.Log(float64(count[1]) / n)
+	g.ready = true
+	return nil
+}
+
+// logLikelihood returns the joint log-likelihood of x under class c.
+func (g *GaussianNB) logLikelihood(x []float64, c int) float64 {
+	ll := g.prior[c]
+	for j, v := range x {
+		d := v - g.mean[c][j]
+		ll += -0.5*math.Log(2*math.Pi*g.vr[c][j]) - d*d/(2*g.vr[c][j])
+	}
+	return ll
+}
+
+// Predict implements ml.Classifier.
+func (g *GaussianNB) Predict(x []float64) int {
+	if !g.ready {
+		return 0
+	}
+	if g.logLikelihood(x, 1) > g.logLikelihood(x, 0) {
+		return 1
+	}
+	return 0
+}
+
+// Proba returns P(attack|x) via the normalized likelihoods.
+func (g *GaussianNB) Proba(x []float64) float64 {
+	if !g.ready {
+		return 0
+	}
+	l0, l1 := g.logLikelihood(x, 0), g.logLikelihood(x, 1)
+	m := math.Max(l0, l1)
+	e0, e1 := math.Exp(l0-m), math.Exp(l1-m)
+	return e1 / (e0 + e1)
+}

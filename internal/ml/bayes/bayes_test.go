@@ -1,0 +1,168 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/amlight/intddos/internal/ml"
+)
+
+func gaussBlobs(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		y[i] = i % 2
+		X[i] = []float64{
+			rng.NormFloat64() + float64(y[i])*4,
+			rng.NormFloat64()*2 - float64(y[i])*3,
+		}
+	}
+	return X, y
+}
+
+func TestGNBSeparatesGaussians(t *testing.T) {
+	X, y := gaussBlobs(1000, 1)
+	g := New()
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := gaussBlobs(400, 2)
+	m := ml.Confusion(yt, ml.PredictBatch(g, Xt))
+	if m.Accuracy() < 0.97 {
+		t.Errorf("accuracy = %v, want ≥0.97", m.Accuracy())
+	}
+}
+
+func TestGNBLearnsDecisionBoundaryMidpoint(t *testing.T) {
+	// Equal-variance classes centered at 0 and 10: boundary ≈5.
+	var X [][]float64
+	var y []int
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		c := i % 2
+		X = append(X, []float64{rng.NormFloat64() + float64(c)*10})
+		y = append(y, c)
+	}
+	g := New()
+	g.Fit(X, y)
+	if g.Predict([]float64{4}) != 0 {
+		t.Error("x=4 should be class 0")
+	}
+	if g.Predict([]float64{6}) != 1 {
+		t.Error("x=6 should be class 1")
+	}
+}
+
+func TestGNBPriorsMatter(t *testing.T) {
+	// Overlapping classes with a 9:1 prior: ambiguous points go to the
+	// majority class.
+	var X [][]float64
+	var y []int
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 900; i++ {
+		X = append(X, []float64{rng.NormFloat64()})
+		y = append(y, 0)
+	}
+	for i := 0; i < 100; i++ {
+		X = append(X, []float64{rng.NormFloat64()})
+		y = append(y, 1)
+	}
+	g := New()
+	g.Fit(X, y)
+	if g.Predict([]float64{0}) != 0 {
+		t.Error("ambiguous point should follow the 9:1 prior")
+	}
+}
+
+func TestGNBProba(t *testing.T) {
+	X, y := gaussBlobs(1000, 5)
+	g := New()
+	g.Fit(X, y)
+	pPos := g.Proba([]float64{4, -3})
+	pNeg := g.Proba([]float64{0, 0})
+	if pPos <= 0.5 || pNeg >= 0.5 {
+		t.Errorf("proba pos=%v neg=%v", pPos, pNeg)
+	}
+	if pPos > 1 || pNeg < 0 {
+		t.Error("proba out of range")
+	}
+}
+
+func TestGNBErrors(t *testing.T) {
+	g := New()
+	if err := g.Fit(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if err := g.Fit([][]float64{{1}}, []int{0}); err == nil {
+		t.Error("single-class fit accepted")
+	}
+	if err := g.Fit([][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Error("mismatched fit accepted")
+	}
+}
+
+func TestGNBUntrainedPredictsZero(t *testing.T) {
+	g := New()
+	if g.Predict([]float64{1}) != 0 || g.Proba([]float64{1}) != 0 {
+		t.Error("untrained model should default to benign")
+	}
+}
+
+func TestGNBConstantFeatureNoNaN(t *testing.T) {
+	// Zero-variance feature: smoothing must prevent division by zero.
+	X := [][]float64{{1, 0}, {1, 1}, {1, 0}, {1, 5}}
+	y := []int{0, 1, 0, 1}
+	g := New()
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	p := g.Proba([]float64{1, 2})
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Errorf("proba = %v with constant feature", p)
+	}
+}
+
+func TestGNBName(t *testing.T) {
+	if New().Name() != "GNB" {
+		t.Error("name")
+	}
+}
+
+func TestGNBSerializeRoundTrip(t *testing.T) {
+	X, y := gaussBlobs(400, 11)
+	g := New()
+	g.Fit(X, y)
+	blob, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New()
+	if err := h.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	Xt, _ := gaussBlobs(100, 12)
+	for i, x := range Xt {
+		if g.Predict(x) != h.Predict(x) {
+			t.Fatalf("prediction differs at %d", i)
+		}
+		if math.Abs(g.Proba(x)-h.Proba(x)) > 1e-12 {
+			t.Fatalf("proba differs at %d", i)
+		}
+	}
+}
+
+func TestGNBUnmarshalRejectsCorruption(t *testing.T) {
+	X, y := gaussBlobs(100, 13)
+	g := New()
+	g.Fit(X, y)
+	blob, _ := g.MarshalBinary()
+	h := New()
+	if err := h.UnmarshalBinary(blob[:10]); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	if _, err := New().MarshalBinary(); err == nil {
+		t.Error("untrained marshal accepted")
+	}
+}

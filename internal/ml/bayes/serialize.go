@@ -1,0 +1,56 @@
+package bayes
+
+import (
+	"fmt"
+
+	"github.com/amlight/intddos/internal/ml"
+)
+
+const bayesMagic uint64 = 0x47424159455331 // "GBAYES1"
+
+// MarshalBinary serializes the fitted per-class Gaussians.
+func (g *GaussianNB) MarshalBinary() ([]byte, error) {
+	if !g.ready {
+		return nil, fmt.Errorf("bayes: marshal of untrained model")
+	}
+	e := ml.NewEncoder()
+	e.U64(bayesMagic)
+	e.F64(g.VarSmoothing)
+	e.F64(g.prior[0])
+	e.F64(g.prior[1])
+	for c := 0; c < 2; c++ {
+		e.F64s(g.mean[c])
+		e.F64s(g.vr[c])
+	}
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary restores a model serialized by MarshalBinary.
+func (g *GaussianNB) UnmarshalBinary(buf []byte) error {
+	d := ml.NewDecoder(buf)
+	if d.U64() != bayesMagic {
+		return fmt.Errorf("bayes: bad magic")
+	}
+	g.VarSmoothing = d.F64()
+	g.prior[0] = d.F64()
+	g.prior[1] = d.F64()
+	for c := 0; c < 2; c++ {
+		g.mean[c] = d.F64s()
+		g.vr[c] = d.F64s()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(g.mean[0]) != len(g.mean[1]) || len(g.vr[0]) != len(g.mean[0]) || len(g.vr[1]) != len(g.mean[0]) {
+		return fmt.Errorf("bayes: inconsistent parameter widths")
+	}
+	for c := 0; c < 2; c++ {
+		for _, v := range g.vr[c] {
+			if v <= 0 {
+				return fmt.Errorf("bayes: non-positive variance")
+			}
+		}
+	}
+	g.ready = true
+	return nil
+}

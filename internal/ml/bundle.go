@@ -1,0 +1,140 @@
+package ml
+
+import (
+	"encoding"
+	"fmt"
+	"io"
+	"os"
+)
+
+// BinaryModel is a classifier that round-trips through bytes, the
+// contract behind the Prediction module's model loading (§III-4: "it
+// uploads the pre-trained ML models and the coefficients of scaler
+// transformation").
+type BinaryModel interface {
+	Classifier
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// Bundle is a deployable model set: the ensemble members, the shared
+// scaler, and the feature names the vectors were built from.
+type Bundle struct {
+	FeatureNames []string
+	Scaler       *StandardScaler
+	Models       []BinaryModel
+}
+
+const bundleMagic uint64 = 0x414D4C4D4F444C31 // "AMLMODL1"
+
+// WriteTo serializes the bundle.
+func (b *Bundle) WriteTo(w io.Writer) (int64, error) {
+	enc := NewEncoder()
+	enc.U64(bundleMagic)
+	enc.U64(uint64(len(b.FeatureNames)))
+	for _, n := range b.FeatureNames {
+		enc.Str(n)
+	}
+	if b.Scaler == nil {
+		return 0, fmt.Errorf("ml: bundle has no scaler")
+	}
+	enc.F64s(b.Scaler.Mean)
+	enc.F64s(b.Scaler.Std)
+	enc.U64(uint64(len(b.Models)))
+	for _, m := range b.Models {
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			return 0, fmt.Errorf("ml: marshal %s: %w", m.Name(), err)
+		}
+		enc.Str(m.Name())
+		enc.Blob(blob)
+	}
+	n, err := w.Write(enc.Bytes())
+	return int64(n), err
+}
+
+// ModelFactory builds an empty model for a family name; used by
+// ReadBundle to reconstruct models.
+type ModelFactory func(name string) (BinaryModel, error)
+
+// ReadBundleBytes parses a bundle from memory.
+func ReadBundleBytes(buf []byte, factory ModelFactory) (*Bundle, error) {
+	d := NewDecoder(buf)
+	if d.U64() != bundleMagic {
+		return nil, fmt.Errorf("ml: bad bundle magic")
+	}
+	b := &Bundle{Scaler: &StandardScaler{}}
+	nNames := int(d.U64())
+	if d.Err() != nil || nNames > 4096 {
+		return nil, fmt.Errorf("ml: bad feature name count")
+	}
+	for i := 0; i < nNames; i++ {
+		b.FeatureNames = append(b.FeatureNames, d.Str())
+	}
+	b.Scaler.Mean = d.F64s()
+	b.Scaler.Std = d.F64s()
+	nModels := int(d.U64())
+	if d.Err() != nil || nModels > 256 {
+		return nil, fmt.Errorf("ml: bad model count")
+	}
+	for i := 0; i < nModels; i++ {
+		name := d.Str()
+		blob := d.Blob()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		m, err := factory(name)
+		if err != nil {
+			return nil, fmt.Errorf("ml: model %q: %w", name, err)
+		}
+		if err := m.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("ml: unmarshal %q: %w", name, err)
+		}
+		b.Models = append(b.Models, m)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ReadBundle parses a bundle from a reader.
+func ReadBundle(r io.Reader, factory ModelFactory) (*Bundle, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ReadBundleBytes(buf, factory)
+}
+
+// SaveBundle writes a bundle file.
+func SaveBundle(path string, b *Bundle) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := b.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBundle reads a bundle file.
+func LoadBundle(path string, factory ModelFactory) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBundle(f, factory)
+}
+
+// Classifiers returns the models widened to the Classifier interface.
+func (b *Bundle) Classifiers() []Classifier {
+	out := make([]Classifier, len(b.Models))
+	for i, m := range b.Models {
+		out[i] = m
+	}
+	return out
+}

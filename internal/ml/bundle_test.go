@@ -1,0 +1,126 @@
+package ml
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// stubBinaryModel is a minimal BinaryModel for bundle plumbing tests.
+type stubBinaryModel struct {
+	name  string
+	bias  float64
+	fitOK bool
+}
+
+func (s *stubBinaryModel) Name() string                 { return s.name }
+func (s *stubBinaryModel) Fit([][]float64, []int) error { s.fitOK = true; return nil }
+func (s *stubBinaryModel) Predict(x []float64) int {
+	if x[0]+s.bias > 0 {
+		return 1
+	}
+	return 0
+}
+func (s *stubBinaryModel) MarshalBinary() ([]byte, error) {
+	e := NewEncoder()
+	e.Str(s.name)
+	e.F64(s.bias)
+	return e.Bytes(), nil
+}
+func (s *stubBinaryModel) UnmarshalBinary(b []byte) error {
+	d := NewDecoder(b)
+	s.name = d.Str()
+	s.bias = d.F64()
+	return d.Err()
+}
+
+func stubFactory(name string) (BinaryModel, error) {
+	if name == "stub" || name == "other" {
+		return &stubBinaryModel{}, nil
+	}
+	return nil, fmt.Errorf("unknown %q", name)
+}
+
+func testBundle() *Bundle {
+	return &Bundle{
+		FeatureNames: []string{"a", "b"},
+		Scaler:       &StandardScaler{Mean: []float64{1, 2}, Std: []float64{3, 4}},
+		Models: []BinaryModel{
+			&stubBinaryModel{name: "stub", bias: 0.5},
+			&stubBinaryModel{name: "other", bias: -0.25},
+		},
+	}
+}
+
+func TestBundleStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	b := testBundle()
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBundle(&buf, stubFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.FeatureNames) != 2 || got.FeatureNames[1] != "b" {
+		t.Errorf("names = %v", got.FeatureNames)
+	}
+	if got.Scaler.Mean[1] != 2 || got.Scaler.Std[0] != 3 {
+		t.Errorf("scaler = %+v", got.Scaler)
+	}
+	if len(got.Models) != 2 {
+		t.Fatalf("models = %d", len(got.Models))
+	}
+	m := got.Models[0].(*stubBinaryModel)
+	if m.name != "stub" || m.bias != 0.5 {
+		t.Errorf("model 0 = %+v", m)
+	}
+	cs := got.Classifiers()
+	if len(cs) != 2 || cs[1].Name() != "other" {
+		t.Errorf("classifiers = %v", cs)
+	}
+}
+
+func TestBundleFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.bundle")
+	if err := SaveBundle(path, testBundle()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBundle(path, stubFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Models) != 2 {
+		t.Errorf("models = %d", len(got.Models))
+	}
+	if _, err := LoadBundle(filepath.Join(t.TempDir(), "missing"), stubFactory); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBundleErrors(t *testing.T) {
+	// No scaler.
+	var buf bytes.Buffer
+	if _, err := (&Bundle{}).WriteTo(&buf); err == nil {
+		t.Error("scaler-less bundle written")
+	}
+	// Unknown model family at load.
+	buf.Reset()
+	b := testBundle()
+	b.Models[0].(*stubBinaryModel).name = "mystery"
+	b.WriteTo(&buf)
+	if _, err := ReadBundle(&buf, stubFactory); err == nil {
+		t.Error("unknown family accepted")
+	}
+	// Truncated stream.
+	buf.Reset()
+	testBundle().WriteTo(&buf)
+	if _, err := ReadBundleBytes(buf.Bytes()[:buf.Len()/2], stubFactory); err == nil {
+		t.Error("truncated bundle accepted")
+	}
+	// Wrong magic.
+	if _, err := ReadBundleBytes([]byte("0123456789abcdef"), stubFactory); err == nil {
+		t.Error("bad magic accepted")
+	}
+}

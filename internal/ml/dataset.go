@@ -1,0 +1,139 @@
+// Package ml provides the machine-learning foundation the detection
+// models share: datasets, train/test splitting, standard scaling,
+// binary-classification metrics, and permutation feature importance.
+// Model families live in the subpackages forest, bayes, knn, and
+// neural; all are implemented from scratch on the standard library.
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RowMeta carries per-row bookkeeping that is not visible to models:
+// the observation time (for timeline figures) and the generating
+// workload (for per-attack-type breakdowns).
+type RowMeta struct {
+	At   int64
+	Type string
+}
+
+// Dataset is a dense feature matrix with binary labels (0 benign,
+// 1 attack) and optional row metadata.
+type Dataset struct {
+	X     [][]float64
+	Y     []int
+	Names []string  // feature names, len == feature count
+	Meta  []RowMeta // optional, len == len(X) when present
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Features returns the feature count, 0 for an empty dataset.
+func (d *Dataset) Features() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Append adds one row.
+func (d *Dataset) Append(x []float64, y int, meta RowMeta) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+	d.Meta = append(d.Meta, meta)
+}
+
+// Validate checks structural invariants.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(d.X), len(d.Y))
+	}
+	if len(d.Meta) != 0 && len(d.Meta) != len(d.X) {
+		return fmt.Errorf("ml: %d rows but %d metadata entries", len(d.X), len(d.Meta))
+	}
+	w := d.Features()
+	for i, row := range d.X {
+		if len(row) != w {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), w)
+		}
+	}
+	for i, y := range d.Y {
+		if y != 0 && y != 1 {
+			return fmt.Errorf("ml: row %d label %d not binary", i, y)
+		}
+	}
+	return nil
+}
+
+// ClassCounts returns (benign, attack) row counts.
+func (d *Dataset) ClassCounts() (neg, pos int) {
+	for _, y := range d.Y {
+		if y == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return neg, pos
+}
+
+// Select returns a new dataset view containing the given row indices.
+// Rows are shared, not copied.
+func (d *Dataset) Select(idx []int) *Dataset {
+	out := &Dataset{Names: d.Names}
+	out.X = make([][]float64, len(idx))
+	out.Y = make([]int, len(idx))
+	if len(d.Meta) > 0 {
+		out.Meta = make([]RowMeta, len(idx))
+	}
+	for i, j := range idx {
+		out.X[i] = d.X[j]
+		out.Y[i] = d.Y[j]
+		if len(d.Meta) > 0 {
+			out.Meta[i] = d.Meta[j]
+		}
+	}
+	return out
+}
+
+// Split shuffles rows with the seed and partitions them so testFrac
+// of them land in the test set, mirroring the paper's 90:10 split at
+// testFrac = 0.1.
+func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset) {
+	n := d.Len()
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	cut := int(float64(n) * testFrac)
+	return d.Select(idx[cut:]), d.Select(idx[:cut])
+}
+
+// Subsample returns at most n rows drawn without replacement, the
+// paper's device for keeping KNN tractable ("one thousandth of the
+// whole sample").
+func (d *Dataset) Subsample(n int, seed int64) *Dataset {
+	if n >= d.Len() {
+		return d
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(d.Len())[:n]
+	return d.Select(idx)
+}
+
+// Classifier is a trained or trainable binary classifier.
+type Classifier interface {
+	// Name identifies the model family (e.g. "RF", "GNB").
+	Name() string
+	// Fit trains on the dataset.
+	Fit(X [][]float64, y []int) error
+	// Predict labels one feature vector.
+	Predict(x []float64) int
+}
+
+// PredictBatch labels every row of X.
+func PredictBatch(c Classifier, X [][]float64) []int {
+	out := make([]int, len(X))
+	for i, x := range X {
+		out[i] = c.Predict(x)
+	}
+	return out
+}

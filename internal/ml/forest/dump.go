@@ -1,0 +1,70 @@
+package forest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders one tree of the forest as indented text for
+// interpretability: which features the ensemble actually splits on,
+// and where. Feature names index the training vector; missing names
+// fall back to "f<i>".
+func (f *Forest) Dump(treeIndex int, names []string) string {
+	if treeIndex < 0 || treeIndex >= len(f.trees) {
+		return fmt.Sprintf("forest: no tree %d (have %d)", treeIndex, len(f.trees))
+	}
+	t := f.trees[treeIndex]
+	name := func(i int) string {
+		if i < len(names) {
+			return names[i]
+		}
+		return fmt.Sprintf("f%d", i)
+	}
+	var b strings.Builder
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		nd := &t.nodes[i]
+		indent := strings.Repeat("  ", depth)
+		if nd.feature < 0 {
+			label := "benign"
+			if nd.label == 1 {
+				label = "attack"
+			}
+			fmt.Fprintf(&b, "%s→ %s\n", indent, label)
+			return
+		}
+		fmt.Fprintf(&b, "%sif %s <= %.4g:\n", indent, name(nd.feature), nd.threshold)
+		walk(nd.left, depth+1)
+		fmt.Fprintf(&b, "%selse:\n", indent)
+		walk(nd.right, depth+1)
+	}
+	if len(t.nodes) > 0 {
+		walk(0, 0)
+	}
+	return b.String()
+}
+
+// Stats summarizes the ensemble's structure.
+type Stats struct {
+	Trees    int
+	Nodes    int
+	Leaves   int
+	MaxDepth int
+}
+
+// Summary returns structural statistics across the forest.
+func (f *Forest) Summary() Stats {
+	s := Stats{Trees: len(f.trees)}
+	for _, t := range f.trees {
+		s.Nodes += len(t.nodes)
+		for i := range t.nodes {
+			if t.nodes[i].feature < 0 {
+				s.Leaves++
+			}
+		}
+		if d := t.depth(); d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+package forest
+
+import (
+	"fmt"
+
+	"github.com/amlight/intddos/internal/ml"
+)
+
+const forestMagic uint64 = 0x464F5245535431 // "FOREST1"
+
+// MarshalBinary serializes the trained forest: configuration echo,
+// feature count, and every tree's node arena and importance vector.
+func (f *Forest) MarshalBinary() ([]byte, error) {
+	if len(f.trees) == 0 {
+		return nil, fmt.Errorf("forest: marshal of untrained model")
+	}
+	e := ml.NewEncoder()
+	e.U64(forestMagic)
+	e.I64(int64(f.features))
+	e.I64(int64(len(f.trees)))
+	for _, t := range f.trees {
+		e.I64(int64(len(t.nodes)))
+		for _, nd := range t.nodes {
+			e.I64(int64(nd.feature))
+			e.F64(nd.threshold)
+			e.I64(int64(nd.left))
+			e.I64(int64(nd.right))
+			e.I64(int64(nd.label))
+		}
+		e.F64s(t.importance)
+	}
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary restores a forest serialized by MarshalBinary.
+func (f *Forest) UnmarshalBinary(buf []byte) error {
+	d := ml.NewDecoder(buf)
+	if d.U64() != forestMagic {
+		return fmt.Errorf("forest: bad magic")
+	}
+	f.features = int(d.I64())
+	nTrees := int(d.I64())
+	if d.Err() != nil || nTrees < 0 || nTrees > 1<<16 {
+		return fmt.Errorf("forest: bad tree count")
+	}
+	f.trees = make([]*tree, 0, nTrees)
+	for ti := 0; ti < nTrees; ti++ {
+		nNodes := int(d.I64())
+		if d.Err() != nil || nNodes < 0 || nNodes > 1<<24 {
+			return fmt.Errorf("forest: bad node count in tree %d", ti)
+		}
+		t := &tree{nodes: make([]node, nNodes)}
+		for i := range t.nodes {
+			t.nodes[i] = node{
+				feature:   int(d.I64()),
+				threshold: d.F64(),
+				left:      int(d.I64()),
+				right:     int(d.I64()),
+				label:     int(d.I64()),
+			}
+		}
+		t.importance = d.F64s()
+		f.trees = append(f.trees, t)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	// Structural validation: child indices must stay in the arena and
+	// labels must be binary.
+	for ti, t := range f.trees {
+		for i, nd := range t.nodes {
+			if nd.label != 0 && nd.label != 1 {
+				return fmt.Errorf("forest: tree %d node %d has label %d", ti, i, nd.label)
+			}
+			if nd.feature >= 0 {
+				if nd.left < 0 || nd.left >= len(t.nodes) || nd.right < 0 || nd.right >= len(t.nodes) {
+					return fmt.Errorf("forest: tree %d node %d has out-of-range children", ti, i)
+				}
+				if nd.feature >= f.features {
+					return fmt.Errorf("forest: tree %d node %d splits feature %d of %d", ti, i, nd.feature, f.features)
+				}
+			}
+		}
+	}
+	return nil
+}

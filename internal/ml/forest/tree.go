@@ -1,0 +1,185 @@
+// Package forest implements CART decision trees and Random Forests
+// with Gini impurity, bootstrap aggregation, per-split feature
+// subsampling, and Gini feature importance — the RF model of the
+// paper's Tables III–VI, trained in parallel across CPU cores.
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature   int
+	threshold float64
+	left      int // child indices into the tree's node arena
+	right     int
+	label     int // majority label at this node
+}
+
+// tree is a trained CART tree stored as a flat arena for cache-
+// friendly traversal.
+type tree struct {
+	nodes []node
+	// importance accumulates weighted Gini decrease per feature.
+	importance []float64
+}
+
+// treeConfig bounds tree growth.
+type treeConfig struct {
+	maxDepth        int
+	minSamplesSplit int
+	minSamplesLeaf  int
+	maxFeatures     int
+}
+
+// gini returns the Gini impurity of a (neg, pos) count pair.
+func gini(neg, pos int) float64 {
+	n := neg + pos
+	if n == 0 {
+		return 0
+	}
+	pn := float64(neg) / float64(n)
+	pp := float64(pos) / float64(n)
+	return 1 - pn*pn - pp*pp
+}
+
+// growTree fits a tree on the sample indices idx of X/y.
+func growTree(X [][]float64, y []int, idx []int, cfg treeConfig, rng *rand.Rand) *tree {
+	t := &tree{importance: make([]float64, len(X[0]))}
+	total := len(idx)
+	var build func(idx []int, depth int) int
+	build = func(idx []int, depth int) int {
+		neg, pos := 0, 0
+		for _, i := range idx {
+			if y[i] == 1 {
+				pos++
+			} else {
+				neg++
+			}
+		}
+		label := 0
+		if pos > neg {
+			label = 1
+		}
+		leaf := func() int {
+			t.nodes = append(t.nodes, node{feature: -1, label: label})
+			return len(t.nodes) - 1
+		}
+		if depth >= cfg.maxDepth || len(idx) < cfg.minSamplesSplit || neg == 0 || pos == 0 {
+			return leaf()
+		}
+		feat, thr, gain, cut := bestSplit(X, y, idx, neg, pos, cfg, rng)
+		if feat < 0 {
+			return leaf()
+		}
+		// Partition idx around the split (idx was sorted by feat in
+		// bestSplit's last winning pass; re-partition explicitly to be
+		// independent of scan order).
+		left := make([]int, 0, cut)
+		right := make([]int, 0, len(idx)-cut)
+		for _, i := range idx {
+			if X[i][feat] <= thr {
+				left = append(left, i)
+			} else {
+				right = append(right, i)
+			}
+		}
+		if len(left) < cfg.minSamplesLeaf || len(right) < cfg.minSamplesLeaf {
+			return leaf()
+		}
+		t.importance[feat] += gain * float64(len(idx)) / float64(total)
+		self := len(t.nodes)
+		t.nodes = append(t.nodes, node{feature: feat, threshold: thr, label: label})
+		l := build(left, depth+1)
+		r := build(right, depth+1)
+		t.nodes[self].left = l
+		t.nodes[self].right = r
+		return self
+	}
+	build(idx, 0)
+	return t
+}
+
+// bestSplit searches a random feature subset for the split with the
+// largest Gini gain. It returns feature -1 when no split improves.
+func bestSplit(X [][]float64, y []int, idx []int, neg, pos int, cfg treeConfig, rng *rand.Rand) (feat int, thr float64, gain float64, cut int) {
+	parent := gini(neg, pos)
+	nFeat := len(X[0])
+	k := cfg.maxFeatures
+	if k <= 0 || k > nFeat {
+		k = nFeat
+	}
+	feats := rng.Perm(nFeat)[:k]
+
+	feat = -1
+	order := make([]int, len(idx))
+	copy(order, idx)
+	n := float64(len(idx))
+	for _, f := range feats {
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		lneg, lpos := 0, 0
+		for i := 0; i < len(order)-1; i++ {
+			if y[order[i]] == 1 {
+				lpos++
+			} else {
+				lneg++
+			}
+			v, next := X[order[i]][f], X[order[i+1]][f]
+			if v == next {
+				continue // can only split between distinct values
+			}
+			rneg, rpos := neg-lneg, pos-lpos
+			nl, nr := float64(i+1), n-float64(i+1)
+			g := parent - (nl*gini(lneg, lpos)+nr*gini(rneg, rpos))/n
+			if g > gain+1e-12 {
+				gain = g
+				feat = f
+				thr = v + (next-v)/2
+				if math.IsInf(thr, 0) || thr == next {
+					thr = v
+				}
+				cut = i + 1
+			}
+		}
+	}
+	return feat, thr, gain, cut
+}
+
+// predict walks the tree for one row.
+func (t *tree) predict(x []float64) int {
+	i := 0
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.label
+		}
+		if x[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// depth returns the maximum depth of the tree (root = 0), for tests.
+func (t *tree) depth() int {
+	var walk func(i, d int) int
+	walk = func(i, d int) int {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return d
+		}
+		l, r := walk(nd.left, d+1), walk(nd.right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return walk(0, 0)
+}

@@ -1,0 +1,69 @@
+package ml
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// FeatureImportance pairs a feature index with an importance value.
+type FeatureImportance struct {
+	Index int
+	Name  string
+	Value float64
+}
+
+// PermutationImportance measures each feature's importance as the
+// accuracy drop when that feature's column is shuffled — the
+// model-agnostic method used to produce Table V for models without a
+// native importance (GNB, KNN, NN).
+func PermutationImportance(c Classifier, X [][]float64, y []int, names []string, seed int64) []FeatureImportance {
+	if len(X) == 0 {
+		return nil
+	}
+	base := Confusion(y, PredictBatch(c, X)).Accuracy()
+	w := len(X[0])
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]FeatureImportance, w)
+
+	col := make([]float64, len(X))
+	probe := make([]float64, w)
+	for j := 0; j < w; j++ {
+		for i := range X {
+			col[i] = X[i][j]
+		}
+		perm := rng.Perm(len(X))
+		// Score with column j shuffled.
+		correct := 0
+		for i := range X {
+			copy(probe, X[i])
+			probe[j] = col[perm[i]]
+			if c.Predict(probe) == y[i] {
+				correct++
+			}
+		}
+		shuffled := float64(correct) / float64(len(X))
+		name := ""
+		if j < len(names) {
+			name = names[j]
+		}
+		out[j] = FeatureImportance{Index: j, Name: name, Value: base - shuffled}
+	}
+	return out
+}
+
+// TopK returns the k largest importances, descending (ties broken by
+// feature index for determinism).
+func TopK(imps []FeatureImportance, k int) []FeatureImportance {
+	sorted := make([]FeatureImportance, len(imps))
+	copy(sorted, imps)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Value != sorted[j].Value {
+			return sorted[i].Value > sorted[j].Value
+		}
+		return sorted[i].Index < sorted[j].Index
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}

@@ -1,0 +1,129 @@
+// Package knn implements a K-Nearest-Neighbors classifier with
+// Euclidean distance and majority vote. The paper keeps KNN
+// tractable by training on a heavy subsample ("one thousandth of the
+// whole sample"); the classifier itself is exact brute force, with
+// batch prediction parallelized across cores.
+package knn
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// KNN is a K-nearest-neighbors classifier. The zero value is not
+// usable; construct with New.
+type KNN struct {
+	// K is the neighborhood size (default 5).
+	K int
+	// Workers bounds PredictBatch parallelism; 0 selects GOMAXPROCS.
+	Workers int
+
+	X [][]float64
+	y []int
+}
+
+// New returns a classifier with the given neighborhood size.
+func New(k int) *KNN {
+	if k <= 0 {
+		k = 5
+	}
+	return &KNN{K: k}
+}
+
+// Name implements ml.Classifier.
+func (k *KNN) Name() string { return "KNN" }
+
+// Fit memorizes the training set.
+func (k *KNN) Fit(X [][]float64, y []int) error {
+	if len(X) == 0 {
+		return errors.New("knn: empty training set")
+	}
+	if len(X) != len(y) {
+		return errors.New("knn: rows and labels differ")
+	}
+	k.X = X
+	k.y = y
+	return nil
+}
+
+// sqDist returns squared Euclidean distance.
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for j := range a {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return s
+}
+
+// Predict implements ml.Classifier: majority vote among the K
+// nearest training rows.
+func (k *KNN) Predict(x []float64) int {
+	kk := k.K
+	if kk > len(k.X) {
+		kk = len(k.X)
+	}
+	// Bounded max-heap over the kk best distances, kept as a simple
+	// sorted insertion buffer (kk is small).
+	type cand struct {
+		d float64
+		y int
+	}
+	best := make([]cand, 0, kk)
+	for i, row := range k.X {
+		d := sqDist(x, row)
+		if len(best) < kk {
+			best = append(best, cand{d, k.y[i]})
+			if len(best) == kk {
+				sort.Slice(best, func(a, b int) bool { return best[a].d < best[b].d })
+			}
+			continue
+		}
+		if d >= best[kk-1].d {
+			continue
+		}
+		pos := sort.Search(kk, func(j int) bool { return best[j].d > d })
+		copy(best[pos+1:], best[pos:kk-1])
+		best[pos] = cand{d, k.y[i]}
+	}
+	votes := 0
+	for _, c := range best {
+		votes += c.y
+	}
+	if 2*votes > len(best) {
+		return 1
+	}
+	return 0
+}
+
+// PredictBatch labels rows concurrently.
+func (k *KNN) PredictBatch(X [][]float64) []int {
+	out := make([]int, len(X))
+	workers := k.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(X) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(X) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = k.Predict(X[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

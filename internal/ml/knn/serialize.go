@@ -1,0 +1,61 @@
+package knn
+
+import (
+	"fmt"
+
+	"github.com/amlight/intddos/internal/ml"
+)
+
+const knnMagic uint64 = 0x4B4E4E4D4F444C31 // "KNNMODL1"
+
+// MarshalBinary serializes the memorized training set.
+func (k *KNN) MarshalBinary() ([]byte, error) {
+	if len(k.X) == 0 {
+		return nil, fmt.Errorf("knn: marshal of untrained model")
+	}
+	e := ml.NewEncoder()
+	e.U64(knnMagic)
+	e.I64(int64(k.K))
+	e.I64(int64(len(k.X)))
+	e.I64(int64(len(k.X[0])))
+	for _, row := range k.X {
+		for _, v := range row {
+			e.F64(v)
+		}
+	}
+	e.Ints(k.y)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary restores a model serialized by MarshalBinary.
+func (k *KNN) UnmarshalBinary(buf []byte) error {
+	d := ml.NewDecoder(buf)
+	if d.U64() != knnMagic {
+		return fmt.Errorf("knn: bad magic")
+	}
+	k.K = int(d.I64())
+	rows := int(d.I64())
+	cols := int(d.I64())
+	if d.Err() != nil || rows <= 0 || cols <= 0 || rows > 1<<24 || cols > 1<<12 {
+		return fmt.Errorf("knn: implausible dimensions %dx%d", rows, cols)
+	}
+	k.X = make([][]float64, rows)
+	flat := make([]float64, rows*cols)
+	for i := range flat {
+		flat[i] = d.F64()
+	}
+	for i := range k.X {
+		k.X[i] = flat[i*cols : (i+1)*cols]
+	}
+	k.y = d.Ints()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(k.y) != rows {
+		return fmt.Errorf("knn: %d labels for %d rows", len(k.y), rows)
+	}
+	if k.K <= 0 {
+		return fmt.Errorf("knn: bad K %d", k.K)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package ml
+
+import "fmt"
+
+// ConfusionMatrix is the two-by-two positive/negative matrix of §IV-A
+// (Figures 3 and 4). Positives are attack rows (label 1).
+type ConfusionMatrix struct {
+	TP, TN, FP, FN int
+}
+
+// Confusion tallies predictions against truth.
+func Confusion(yTrue, yPred []int) ConfusionMatrix {
+	var m ConfusionMatrix
+	for i, t := range yTrue {
+		p := yPred[i]
+		switch {
+		case t == 1 && p == 1:
+			m.TP++
+		case t == 0 && p == 0:
+			m.TN++
+		case t == 0 && p == 1:
+			m.FP++
+		default:
+			m.FN++
+		}
+	}
+	return m
+}
+
+// Total returns the number of scored rows.
+func (m ConfusionMatrix) Total() int { return m.TP + m.TN + m.FP + m.FN }
+
+// Accuracy = (TP+TN)/(TP+TN+FP+FN).
+func (m ConfusionMatrix) Accuracy() float64 {
+	if m.Total() == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(m.Total())
+}
+
+// Recall = TP/(TP+FN). Zero when no positives exist.
+func (m ConfusionMatrix) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// Precision = TP/(TP+FP). Zero when nothing was predicted positive.
+func (m ConfusionMatrix) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// F1 = 2·P·R/(P+R). When the classifier predicts no positives at all
+// and positives exist, the paper's Table IV reports 0.5 for the
+// degenerate all-negative NN; that value is the macro-averaged F1
+// (benign F1 ≈ 1, attack F1 = 0), which MacroF1 reproduces.
+func (m ConfusionMatrix) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 averages the F1 of the attack class and the benign class
+// (computed by swapping the positive class).
+func (m ConfusionMatrix) MacroF1() float64 {
+	neg := ConfusionMatrix{TP: m.TN, TN: m.TP, FP: m.FN, FN: m.FP}
+	return (m.F1() + neg.F1()) / 2
+}
+
+// String renders the matrix compactly.
+func (m ConfusionMatrix) String() string {
+	return fmt.Sprintf("TP=%d TN=%d FP=%d FN=%d acc=%.4f", m.TP, m.TN, m.FP, m.FN, m.Accuracy())
+}
+
+// Scores bundles the four Table III/IV metrics.
+type Scores struct {
+	Accuracy  float64
+	Recall    float64
+	Precision float64
+	F1        float64
+}
+
+// Score computes the metric bundle from truth and predictions,
+// using MacroF1 so degenerate all-negative classifiers score the
+// paper's 0.5 rather than 0.
+func Score(yTrue, yPred []int) Scores {
+	m := Confusion(yTrue, yPred)
+	f1 := m.F1()
+	if m.TP+m.FP == 0 && m.TP+m.FN > 0 {
+		f1 = m.MacroF1()
+	}
+	return Scores{
+		Accuracy:  m.Accuracy(),
+		Recall:    m.Recall(),
+		Precision: m.Precision(),
+		F1:        f1,
+	}
+}

@@ -1,0 +1,94 @@
+package ml
+
+import "sort"
+
+// ProbaClassifier is a classifier that exposes a continuous attack
+// score, enabling threshold analysis beyond the fixed 0.5 cut.
+type ProbaClassifier interface {
+	Classifier
+	// Proba returns P(attack|x) in [0, 1].
+	Proba(x []float64) float64
+}
+
+// ROCPoint is one operating point of a score threshold sweep.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // recall at this threshold
+	FPR       float64
+}
+
+// ROC sweeps every distinct score as a threshold and returns the
+// operating curve ordered from (0,0) to (1,1).
+func ROC(yTrue []int, scores []float64) []ROCPoint {
+	type pair struct {
+		s float64
+		y int
+	}
+	ps := make([]pair, len(scores))
+	pos, neg := 0, 0
+	for i, s := range scores {
+		ps[i] = pair{s, yTrue[i]}
+		if yTrue[i] == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s > ps[j].s })
+
+	out := []ROCPoint{{Threshold: ps[0].s + 1}}
+	tp, fp := 0, 0
+	for i := 0; i < len(ps); {
+		s := ps[i].s
+		for i < len(ps) && ps[i].s == s {
+			if ps[i].y == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		out = append(out, ROCPoint{
+			Threshold: s,
+			TPR:       float64(tp) / float64(pos),
+			FPR:       float64(fp) / float64(neg),
+		})
+	}
+	return out
+}
+
+// AUC integrates the curve with the trapezoid rule.
+func AUC(points []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// BestThreshold returns the operating point maximizing Youden's J
+// statistic (TPR − FPR), a standard threshold-tuning criterion.
+func BestThreshold(points []ROCPoint) ROCPoint {
+	best := ROCPoint{}
+	bestJ := -1.0
+	for _, p := range points {
+		if j := p.TPR - p.FPR; j > bestJ {
+			bestJ = j
+			best = p
+		}
+	}
+	return best
+}
+
+// Scores applies a ProbaClassifier across rows.
+func ScoreRows(c ProbaClassifier, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = c.Proba(x)
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestROCPerfectClassifier(t *testing.T) {
+	yTrue := []int{1, 1, 1, 0, 0, 0}
+	scores := []float64{0.9, 0.8, 0.7, 0.3, 0.2, 0.1}
+	curve := ROC(yTrue, scores)
+	if curve == nil {
+		t.Fatal("nil curve")
+	}
+	if auc := AUC(curve); math.Abs(auc-1.0) > 1e-12 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+	best := BestThreshold(curve)
+	if best.TPR != 1 || best.FPR != 0 {
+		t.Errorf("best point = %+v", best)
+	}
+	// The best threshold separates the classes.
+	if best.Threshold > 0.7 || best.Threshold <= 0.3 {
+		t.Errorf("best threshold = %v", best.Threshold)
+	}
+}
+
+func TestROCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 4000
+	yTrue := make([]int, n)
+	scores := make([]float64, n)
+	for i := range yTrue {
+		yTrue[i] = i % 2
+		scores[i] = rng.Float64()
+	}
+	auc := AUC(ROC(yTrue, scores))
+	if math.Abs(auc-0.5) > 0.05 {
+		t.Errorf("random AUC = %v, want ≈0.5", auc)
+	}
+}
+
+func TestROCInvertedClassifier(t *testing.T) {
+	yTrue := []int{1, 1, 0, 0}
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	if auc := AUC(ROC(yTrue, scores)); auc > 0.01 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestROCDegenerateClasses(t *testing.T) {
+	if ROC([]int{1, 1}, []float64{0.5, 0.6}) != nil {
+		t.Error("single-class ROC should be nil")
+	}
+	if ROC([]int{0, 0}, []float64{0.5, 0.6}) != nil {
+		t.Error("single-class ROC should be nil")
+	}
+}
+
+func TestROCTiedScores(t *testing.T) {
+	yTrue := []int{1, 0, 1, 0}
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	curve := ROC(yTrue, scores)
+	// All tied: one step straight from (0,0) to (1,1); AUC 0.5.
+	if auc := AUC(curve); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied AUC = %v", auc)
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	yTrue := []int{1, 0, 1, 0, 1}
+	scores := []float64{0.9, 0.1, 0.6, 0.4, 0.8}
+	curve := ROC(yTrue, scores)
+	first, last := curve[0], curve[len(curve)-1]
+	if first.TPR != 0 || first.FPR != 0 {
+		t.Errorf("curve start = %+v", first)
+	}
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("curve end = %+v", last)
+	}
+}
+
+// rampModel scores by the first feature directly.
+type rampModel struct{}
+
+func (rampModel) Name() string                 { return "ramp" }
+func (rampModel) Fit([][]float64, []int) error { return nil }
+func (rampModel) Predict(x []float64) int {
+	if x[0] > 0.5 {
+		return 1
+	}
+	return 0
+}
+func (rampModel) Proba(x []float64) float64 { return x[0] }
+
+func TestScoreRows(t *testing.T) {
+	X := [][]float64{{0.2}, {0.9}}
+	got := ScoreRows(rampModel{}, X)
+	if got[0] != 0.2 || got[1] != 0.9 {
+		t.Errorf("scores = %v", got)
+	}
+}

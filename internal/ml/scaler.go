@@ -1,0 +1,81 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// StandardScaler standardizes features to zero mean and unit
+// variance — the "coefficients of scaler transformation" the paper's
+// Prediction module loads alongside the pre-trained models.
+type StandardScaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// Fit learns per-feature mean and standard deviation. Features with
+// zero variance get Std 1 so transforming them is a no-op shift.
+func (s *StandardScaler) Fit(X [][]float64) error {
+	if len(X) == 0 {
+		return errors.New("ml: scaler fit on empty matrix")
+	}
+	w := len(X[0])
+	s.Mean = make([]float64, w)
+	s.Std = make([]float64, w)
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] == 0 {
+			s.Std[j] = 1
+		}
+	}
+	return nil
+}
+
+// Transform standardizes rows in place-compatible copies and returns
+// the new matrix; the input is not modified.
+func (s *StandardScaler) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// TransformRow standardizes a single row into dst (allocated when
+// nil) and returns it.
+func (s *StandardScaler) TransformRow(dst, x []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(x))
+	}
+	for j, v := range x {
+		dst[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return dst
+}
+
+// FitTransform fits on X and returns the standardized copy.
+func (s *StandardScaler) FitTransform(X [][]float64) ([][]float64, error) {
+	if err := s.Fit(X); err != nil {
+		return nil, err
+	}
+	return s.Transform(X), nil
+}

@@ -1,0 +1,54 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+// TestACLPropertyWildcardSubsumesExact: any packet matched by an
+// exact rule is also matched by the same rule with fields relaxed to
+// wildcards.
+func TestACLPropertyWildcardSubsumesExact(t *testing.T) {
+	f := func(a, b, c, d byte, sport, dport uint16, protoTCP bool) bool {
+		src := netip.AddrFrom4([4]byte{a, b, c, d})
+		proto := UDP
+		if protoTCP {
+			proto = TCP
+		}
+		p := &Packet{Src: src, Dst: netip.AddrFrom4([4]byte{10, 0, 0, 2}),
+			SrcPort: sport, DstPort: dport, Proto: proto}
+
+		exact := ACLRule{Src: src, Dst: p.Dst, SrcPort: sport, DstPort: dport, Proto: proto}
+		relaxed := ACLRule{Src: src}
+		var e, r ACL
+		e.Install(exact)
+		r.Install(relaxed)
+		if !e.Match(p, 0) {
+			return false
+		}
+		return r.Match(p, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestACLPropertyExpiryMonotone: a rule that does not match at time t
+// never matches at any later time.
+func TestACLPropertyExpiryMonotone(t *testing.T) {
+	f := func(expire uint32, t1, t2 uint32) bool {
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		r := ACLRule{ExpiresAt: Time(expire) + 1}
+		p := &Packet{}
+		m1 := r.matches(p, Time(t1))
+		m2 := r.matches(p, Time(t2))
+		// Once unmatched (expired), stays unmatched.
+		return m1 || !m2 || t1 == t2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback in the discrete-event engine.
+type Event struct {
+	At Time
+	Fn func()
+
+	seq   uint64 // tie-breaker preserving schedule order at equal times
+	index int    // heap bookkeeping
+}
+
+// eventQueue is a min-heap of events ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine drives the simulation. It is single-goroutine and
+// deterministic: events at the same timestamp fire in scheduling
+// order. The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	pktSeq uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule registers fn to run at absolute time at. Scheduling in the
+// past panics: it would silently reorder causality.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("netsim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &Event{At: at, Fn: fn, seq: e.seq})
+}
+
+// After registers fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// NextPacketID returns a fresh monotonically increasing packet ID.
+func (e *Engine) NextPacketID() uint64 {
+	e.pktSeq++
+	return e.pktSeq
+}
+
+// Step runs the earliest pending event. It reports false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	ev.Fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ deadline, then advances
+// the clock to the deadline (if it has not passed it already).
+func (e *Engine) RunUntil(deadline Time) {
+	for e.queue.Len() > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of scheduled events not yet run.
+func (e *Engine) Pending() int { return e.queue.Len() }

@@ -1,0 +1,107 @@
+package netsim
+
+import "testing"
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Schedule(30, func() { order = append(order, 3) })
+	eng.Schedule(10, func() { order = append(order, 1) })
+	eng.Schedule(20, func() { order = append(order, 2) })
+	eng.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if eng.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", eng.Now())
+	}
+}
+
+func TestEngineStableOrderAtEqualTimes(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		eng.Schedule(42, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events at equal time ran out of schedule order: pos %d got %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := NewEngine()
+	hits := 0
+	eng.Schedule(5, func() {
+		hits++
+		eng.After(5, func() {
+			hits++
+			if eng.Now() != 10 {
+				t.Errorf("nested event at %v, want 10", eng.Now())
+			}
+		})
+	})
+	eng.Run()
+	if hits != 2 {
+		t.Errorf("hits = %d, want 2", hits)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.Schedule(100, func() {})
+	eng.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	eng.Schedule(50, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	eng := NewEngine()
+	ran := 0
+	eng.Schedule(10, func() { ran++ })
+	eng.Schedule(20, func() { ran++ })
+	eng.Schedule(30, func() { ran++ })
+	eng.RunUntil(20)
+	if ran != 2 {
+		t.Errorf("ran = %d events by t=20, want 2", ran)
+	}
+	if eng.Now() != 20 {
+		t.Errorf("Now() = %v, want 20", eng.Now())
+	}
+	if eng.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", eng.Pending())
+	}
+	eng.RunUntil(100)
+	if eng.Now() != 100 {
+		t.Errorf("Now() after idle advance = %v, want 100", eng.Now())
+	}
+}
+
+func TestEngineStepOnEmptyQueue(t *testing.T) {
+	eng := NewEngine()
+	if eng.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestNextPacketIDMonotonic(t *testing.T) {
+	eng := NewEngine()
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		id := eng.NextPacketID()
+		if id <= prev {
+			t.Fatalf("packet ID %d not greater than previous %d", id, prev)
+		}
+		prev = id
+	}
+}

@@ -1,0 +1,37 @@
+package netsim
+
+// Receiver is anything that can accept a packet: a switch port, a
+// host, or a tap such as a telemetry collector.
+type Receiver interface {
+	Receive(p *Packet)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(p *Packet)
+
+// Receive implements Receiver.
+func (f ReceiverFunc) Receive(p *Packet) { f(p) }
+
+// Link is a unidirectional wire with fixed propagation delay.
+// Serialization delay is modelled at the sender's output queue, so the
+// link itself only defers delivery. Bidirectional connectivity is two
+// Links.
+type Link struct {
+	eng   *Engine
+	Delay Time
+	Dst   Receiver
+
+	// Delivered counts packets that transited the link.
+	Delivered int
+}
+
+// NewLink builds a link delivering to dst after delay.
+func NewLink(eng *Engine, delay Time, dst Receiver) *Link {
+	return &Link{eng: eng, Delay: delay, Dst: dst}
+}
+
+// Send schedules delivery of p to the link's destination.
+func (l *Link) Send(p *Packet) {
+	l.Delivered++
+	l.eng.After(l.Delay, func() { l.Dst.Receive(p) })
+}

@@ -1,0 +1,204 @@
+// Package store implements the database of the paper's Figure 2: a
+// keyed flow-record table the Data Processor writes feature snapshots
+// into, an update journal the CentralServer polls, and a prediction
+// log holding final labels with their prediction latencies.
+//
+// The store is safe for concurrent use; in simulation it is driven
+// from the single-threaded event loop, but the live mode drives it
+// from multiple goroutines.
+package store
+
+import (
+	"sync"
+
+	"github.com/amlight/intddos/internal/flow"
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+// FlowRecord is one database row: the newest feature snapshot for a
+// Flow ID plus bookkeeping.
+type FlowRecord struct {
+	Key flow.Key
+	// Features is the snapshot taken at the observation that produced
+	// this version.
+	Features []float64
+	// RegisteredAt is the record creation time; UpdatedAt the newest
+	// observation time. The paper measures prediction latency from
+	// the packet's registration in the record.
+	RegisteredAt netsim.Time
+	UpdatedAt    netsim.Time
+	// Updates counts observations folded into the flow so far.
+	Updates int
+	// Version increments on every write of this record.
+	Version uint64
+
+	// Ground truth bookkeeping (never seen by models).
+	Truth      bool
+	AttackType string
+}
+
+// PredictionRecord is one logged final decision.
+type PredictionRecord struct {
+	Key   flow.Key
+	Label int
+	// At is when the decision was produced; Latency is At minus the
+	// snapshot's registration time (§III-2's Prediction Latency).
+	At      netsim.Time
+	Latency netsim.Time
+	// Votes are the per-model raw outputs behind the ensemble result.
+	Votes []int
+
+	Truth      bool
+	AttackType string
+}
+
+// journalEntry marks one update available to pollers.
+type journalEntry struct {
+	seq uint64
+	rec FlowRecord // snapshot by value at write time
+}
+
+// DB is the in-memory database.
+type DB struct {
+	mu      sync.Mutex
+	flows   map[flow.Key]*FlowRecord
+	journal []journalEntry
+	seq     uint64
+	preds   []PredictionRecord
+
+	// JournalNew controls whether brand-new records enter the
+	// journal. The strict reading of §III-3 has the CentralServer
+	// skip new entries and react only to updates; the testbed results
+	// (per-packet predictions from the first packet on, Figure 7)
+	// require true, the default used by the mechanism.
+	JournalNew bool
+}
+
+// New returns an empty database that journals new records.
+func New() *DB {
+	return &DB{flows: make(map[flow.Key]*FlowRecord), JournalNew: true}
+}
+
+// UpsertFlow writes a feature snapshot for key, returning whether the
+// record was created. The features slice is copied.
+func (db *DB) UpsertFlow(key flow.Key, features []float64, registeredAt, updatedAt netsim.Time, updates int, truth bool, attackType string) (created bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.flows[key]
+	if !ok {
+		rec = &FlowRecord{Key: key, RegisteredAt: registeredAt}
+		db.flows[key] = rec
+		created = true
+	}
+	rec.Features = append(rec.Features[:0], features...)
+	rec.UpdatedAt = updatedAt
+	rec.Updates = updates
+	rec.Version++
+	rec.Truth = truth
+	rec.AttackType = attackType
+	if !created || db.JournalNew {
+		db.seq++
+		snap := *rec
+		snap.Features = append([]float64(nil), rec.Features...)
+		db.journal = append(db.journal, journalEntry{seq: db.seq, rec: snap})
+	}
+	return created
+}
+
+// Flow returns a copy of the record for key and whether it exists.
+func (db *DB) Flow(key flow.Key) (FlowRecord, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.flows[key]
+	if !ok {
+		return FlowRecord{}, false
+	}
+	snap := *rec
+	snap.Features = append([]float64(nil), rec.Features...)
+	return snap, true
+}
+
+// FlowCount returns the number of live flow records.
+func (db *DB) FlowCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.flows)
+}
+
+// PollUpdates returns up to max journal entries after cursor and the
+// new cursor — the CentralServer's change feed (§III-3 step 4).
+func (db *DB) PollUpdates(cursor uint64, max int) ([]FlowRecord, uint64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Binary-search-free scan from the tail would be O(n); the journal
+	// is append-only with dense sequence numbers, so index directly.
+	if len(db.journal) == 0 {
+		return nil, cursor
+	}
+	first := db.journal[0].seq
+	start := int(cursor - first + 1)
+	if start < 0 {
+		start = 0
+	}
+	if start >= len(db.journal) {
+		return nil, cursor
+	}
+	end := start + max
+	if max <= 0 || end > len(db.journal) {
+		end = len(db.journal)
+	}
+	out := make([]FlowRecord, 0, end-start)
+	for _, e := range db.journal[start:end] {
+		out = append(out, e.rec)
+	}
+	return out, db.journal[end-1].seq
+}
+
+// TrimJournal drops journal entries at or before cursor, bounding
+// memory once every poller has passed them.
+func (db *DB) TrimJournal(cursor uint64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	i := 0
+	for i < len(db.journal) && db.journal[i].seq <= cursor {
+		i++
+	}
+	db.journal = append(db.journal[:0], db.journal[i:]...)
+}
+
+// JournalLen returns the number of unconsumed journal entries.
+func (db *DB) JournalLen() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.journal)
+}
+
+// AppendPrediction logs a final decision (§III-2 step 8).
+func (db *DB) AppendPrediction(p PredictionRecord) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.preds = append(db.preds, p)
+}
+
+// Predictions returns a copy of the prediction log.
+func (db *DB) Predictions() []PredictionRecord {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]PredictionRecord, len(db.preds))
+	copy(out, db.preds)
+	return out
+}
+
+// PredictionCount returns the size of the prediction log.
+func (db *DB) PredictionCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.preds)
+}
+
+// DeleteFlow removes a flow record (eviction passthrough).
+func (db *DB) DeleteFlow(key flow.Key) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.flows, key)
+}

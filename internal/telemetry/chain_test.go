@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+// TestMultiSwitchChain exercises the real source → transit → sink
+// division of labour across three separate switches, as in the
+// paper's Figure 1 (rather than the testbed's single-switch loop):
+// sw1 inserts the header, sw2 pushes transit metadata, sw3 extracts
+// and exports.
+func TestMultiSwitchChain(t *testing.T) {
+	eng := netsim.NewEngine()
+	src := netsim.NewHost(eng, "src", netip.MustParseAddr("10.0.0.1"))
+	dst := netsim.NewHost(eng, "dst", netip.MustParseAddr("10.0.0.2"))
+	colHost := netsim.NewHost(eng, "col", netip.MustParseAddr("10.0.0.5"))
+	col := NewCollector(eng)
+	colHost.OnReceive = col.Receive
+
+	mk := func(id uint32) *netsim.Switch {
+		sw := netsim.NewSwitch(eng, netsim.DefaultSwitchConfig(id))
+		fwd := netsim.NewStaticForwarder()
+		fwd.ByDst[dst.Addr] = 2
+		sw.Forwarder = fwd
+		return sw
+	}
+	sw1, sw2, sw3 := mk(1), mk(2), mk(3)
+	src.Attach(netsim.Microsecond, sw1.Port(1))
+	sw1.Connect(2, netsim.Microsecond, sw2.Port(1))
+	sw2.Connect(2, netsim.Microsecond, sw3.Port(1))
+	sw3.Connect(2, netsim.Microsecond, dst)
+
+	wire := netsim.NewLink(eng, netsim.Microsecond, colHost)
+	// Source role on sw1 only.
+	NewAgent(eng, sw1, AgentConfig{SourcePorts: []uint16{2}})
+	// Pure transit on sw2: no source or sink ports; it still pushes
+	// metadata for tagged packets.
+	NewAgent(eng, sw2, AgentConfig{})
+	// Sink role on sw3 exports to the collector.
+	sink := NewAgent(eng, sw3, AgentConfig{
+		SinkPorts: []uint16{2}, CollectorAddr: colHost.Addr, ReportWire: wire,
+	})
+
+	var rep *Report
+	col.OnReport = func(r *Report, _ netsim.Time) { rep = r }
+	src.Send(&netsim.Packet{Dst: dst.Addr, Proto: netsim.TCP, Flags: netsim.FlagSYN, Length: 400})
+	eng.Run()
+
+	if dst.Received != 1 {
+		t.Fatalf("delivered = %d", dst.Received)
+	}
+	if rep == nil {
+		t.Fatal("no report at collector")
+	}
+	if len(rep.Hops) != 3 {
+		t.Fatalf("hops = %d, want 3 (one per switch)", len(rep.Hops))
+	}
+	for i, want := range []uint32{1, 2, 3} {
+		if rep.Hops[i].SwitchID != want {
+			t.Errorf("hop %d from switch %d, want %d", i, rep.Hops[i].SwitchID, want)
+		}
+	}
+	// Timestamps increase monotonically along the path.
+	for i := 1; i < len(rep.Hops); i++ {
+		if netsim.WrapDiff(rep.Hops[i-1].EgressTS, rep.Hops[i].IngressTS) <= 0 {
+			t.Errorf("hop %d ingress not after hop %d egress", i, i-1)
+		}
+	}
+	if sink.Reports != 1 {
+		t.Errorf("sink reports = %d", sink.Reports)
+	}
+	if rep.Length != 400 {
+		t.Errorf("reported length = %d, want original 400", rep.Length)
+	}
+	// The delivered packet is restored to its original size.
+	_ = sw2
+}
+
+// TestMultiSwitchChainOverheadGrowsPerHop verifies the wire overhead
+// accounting across a chain: header once plus metadata at each hop.
+func TestMultiSwitchChainOverheadGrowsPerHop(t *testing.T) {
+	eng := netsim.NewEngine()
+	src := netsim.NewHost(eng, "src", netip.MustParseAddr("10.0.0.1"))
+	dst := netsim.NewHost(eng, "dst", netip.MustParseAddr("10.0.0.2"))
+
+	mk := func(id uint32) *netsim.Switch {
+		sw := netsim.NewSwitch(eng, netsim.DefaultSwitchConfig(id))
+		fwd := netsim.NewStaticForwarder()
+		fwd.ByDst[dst.Addr] = 2
+		sw.Forwarder = fwd
+		return sw
+	}
+	sw1, sw2 := mk(1), mk(2)
+	src.Attach(0, sw1.Port(1))
+	sw1.Connect(2, 0, sw2.Port(1))
+
+	// Capture the packet size on the middle link, after source but
+	// before sink.
+	var midLen int
+	sw2.OnForward = func(p *netsim.Packet, _ netsim.HopRecord, _ uint16) { midLen = p.Length }
+	sw2.Connect(2, 0, dst)
+
+	a1 := NewAgent(eng, sw1, AgentConfig{SourcePorts: []uint16{2}})
+	src.Send(&netsim.Packet{Dst: dst.Addr, Proto: netsim.UDP, Length: 100})
+	eng.Run()
+
+	want := 100 + HeaderLen + InstAll.BytesPerHop()
+	if midLen != want {
+		t.Errorf("mid-chain length = %d, want %d (payload+header+1 hop)", midLen, want)
+	}
+	if a1.OverheadB != int64(HeaderLen+InstAll.BytesPerHop()) {
+		t.Errorf("source overhead = %d", a1.OverheadB)
+	}
+}

@@ -1,0 +1,210 @@
+// Package telemetry implements In-band Network Telemetry (INT) over
+// the netsim fabric: an INT-MD style header and per-hop metadata wire
+// format, source/transit/sink switch roles, telemetry reports, and a
+// collector. It reproduces the paper's Figure 1 data path — the
+// source switch inserts an INT header naming the telemetry to gather,
+// transit switches push hop metadata, and the sink extracts the stack
+// and exports it to the INT collector.
+//
+// Timestamps are truncated to 32-bit nanoseconds exactly as Tofino
+// hardware exports them, reproducing the ~4.3 s wraparound limitation
+// the paper discusses in §V.
+package telemetry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+// Instruction is the INT instruction bitmap: which metadata each hop
+// must push. Bit positions follow the INT v2.1 spec ordering for the
+// fields the paper consumes.
+type Instruction uint16
+
+// Instruction bits.
+const (
+	InstSwitchID  Instruction = 1 << 15 // node id
+	InstPorts     Instruction = 1 << 14 // level-1 ingress/egress port ids
+	InstHopLat    Instruction = 1 << 13 // hop latency
+	InstQueue     Instruction = 1 << 12 // queue id + occupancy
+	InstIngressTS Instruction = 1 << 11 // ingress timestamp
+	InstEgressTS  Instruction = 1 << 10 // egress timestamp
+)
+
+// InstAll requests every metadata field the paper's deployment
+// collects (queue occupancy, ingress time, egress time) plus the
+// identification fields.
+const InstAll = InstSwitchID | InstPorts | InstHopLat | InstQueue | InstIngressTS | InstEgressTS
+
+// Has reports whether all bits of mask are requested.
+func (i Instruction) Has(mask Instruction) bool { return i&mask == mask }
+
+// WordsPerHop returns the per-hop metadata length in 4-byte words for
+// this instruction set.
+func (i Instruction) WordsPerHop() int {
+	n := 0
+	for _, bit := range []Instruction{InstSwitchID, InstPorts, InstHopLat, InstQueue, InstIngressTS, InstEgressTS} {
+		if i.Has(bit) {
+			n++
+		}
+	}
+	return n
+}
+
+// BytesPerHop returns the per-hop metadata length in bytes.
+func (i Instruction) BytesPerHop() int { return 4 * i.WordsPerHop() }
+
+// Version is the INT header version this implementation encodes.
+const Version = 2
+
+// HeaderLen is the fixed INT-MD shim+header length in bytes.
+const HeaderLen = 12
+
+// Header is the INT-MD header inserted by the source switch.
+type Header struct {
+	Version      uint8
+	HopML        uint8 // per-hop metadata length in 4-byte words
+	RemainingHop uint8 // hops still allowed to push metadata
+	Instructions Instruction
+	DomainID     uint32 // observation domain
+}
+
+// HopMetadata is one hop's pushed telemetry, after decoding. Fields
+// not requested by the instruction bitmap are zero.
+type HopMetadata struct {
+	SwitchID    uint32
+	IngressPort uint16
+	EgressPort  uint16
+	HopLatency  uint32 // ns
+	QueueID     uint8
+	QueueDepth  uint32 // packets; Tofino reports cells, the paper uses depth
+	IngressTS   netsim.Timestamp32
+	EgressTS    netsim.Timestamp32
+}
+
+// Errors returned by decoding.
+var (
+	ErrShortBuffer = errors.New("telemetry: buffer too short")
+	ErrBadVersion  = errors.New("telemetry: unsupported INT version")
+	ErrBadHopML    = errors.New("telemetry: hop metadata length mismatch")
+)
+
+// EncodeHeader appends the wire form of h to dst and returns the
+// extended slice.
+func EncodeHeader(dst []byte, h Header) []byte {
+	var b [HeaderLen]byte
+	b[0] = h.Version << 4
+	b[1] = 0 // flags: no discard, no exceeded
+	b[2] = h.HopML
+	b[3] = h.RemainingHop
+	binary.BigEndian.PutUint16(b[4:6], uint16(h.Instructions))
+	binary.BigEndian.PutUint32(b[8:12], h.DomainID)
+	return append(dst, b[:]...)
+}
+
+// DecodeHeader parses an INT header from the front of buf, returning
+// the header and the remaining bytes.
+func DecodeHeader(buf []byte) (Header, []byte, error) {
+	if len(buf) < HeaderLen {
+		return Header{}, nil, ErrShortBuffer
+	}
+	h := Header{
+		Version:      buf[0] >> 4,
+		HopML:        buf[2],
+		RemainingHop: buf[3],
+		Instructions: Instruction(binary.BigEndian.Uint16(buf[4:6])),
+		DomainID:     binary.BigEndian.Uint32(buf[8:12]),
+	}
+	if h.Version != Version {
+		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, h.Version)
+	}
+	if int(h.HopML) != h.Instructions.WordsPerHop() {
+		return Header{}, nil, ErrBadHopML
+	}
+	return h, buf[HeaderLen:], nil
+}
+
+// EncodeHop appends one hop's metadata, honouring the instruction
+// bitmap's field order (most significant bit first, per the spec).
+func EncodeHop(dst []byte, inst Instruction, m HopMetadata) []byte {
+	var w [4]byte
+	if inst.Has(InstSwitchID) {
+		binary.BigEndian.PutUint32(w[:], m.SwitchID)
+		dst = append(dst, w[:]...)
+	}
+	if inst.Has(InstPorts) {
+		binary.BigEndian.PutUint16(w[:2], m.IngressPort)
+		binary.BigEndian.PutUint16(w[2:], m.EgressPort)
+		dst = append(dst, w[:]...)
+	}
+	if inst.Has(InstHopLat) {
+		binary.BigEndian.PutUint32(w[:], m.HopLatency)
+		dst = append(dst, w[:]...)
+	}
+	if inst.Has(InstQueue) {
+		binary.BigEndian.PutUint32(w[:], uint32(m.QueueID)<<24|m.QueueDepth&0x00FFFFFF)
+		dst = append(dst, w[:]...)
+	}
+	if inst.Has(InstIngressTS) {
+		binary.BigEndian.PutUint32(w[:], uint32(m.IngressTS))
+		dst = append(dst, w[:]...)
+	}
+	if inst.Has(InstEgressTS) {
+		binary.BigEndian.PutUint32(w[:], uint32(m.EgressTS))
+		dst = append(dst, w[:]...)
+	}
+	return dst
+}
+
+// DecodeHop parses one hop's metadata from buf according to inst,
+// returning the metadata and the remaining bytes.
+func DecodeHop(buf []byte, inst Instruction) (HopMetadata, []byte, error) {
+	need := inst.BytesPerHop()
+	if len(buf) < need {
+		return HopMetadata{}, nil, ErrShortBuffer
+	}
+	var m HopMetadata
+	off := 0
+	next := func() []byte { b := buf[off : off+4]; off += 4; return b }
+	if inst.Has(InstSwitchID) {
+		m.SwitchID = binary.BigEndian.Uint32(next())
+	}
+	if inst.Has(InstPorts) {
+		b := next()
+		m.IngressPort = binary.BigEndian.Uint16(b[:2])
+		m.EgressPort = binary.BigEndian.Uint16(b[2:])
+	}
+	if inst.Has(InstHopLat) {
+		m.HopLatency = binary.BigEndian.Uint32(next())
+	}
+	if inst.Has(InstQueue) {
+		v := binary.BigEndian.Uint32(next())
+		m.QueueID = uint8(v >> 24)
+		m.QueueDepth = v & 0x00FFFFFF
+	}
+	if inst.Has(InstIngressTS) {
+		m.IngressTS = netsim.Timestamp32(binary.BigEndian.Uint32(next()))
+	}
+	if inst.Has(InstEgressTS) {
+		m.EgressTS = netsim.Timestamp32(binary.BigEndian.Uint32(next()))
+	}
+	return m, buf[off:], nil
+}
+
+// HopFromRecord converts a simulator ground-truth hop record into the
+// metadata a real INT hop would push, truncating timestamps to the
+// 32-bit hardware domain.
+func HopFromRecord(h netsim.HopRecord) HopMetadata {
+	return HopMetadata{
+		SwitchID:    h.SwitchID,
+		IngressPort: h.IngressPort,
+		EgressPort:  h.EgressPort,
+		HopLatency:  uint32(h.EgressTime - h.IngressTime),
+		QueueDepth:  uint32(h.QueueDepth),
+		IngressTS:   netsim.Wrap32(h.IngressTime),
+		EgressTS:    netsim.Wrap32(h.EgressTime),
+	}
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import "github.com/amlight/intddos/internal/netsim"
+
+// Microburst is one detected queue-buildup event: a contiguous run of
+// telemetry reports whose queue occupancy stays at or above the
+// detector threshold.
+type Microburst struct {
+	SwitchID  uint32
+	Start     netsim.Time // collector time of the first hot report
+	End       netsim.Time // collector time of the last hot report
+	PeakDepth uint32
+	Packets   int // reports inside the burst
+}
+
+// Duration returns the burst length as observed at the collector.
+func (m Microburst) Duration() netsim.Time { return m.End - m.Start }
+
+// MicroburstDetector reproduces AmLight's per-packet-telemetry
+// microburst detection (Bezerra et al., NOMS 2023), the paper's
+// reference [8]: it watches the queue-occupancy stream from INT
+// reports and coalesces above-threshold runs into burst events.
+// It is an extension module — the DDoS paper builds on the same
+// telemetry feed.
+type MicroburstDetector struct {
+	// Threshold is the queue depth (packets) that marks congestion.
+	Threshold uint32
+	// Quiet closes a burst after this long without a hot report.
+	Quiet netsim.Time
+	// OnBurst fires when a burst closes.
+	OnBurst func(Microburst)
+
+	open   map[uint32]*Microburst // per switch
+	Bursts []Microburst
+}
+
+// NewMicroburstDetector builds a detector with the given threshold
+// and quiet period.
+func NewMicroburstDetector(threshold uint32, quiet netsim.Time) *MicroburstDetector {
+	return &MicroburstDetector{
+		Threshold: threshold,
+		Quiet:     quiet,
+		open:      make(map[uint32]*Microburst),
+	}
+}
+
+// Observe consumes one telemetry report at collector time at. Hook it
+// to Collector.OnReport (possibly chained with other consumers).
+func (d *MicroburstDetector) Observe(r *Report, at netsim.Time) {
+	for _, hop := range r.Hops {
+		d.observeHop(hop, at)
+	}
+}
+
+// observeHop folds one hop's queue sample into the per-switch state.
+func (d *MicroburstDetector) observeHop(hop HopMetadata, at netsim.Time) {
+	cur := d.open[hop.SwitchID]
+	// Close a stale burst first.
+	if cur != nil && at-cur.End > d.Quiet {
+		d.close(hop.SwitchID)
+		cur = nil
+	}
+	if hop.QueueDepth < d.Threshold {
+		return
+	}
+	if cur == nil {
+		cur = &Microburst{SwitchID: hop.SwitchID, Start: at}
+		d.open[hop.SwitchID] = cur
+	}
+	cur.End = at
+	cur.Packets++
+	if hop.QueueDepth > cur.PeakDepth {
+		cur.PeakDepth = hop.QueueDepth
+	}
+}
+
+// close finalizes the open burst for a switch.
+func (d *MicroburstDetector) close(switchID uint32) {
+	cur := d.open[switchID]
+	if cur == nil {
+		return
+	}
+	delete(d.open, switchID)
+	d.Bursts = append(d.Bursts, *cur)
+	if d.OnBurst != nil {
+		d.OnBurst(*cur)
+	}
+}
+
+// Flush closes every open burst (end of capture).
+func (d *MicroburstDetector) Flush() {
+	for id := range d.open {
+		d.close(id)
+	}
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"testing"
+
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+func hotReport(depth uint32) *Report {
+	return &Report{Hops: []HopMetadata{{SwitchID: 1, QueueDepth: depth}}}
+}
+
+func TestMicroburstDetectsRun(t *testing.T) {
+	d := NewMicroburstDetector(10, netsim.Millisecond)
+	var got []Microburst
+	d.OnBurst = func(m Microburst) { got = append(got, m) }
+
+	// Cold, then a hot run, then cold again past the quiet period.
+	d.Observe(hotReport(2), 0)
+	d.Observe(hotReport(15), 100*netsim.Microsecond)
+	d.Observe(hotReport(30), 200*netsim.Microsecond)
+	d.Observe(hotReport(12), 300*netsim.Microsecond)
+	d.Observe(hotReport(1), 5*netsim.Millisecond) // quiet elapsed → closes
+	if len(got) != 1 {
+		t.Fatalf("bursts = %d, want 1", len(got))
+	}
+	b := got[0]
+	if b.Packets != 3 || b.PeakDepth != 30 {
+		t.Errorf("burst = %+v", b)
+	}
+	if b.Start != 100*netsim.Microsecond || b.End != 300*netsim.Microsecond {
+		t.Errorf("bounds = %v-%v", b.Start, b.End)
+	}
+	if b.Duration() != 200*netsim.Microsecond {
+		t.Errorf("duration = %v", b.Duration())
+	}
+}
+
+func TestMicroburstSeparatesEvents(t *testing.T) {
+	d := NewMicroburstDetector(10, netsim.Millisecond)
+	d.Observe(hotReport(20), 0)
+	d.Observe(hotReport(20), 100*netsim.Microsecond)
+	// Long gap, second burst.
+	d.Observe(hotReport(25), 10*netsim.Millisecond)
+	d.Flush()
+	if len(d.Bursts) != 2 {
+		t.Fatalf("bursts = %d, want 2", len(d.Bursts))
+	}
+	if d.Bursts[0].Packets != 2 || d.Bursts[1].Packets != 1 {
+		t.Errorf("bursts = %+v", d.Bursts)
+	}
+}
+
+func TestMicroburstPerSwitchIsolation(t *testing.T) {
+	d := NewMicroburstDetector(10, netsim.Millisecond)
+	r := &Report{Hops: []HopMetadata{
+		{SwitchID: 1, QueueDepth: 20},
+		{SwitchID: 2, QueueDepth: 30},
+	}}
+	d.Observe(r, 0)
+	d.Flush()
+	if len(d.Bursts) != 2 {
+		t.Fatalf("bursts = %d, want one per switch", len(d.Bursts))
+	}
+	seen := map[uint32]bool{}
+	for _, b := range d.Bursts {
+		seen[b.SwitchID] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("switch coverage = %v", seen)
+	}
+}
+
+func TestMicroburstBelowThresholdIgnored(t *testing.T) {
+	d := NewMicroburstDetector(10, netsim.Millisecond)
+	for i := 0; i < 100; i++ {
+		d.Observe(hotReport(9), netsim.Time(i)*netsim.Microsecond)
+	}
+	d.Flush()
+	if len(d.Bursts) != 0 {
+		t.Errorf("bursts = %d from sub-threshold depths", len(d.Bursts))
+	}
+}
+
+func TestMicroburstFlushClosesOpen(t *testing.T) {
+	d := NewMicroburstDetector(10, netsim.Millisecond)
+	d.Observe(hotReport(50), 0)
+	if len(d.Bursts) != 0 {
+		t.Fatal("burst closed prematurely")
+	}
+	d.Flush()
+	if len(d.Bursts) != 1 || d.Bursts[0].PeakDepth != 50 {
+		t.Errorf("bursts = %+v", d.Bursts)
+	}
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+// NetCollector is a real INT collector: it terminates report
+// datagrams on a UDP socket — the same wire format the sink switch
+// exports in simulation — and hands decoded reports to a subscriber.
+// It is the ingestion point for running the detection pipeline
+// against an actual telemetry feed instead of the simulator.
+type NetCollector struct {
+	conn *net.UDPConn
+
+	// OnReport receives each decoded report with the wall-clock
+	// arrival time (nanoseconds, in the repository's Time domain).
+	// Called from the receive goroutine; keep it fast or hand off.
+	OnReport func(r *Report, at netsim.Time)
+
+	// MaxDatagram bounds the receive buffer (default 64 KiB).
+	MaxDatagram int
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	// Stats (atomics: safe to read while running).
+	Received     atomic.Int64
+	DecodeErrors atomic.Int64
+}
+
+// ListenReports opens a UDP socket on addr ("127.0.0.1:0" picks a
+// free port). Call Start to begin receiving and Close to stop.
+func ListenReports(addr string) (*NetCollector, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	return &NetCollector{
+		conn:        conn,
+		MaxDatagram: 64 << 10,
+		quit:        make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (c *NetCollector) Addr() net.Addr { return c.conn.LocalAddr() }
+
+// Start launches the receive loop.
+func (c *NetCollector) Start() {
+	c.wg.Add(1)
+	go c.loop()
+}
+
+// loop receives and decodes datagrams until Close.
+func (c *NetCollector) loop() {
+	defer c.wg.Done()
+	buf := make([]byte, c.MaxDatagram)
+	for {
+		// A read deadline lets the loop observe quit promptly.
+		c.conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		n, _, err := c.conn.ReadFromUDP(buf)
+		select {
+		case <-c.quit:
+			return
+		default:
+		}
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		rep, derr := DecodeReport(buf[:n])
+		if derr != nil {
+			c.DecodeErrors.Add(1)
+			continue
+		}
+		c.Received.Add(1)
+		if c.OnReport != nil {
+			c.OnReport(rep, netsim.Time(time.Now().UnixNano()))
+		}
+	}
+}
+
+// Close stops the receive loop and releases the socket.
+func (c *NetCollector) Close() error {
+	close(c.quit)
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// ReportSender ships encoded reports to a collector over UDP — the
+// sink-switch side of a real deployment, and the test harness for
+// NetCollector.
+type ReportSender struct {
+	conn *net.UDPConn
+	inst Instruction
+}
+
+// DialReports connects a sender to a collector address, encoding hop
+// metadata with the given instruction set (0 selects InstAll).
+func DialReports(addr string, inst Instruction) (*ReportSender, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	if inst == 0 {
+		inst = InstAll
+	}
+	return &ReportSender{conn: conn, inst: inst}, nil
+}
+
+// Send encodes and transmits one report.
+func (s *ReportSender) Send(r *Report) error {
+	_, err := s.conn.Write(r.Encode(s.inst))
+	return err
+}
+
+// Close releases the socket.
+func (s *ReportSender) Close() error { return s.conn.Close() }

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+func netRig(t *testing.T) (*NetCollector, *ReportSender) {
+	t.Helper()
+	col, err := ListenReports("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { col.Close() })
+	snd, err := DialReports(col.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { snd.Close() })
+	return col, snd
+}
+
+func netReport(seq uint64) *Report {
+	return &Report{
+		Seq: seq,
+		Src: netip.MustParseAddr("192.0.2.1"), Dst: netip.MustParseAddr("198.51.100.2"),
+		SrcPort: 1234, DstPort: 80, Proto: netsim.TCP, Length: 777,
+		Hops: []HopMetadata{{SwitchID: 4, QueueDepth: 9, IngressTS: 100, EgressTS: 300}},
+	}
+}
+
+func waitCount(t *testing.T, d time.Duration, get func() int64, want int64) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if get() >= want {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return get() >= want
+}
+
+func TestNetCollectorReceivesReports(t *testing.T) {
+	col, snd := netRig(t)
+	var mu sync.Mutex
+	var got []*Report
+	col.OnReport = func(r *Report, at netsim.Time) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+		if at <= 0 {
+			t.Error("non-positive arrival time")
+		}
+	}
+	col.Start()
+	for i := uint64(1); i <= 10; i++ {
+		if err := snd.Send(netReport(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitCount(t, 3*time.Second, col.Received.Load, 10) {
+		t.Fatalf("received = %d, want 10", col.Received.Load())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 10 {
+		t.Fatalf("callbacks = %d", len(got))
+	}
+	r := got[0]
+	if r.DstPort != 80 || len(r.Hops) != 1 || r.Hops[0].QueueDepth != 9 {
+		t.Errorf("decoded report = %+v", r)
+	}
+}
+
+func TestNetCollectorCountsGarbage(t *testing.T) {
+	col, snd := netRig(t)
+	col.Start()
+	// Raw garbage straight at the socket.
+	if _, err := snd.conn.Write([]byte("definitely not a report")); err != nil {
+		t.Fatal(err)
+	}
+	if !waitCount(t, 3*time.Second, col.DecodeErrors.Load, 1) {
+		t.Fatalf("decode errors = %d", col.DecodeErrors.Load())
+	}
+	if col.Received.Load() != 0 {
+		t.Errorf("received = %d", col.Received.Load())
+	}
+}
+
+func TestNetCollectorCloseUnblocks(t *testing.T) {
+	col, err := ListenReports("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Start()
+	done := make(chan struct{})
+	go func() { col.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close did not unblock the receive loop")
+	}
+}

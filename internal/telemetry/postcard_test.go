@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+// postcardTestbed wires the Figure 6 loop with a configurable INT
+// mode and a tiny queue on the target-facing port so overload drops
+// packets between the two monitored hops.
+func postcardTestbed(t *testing.T, mode Mode, port2Cap int) (*netsim.Engine, *netsim.Host, *netsim.Host, *Agent, *Collector) {
+	t.Helper()
+	eng := netsim.NewEngine()
+	src := netsim.NewHost(eng, "src", netip.MustParseAddr("10.0.0.1"))
+	dst := netsim.NewHost(eng, "dst", netip.MustParseAddr("10.0.0.2"))
+	colHost := netsim.NewHost(eng, "col", netip.MustParseAddr("10.0.0.5"))
+	col := NewCollector(eng)
+	colHost.OnReceive = col.Receive
+
+	cfg := netsim.DefaultSwitchConfig(1)
+	cfg.QueueCapPackets = port2Cap
+	sw := netsim.NewSwitch(eng, cfg)
+	fwd := netsim.NewStaticForwarder()
+	fwd.ByIngress[1] = 3
+	fwd.ByIngress[4] = 2
+	sw.Forwarder = fwd
+	src.Attach(0, sw.Port(1))
+	sw.Connect(3, 0, sw.Port(4))
+	sw.Connect(2, 0, dst)
+
+	agent := NewAgent(eng, sw, AgentConfig{
+		Mode:          mode,
+		SourcePorts:   []uint16{3},
+		SinkPorts:     []uint16{2},
+		CollectorAddr: colHost.Addr,
+		ReportWire:    netsim.NewLink(eng, 0, colHost),
+	})
+	return eng, src, dst, agent, col
+}
+
+func TestPostcardExportsPerHop(t *testing.T) {
+	eng, src, dst, agent, col := postcardTestbed(t, ModePostcard, 512)
+	var hopCounts []int
+	col.OnReport = func(r *Report, _ netsim.Time) { hopCounts = append(hopCounts, len(r.Hops)) }
+	src.Send(&netsim.Packet{Dst: dst.Addr, Proto: netsim.TCP, Length: 500})
+	eng.Run()
+	// Two monitored egresses → two single-hop reports.
+	if len(hopCounts) != 2 {
+		t.Fatalf("reports = %d, want 2", len(hopCounts))
+	}
+	for i, n := range hopCounts {
+		if n != 1 {
+			t.Errorf("report %d has %d hops, want 1", i, n)
+		}
+	}
+	if agent.OverheadB != 0 {
+		t.Errorf("postcard added %d bytes to data packets, want 0", agent.OverheadB)
+	}
+	if dst.Received != 1 {
+		t.Errorf("delivered = %d", dst.Received)
+	}
+}
+
+func TestPostcardNoInPacketState(t *testing.T) {
+	eng, src, dst, _, _ := postcardTestbed(t, ModePostcard, 512)
+	var deliveredLen int
+	var aux any
+	dst.OnReceive = func(p *netsim.Packet) { deliveredLen = p.Length; aux = p.Aux }
+	src.Send(&netsim.Packet{Dst: dst.Addr, Proto: netsim.TCP, Length: 321})
+	eng.Run()
+	if deliveredLen != 321 {
+		t.Errorf("delivered length = %d, want 321 untouched", deliveredLen)
+	}
+	if aux != nil {
+		t.Error("postcard left state attached to the packet")
+	}
+}
+
+// TestPostcardSurvivesDownstreamLoss is the mode's headline property:
+// when the sink-facing queue drops packets, embed mode loses their
+// entire telemetry while postcard mode keeps the upstream hop's view.
+func TestPostcardSurvivesDownstreamLoss(t *testing.T) {
+	const n = 60
+	burst := func(eng *netsim.Engine, src *netsim.Host, dst *netsim.Host) {
+		for i := 0; i < n; i++ {
+			src.Send(&netsim.Packet{Dst: dst.Addr, Proto: netsim.TCP, Length: 1500})
+		}
+		eng.Run()
+	}
+
+	engE, srcE, dstE, _, colE := postcardTestbed(t, ModeEmbed, 8)
+	burst(engE, srcE, dstE)
+	engP, srcP, dstP, _, colP := postcardTestbed(t, ModePostcard, 8)
+	burst(engP, srcP, dstP)
+
+	if dstE.Received >= n {
+		t.Fatal("no loss induced — queue cap too large for the test")
+	}
+	// Embed: one report per *delivered* packet.
+	if colE.Received != dstE.Received {
+		t.Errorf("embed reports = %d, delivered = %d", colE.Received, dstE.Received)
+	}
+	// Postcard: the first hop (port 3) saw every packet, so reports
+	// exceed deliveries.
+	if colP.Received <= dstP.Received {
+		t.Errorf("postcard reports = %d not above deliveries %d", colP.Received, dstP.Received)
+	}
+	if colP.Received <= colE.Received {
+		t.Errorf("postcard (%d) should out-report embed (%d) under loss", colP.Received, colE.Received)
+	}
+}
+
+func TestPostcardIgnoresUnmonitoredPorts(t *testing.T) {
+	eng := netsim.NewEngine()
+	src := netsim.NewHost(eng, "src", netip.MustParseAddr("10.0.0.1"))
+	dst := netsim.NewHost(eng, "dst", netip.MustParseAddr("10.0.0.2"))
+	sw := netsim.NewSwitch(eng, netsim.DefaultSwitchConfig(1))
+	fwd := netsim.NewStaticForwarder()
+	fwd.ByDst[dst.Addr] = 2
+	sw.Forwarder = fwd
+	src.Attach(0, sw.Port(1))
+	sw.Connect(2, 0, dst)
+	agent := NewAgent(eng, sw, AgentConfig{
+		Mode:        ModePostcard,
+		SourcePorts: []uint16{7}, // not on the path
+	})
+	src.Send(&netsim.Packet{Dst: dst.Addr, Proto: netsim.UDP, Length: 100})
+	eng.Run()
+	if agent.Reports != 0 {
+		t.Errorf("unmonitored egress produced %d reports", agent.Reports)
+	}
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+// reportMagic brands the start of a sink→collector report datagram.
+const reportMagic uint32 = 0x494E5452 // "INTR"
+
+// Report is the telemetry record the sink switch exports to the INT
+// collector for one packet: the IP/transport header fields the
+// paper's INT Data Collection module reads, plus the full hop
+// metadata stack.
+type Report struct {
+	// Seq is the sink-assigned report sequence number, used to detect
+	// collector-side loss.
+	Seq uint64
+
+	// Packet header fields (the paper's packet-level features).
+	Src     netip.Addr
+	Dst     netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   netsim.Proto
+	Flags   netsim.TCPFlags
+	Length  uint16 // original packet length, before INT overhead
+
+	// Hops is the metadata stack in path order (source hop first).
+	Hops []HopMetadata
+
+	// Truth carries generator ground truth for accounting only; it is
+	// NOT serialized — a real collector never sees labels.
+	Truth Truth
+}
+
+// Truth is label metadata attached in simulation for training and
+// evaluation bookkeeping.
+type Truth struct {
+	Label      bool
+	AttackType string
+	SentAt     netsim.Time
+}
+
+// LastHop returns the sink-side hop (last pushed) and true, or zero
+// and false for an empty stack.
+func (r *Report) LastHop() (HopMetadata, bool) {
+	if len(r.Hops) == 0 {
+		return HopMetadata{}, false
+	}
+	return r.Hops[len(r.Hops)-1], true
+}
+
+// FirstHop returns the source-side hop and true, or zero and false.
+func (r *Report) FirstHop() (HopMetadata, bool) {
+	if len(r.Hops) == 0 {
+		return HopMetadata{}, false
+	}
+	return r.Hops[0], true
+}
+
+// FiveTuple renders the canonical flow identity string, matching
+// netsim.Packet.FiveTuple.
+func (r *Report) FiveTuple() string {
+	return fmt.Sprintf("%s:%d>%s:%d/%s", r.Src, r.SrcPort, r.Dst, r.DstPort, r.Proto)
+}
+
+// PathLatency sums wrap-aware per-hop residence times across the
+// stack. End-to-end link delays are not visible to INT.
+func (r *Report) PathLatency() netsim.Time {
+	var total netsim.Time
+	for _, h := range r.Hops {
+		total += netsim.WrapDiff(h.IngressTS, h.EgressTS)
+	}
+	return total
+}
+
+// Encode serializes the report (without Truth) to wire form using the
+// full instruction set layout:
+//
+//	magic(4) seq(8) src(4) dst(4) sport(2) dport(2) proto(1) flags(1)
+//	len(2) hopCount(1) inst(2) hops(inst.BytesPerHop() each)
+//
+// Only IPv4 addresses are supported, matching the deployment.
+func (r *Report) Encode(inst Instruction) []byte {
+	buf := make([]byte, 0, 31+len(r.Hops)*inst.BytesPerHop())
+	var w8 [8]byte
+	binary.BigEndian.PutUint32(w8[:4], reportMagic)
+	buf = append(buf, w8[:4]...)
+	binary.BigEndian.PutUint64(w8[:], r.Seq)
+	buf = append(buf, w8[:]...)
+	src := r.Src.As4()
+	dst := r.Dst.As4()
+	buf = append(buf, src[:]...)
+	buf = append(buf, dst[:]...)
+	binary.BigEndian.PutUint16(w8[:2], r.SrcPort)
+	buf = append(buf, w8[:2]...)
+	binary.BigEndian.PutUint16(w8[:2], r.DstPort)
+	buf = append(buf, w8[:2]...)
+	buf = append(buf, byte(r.Proto), byte(r.Flags))
+	binary.BigEndian.PutUint16(w8[:2], r.Length)
+	buf = append(buf, w8[:2]...)
+	buf = append(buf, byte(len(r.Hops)))
+	binary.BigEndian.PutUint16(w8[:2], uint16(inst))
+	buf = append(buf, w8[:2]...)
+	for _, h := range r.Hops {
+		buf = EncodeHop(buf, inst, h)
+	}
+	return buf
+}
+
+// DecodeReport parses a wire-form report produced by Encode.
+func DecodeReport(buf []byte) (*Report, error) {
+	if len(buf) < 31 {
+		return nil, ErrShortBuffer
+	}
+	if binary.BigEndian.Uint32(buf[:4]) != reportMagic {
+		return nil, fmt.Errorf("telemetry: bad report magic %#x", binary.BigEndian.Uint32(buf[:4]))
+	}
+	r := &Report{}
+	r.Seq = binary.BigEndian.Uint64(buf[4:12])
+	r.Src = netip.AddrFrom4([4]byte(buf[12:16]))
+	r.Dst = netip.AddrFrom4([4]byte(buf[16:20]))
+	r.SrcPort = binary.BigEndian.Uint16(buf[20:22])
+	r.DstPort = binary.BigEndian.Uint16(buf[22:24])
+	r.Proto = netsim.Proto(buf[24])
+	r.Flags = netsim.TCPFlags(buf[25])
+	r.Length = binary.BigEndian.Uint16(buf[26:28])
+	hopCount := int(buf[28])
+	inst := Instruction(binary.BigEndian.Uint16(buf[29:31]))
+	rest := buf[31:]
+	r.Hops = make([]HopMetadata, 0, hopCount)
+	for i := 0; i < hopCount; i++ {
+		var (
+			h   HopMetadata
+			err error
+		)
+		h, rest, err = DecodeHop(rest, inst)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: hop %d: %w", i, err)
+		}
+		r.Hops = append(r.Hops, h)
+	}
+	return r, nil
+}

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ReportLog persists a telemetry report stream as a length-prefixed
+// binary log. The paper's §V identifies storage as a core INT
+// challenge — one minute of AmLight telemetry is ~30 GB — so the
+// log exists both as the archival path and as the substrate for
+// measuring bytes-per-report against that figure.
+type ReportLog struct {
+	w    *bufio.Writer
+	inst Instruction
+
+	// Stats
+	Written int
+	Bytes   int64
+}
+
+const (
+	logMagic   uint32 = 0x494E544C // "INTL"
+	logVersion uint8  = 1
+)
+
+// NewReportLog starts a log on w, encoding hop metadata with inst
+// (0 selects InstAll).
+func NewReportLog(w io.Writer, inst Instruction) (*ReportLog, error) {
+	if inst == 0 {
+		inst = InstAll
+	}
+	l := &ReportLog{w: bufio.NewWriter(w), inst: inst}
+	var hdr [7]byte
+	binary.BigEndian.PutUint32(hdr[:4], logMagic)
+	hdr[4] = logVersion
+	binary.BigEndian.PutUint16(hdr[5:7], uint16(inst))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	l.Bytes += int64(len(hdr))
+	return l, nil
+}
+
+// Append writes one report.
+func (l *ReportLog) Append(r *Report) error {
+	buf := r.Encode(l.inst)
+	var lp [4]byte
+	binary.BigEndian.PutUint32(lp[:], uint32(len(buf)))
+	if _, err := l.w.Write(lp[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(buf); err != nil {
+		return err
+	}
+	l.Written++
+	l.Bytes += int64(len(lp) + len(buf))
+	return nil
+}
+
+// Flush commits buffered records.
+func (l *ReportLog) Flush() error { return l.w.Flush() }
+
+// BytesPerReport returns the average on-disk record size.
+func (l *ReportLog) BytesPerReport() float64 {
+	if l.Written == 0 {
+		return 0
+	}
+	return float64(l.Bytes) / float64(l.Written)
+}
+
+// ReportLogReader iterates a log produced by ReportLog.
+type ReportLogReader struct {
+	r    *bufio.Reader
+	inst Instruction
+}
+
+// OpenReportLog validates the header and returns a reader.
+func OpenReportLog(r io.Reader) (*ReportLogReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [7]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("telemetry: log header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[:4]) != logMagic {
+		return nil, errors.New("telemetry: bad log magic")
+	}
+	if hdr[4] != logVersion {
+		return nil, fmt.Errorf("telemetry: unsupported log version %d", hdr[4])
+	}
+	return &ReportLogReader{
+		r:    br,
+		inst: Instruction(binary.BigEndian.Uint16(hdr[5:7])),
+	}, nil
+}
+
+// Next returns the next report, or io.EOF at a clean end of log.
+func (lr *ReportLogReader) Next() (*Report, error) {
+	var lp [4]byte
+	if _, err := io.ReadFull(lr.r, lp[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("telemetry: log record prefix: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lp[:])
+	if n > 1<<20 {
+		return nil, fmt.Errorf("telemetry: implausible record size %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(lr.r, buf); err != nil {
+		return nil, fmt.Errorf("telemetry: log record body: %w", err)
+	}
+	return DecodeReport(buf)
+}
+
+// ReadAll drains the log.
+func (lr *ReportLogReader) ReadAll() ([]*Report, error) {
+	var out []*Report
+	for {
+		r, err := lr.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+func logReport(seq uint64, hops int) *Report {
+	r := &Report{
+		Seq: seq,
+		Src: netip.MustParseAddr("10.1.1.1"), Dst: netip.MustParseAddr("10.2.2.2"),
+		SrcPort: uint16(seq), DstPort: 80, Proto: netsim.TCP, Length: 1500,
+	}
+	for h := 0; h < hops; h++ {
+		r.Hops = append(r.Hops, HopMetadata{
+			SwitchID: uint32(h + 1), QueueDepth: uint32(h),
+			IngressTS: netsim.Timestamp32(100 * seq), EgressTS: netsim.Timestamp32(100*seq + 50),
+		})
+	}
+	return r
+}
+
+func TestReportLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewReportLog(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 100; i++ {
+		if err := l.Append(logReport(i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Written != 100 {
+		t.Errorf("written = %d", l.Written)
+	}
+	if bpr := l.BytesPerReport(); bpr < 40 || bpr > 200 {
+		t.Errorf("bytes/report = %v, implausible", bpr)
+	}
+
+	lr, err := OpenReportLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("read %d reports", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) || len(r.Hops) != 2 {
+			t.Fatalf("report %d = %+v", i, r)
+		}
+	}
+}
+
+func TestReportLogRejectsGarbage(t *testing.T) {
+	if _, err := OpenReportLog(bytes.NewReader([]byte("garbage bytes here"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	l, _ := NewReportLog(&buf, 0)
+	l.Append(logReport(1, 1))
+	l.Flush()
+	// Truncate mid-record.
+	trunc := buf.Bytes()[:buf.Len()-5]
+	lr, err := OpenReportLog(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lr.ReadAll(); err == nil {
+		t.Error("truncated log read cleanly")
+	}
+}
+
+func TestReportLogEmptyLog(t *testing.T) {
+	var buf bytes.Buffer
+	l, _ := NewReportLog(&buf, 0)
+	l.Flush()
+	lr, err := OpenReportLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lr.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty log Next err = %v, want EOF", err)
+	}
+}
+
+func TestReportLogSubsetInstructions(t *testing.T) {
+	// The paper's three-field deployment (queue occupancy + both
+	// timestamps) stores far less per hop than the full set.
+	var full, slim bytes.Buffer
+	lf, _ := NewReportLog(&full, InstAll)
+	ls, _ := NewReportLog(&slim, InstQueue|InstIngressTS|InstEgressTS)
+	for i := uint64(1); i <= 50; i++ {
+		lf.Append(logReport(i, 2))
+		ls.Append(logReport(i, 2))
+	}
+	lf.Flush()
+	ls.Flush()
+	if ls.Bytes >= lf.Bytes {
+		t.Errorf("slim log %d B not below full %d B", ls.Bytes, lf.Bytes)
+	}
+	// Slim round trip preserves the stored fields.
+	lr, err := OpenReportLog(&slim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Hops[0].QueueDepth != 0 && got[0].Hops[1].QueueDepth != 1 {
+		t.Errorf("queue depths lost: %+v", got[0].Hops)
+	}
+	if got[0].Hops[0].SwitchID != 0 {
+		t.Errorf("switch id unexpectedly stored under slim instructions")
+	}
+}

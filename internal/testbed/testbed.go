@@ -1,0 +1,140 @@
+// Package testbed assembles the paper's Figure 6 topology on the
+// simulator: a source agent and a target agent joined by one
+// INT-capable switch, with the data path looped out port 3 and back
+// in port 4 so every packet transits the switch twice (one source
+// hop, one sink hop), and the INT collector hanging off port 5.
+// An sFlow agent can be enabled on the same switch for the
+// comparative experiments.
+package testbed
+
+import (
+	"net/netip"
+
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/sflow"
+	"github.com/amlight/intddos/internal/telemetry"
+	"github.com/amlight/intddos/internal/trace"
+)
+
+// Well-known testbed addresses.
+var (
+	SourceAddr    = netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	TargetAddr    = netip.AddrFrom4([4]byte{10, 0, 0, 2})
+	CollectorAddr = netip.AddrFrom4([4]byte{10, 0, 0, 5})
+)
+
+// Config parameterizes the rig.
+type Config struct {
+	// Switch overrides the switch parameters; zero value selects
+	// netsim.DefaultSwitchConfig.
+	Switch netsim.SwitchConfig
+	// LinkDelay is the propagation delay of every cable (default 1 µs).
+	LinkDelay netsim.Time
+
+	// INTSampler selects packets for INT instrumentation; nil =
+	// every packet (the deployment default).
+	INTSampler telemetry.Sampler
+	// INTMode selects embed (INT-MD, default) or postcard (INT-XD)
+	// telemetry export.
+	INTMode telemetry.Mode
+
+	// EnableSFlow attaches an sFlow agent alongside INT.
+	EnableSFlow bool
+	// SFlowRate is the 1-in-N sampling rate (default 4096).
+	SFlowRate int
+	// SFlowDeterministic switches the agent to exact every-Nth
+	// sampling.
+	SFlowDeterministic bool
+	// Seed drives the sFlow randomized countdown.
+	Seed int64
+}
+
+// Testbed is the assembled rig.
+type Testbed struct {
+	Eng    *netsim.Engine
+	Source *netsim.Host
+	Target *netsim.Host
+	Switch *netsim.Switch
+
+	INTAgent  *telemetry.Agent
+	Collector *telemetry.Collector
+
+	SFlowAgent     *sflow.Agent
+	SFlowCollector *sflow.Collector
+
+	collectorHost *netsim.Host
+}
+
+// New assembles the topology.
+func New(cfg Config) *Testbed {
+	eng := netsim.NewEngine()
+	if cfg.Switch.Ports == 0 {
+		cfg.Switch = netsim.DefaultSwitchConfig(1)
+	}
+	if cfg.LinkDelay <= 0 {
+		cfg.LinkDelay = netsim.Microsecond
+	}
+	if cfg.SFlowRate <= 0 {
+		cfg.SFlowRate = sflow.DefaultSampleRate
+	}
+
+	tb := &Testbed{Eng: eng}
+	tb.Source = netsim.NewHost(eng, "source", SourceAddr)
+	tb.Target = netsim.NewHost(eng, "target", TargetAddr)
+	tb.collectorHost = netsim.NewHost(eng, "collector", CollectorAddr)
+	tb.Switch = netsim.NewSwitch(eng, cfg.Switch)
+
+	// Data path 1 → 3 ⇒(loop)⇒ 4 → 2: two transits per packet.
+	fwd := netsim.NewStaticForwarder()
+	fwd.ByIngress[1] = 3
+	fwd.ByIngress[4] = 2
+	tb.Switch.Forwarder = fwd
+
+	tb.Source.Attach(cfg.LinkDelay, tb.Switch.Port(1))
+	tb.Switch.Connect(3, cfg.LinkDelay, tb.Switch.Port(4))
+	tb.Switch.Connect(2, cfg.LinkDelay, tb.Target)
+	tb.Switch.Connect(5, cfg.LinkDelay, tb.collectorHost)
+
+	tb.Collector = telemetry.NewCollector(eng)
+	tb.collectorHost.OnReceive = tb.Collector.Receive
+
+	tb.INTAgent = telemetry.NewAgent(eng, tb.Switch, telemetry.AgentConfig{
+		Mode:          cfg.INTMode,
+		SourcePorts:   []uint16{3},
+		SinkPorts:     []uint16{2},
+		CollectorAddr: CollectorAddr,
+		ReportWire:    netsim.NewLink(eng, cfg.LinkDelay, tb.collectorHost),
+		Sampler:       cfg.INTSampler,
+		DomainID:      1,
+	})
+
+	if cfg.EnableSFlow {
+		tb.SFlowCollector = sflow.NewCollector(eng)
+		sfHost := netsim.NewHost(eng, "sflow-collector", netip.AddrFrom4([4]byte{10, 0, 0, 6}))
+		sfHost.OnReceive = tb.SFlowCollector.Receive
+		tb.SFlowAgent = sflow.NewAgent(eng, tb.Switch, sflow.AgentConfig{
+			SampleRate:    cfg.SFlowRate,
+			Deterministic: cfg.SFlowDeterministic,
+			Seed:          cfg.Seed,
+			// Observe only the target-facing interface so each packet
+			// is counted once against the sampling rate, as on a
+			// production monitored link.
+			Ports:         []uint16{2},
+			CollectorAddr: sfHost.Addr,
+			Wire:          netsim.NewLink(eng, cfg.LinkDelay, sfHost),
+		})
+	}
+	return tb
+}
+
+// Replayer builds a tcpreplay-equivalent replayer injecting recs from
+// the source agent.
+func (tb *Testbed) Replayer(recs []trace.Record) *trace.Replayer {
+	return trace.NewReplayer(tb.Eng, tb.Source, recs)
+}
+
+// Run drains the event queue.
+func (tb *Testbed) Run() { tb.Eng.Run() }
+
+// RunUntil advances to the deadline.
+func (tb *Testbed) RunUntil(t netsim.Time) { tb.Eng.RunUntil(t) }

@@ -1,0 +1,86 @@
+package testbed
+
+import (
+	"testing"
+
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/sflow"
+	"github.com/amlight/intddos/internal/telemetry"
+	"github.com/amlight/intddos/internal/trace"
+	"github.com/amlight/intddos/internal/traffic"
+)
+
+func TestTopologyDoubleTransit(t *testing.T) {
+	tb := New(Config{})
+	var hops int
+	tb.Collector.OnReport = func(r *telemetry.Report, _ netsim.Time) { hops = len(r.Hops) }
+	tb.Source.Send(&netsim.Packet{Dst: TargetAddr, Proto: netsim.TCP, Length: 500})
+	tb.Run()
+	if tb.Target.Received != 1 {
+		t.Fatalf("target received %d", tb.Target.Received)
+	}
+	if hops != 2 {
+		t.Errorf("hops = %d, want 2 (port 3↔4 loop)", hops)
+	}
+}
+
+func TestReplayThroughTestbed(t *testing.T) {
+	tb := New(Config{})
+	reports := 0
+	tb.Collector.OnReport = func(*telemetry.Report, netsim.Time) { reports++ }
+	w := traffic.Build(traffic.TinyConfig(1))
+	recs := w.Records[:500]
+	rp := tb.Replayer(recs)
+	rp.Start()
+	tb.Run()
+	if rp.Sent() != 500 {
+		t.Fatalf("replayed %d", rp.Sent())
+	}
+	if tb.Target.Received == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Every delivered packet produces exactly one INT report.
+	if reports != tb.Target.Received {
+		t.Errorf("reports %d != delivered %d", reports, tb.Target.Received)
+	}
+}
+
+func TestReplayerMaxPacketsMatchesPaperUsage(t *testing.T) {
+	// The paper replays ≈2500 packets per flow type with tcpreplay -p.
+	tb := New(Config{})
+	w := traffic.Build(traffic.TinyConfig(2))
+	rp := tb.Replayer(w.Records)
+	rp.MaxPackets = 100
+	rp.Start()
+	tb.Run()
+	if rp.Sent() != 100 {
+		t.Errorf("sent %d, want 100", rp.Sent())
+	}
+}
+
+func TestSFlowCoexistsWithINT(t *testing.T) {
+	tb := New(Config{EnableSFlow: true, SFlowRate: 10, SFlowDeterministic: true})
+	intReports, sfSamples := 0, 0
+	tb.Collector.OnReport = func(*telemetry.Report, netsim.Time) { intReports++ }
+	tb.SFlowCollector.OnFlowSample = func(*sflow.FlowSample, netsim.Time) { sfSamples++ }
+	var recs []trace.Record
+	w := traffic.Build(traffic.TinyConfig(3))
+	recs = w.Records[:400]
+	rp := tb.Replayer(recs)
+	rp.Start()
+	tb.Run()
+	if intReports == 0 {
+		t.Error("INT produced no reports alongside sFlow")
+	}
+	if tb.SFlowAgent.Sampled == 0 {
+		t.Error("sFlow sampled nothing at 1/10 over 400 packets")
+	}
+	// The agent watches only the target-facing port, so each packet
+	// counts once; exact every-10th sampling.
+	if got, want := tb.SFlowAgent.Sampled, tb.SFlowAgent.Observed/10; got != want {
+		t.Errorf("sampled %d, want %d", got, want)
+	}
+	if sfSamples != tb.SFlowAgent.Sampled {
+		t.Errorf("collector samples %d != agent %d", sfSamples, tb.SFlowAgent.Sampled)
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+// Replayer injects trace records through a host, preserving original
+// inter-packet timing (optionally accelerated). It is the simulation
+// counterpart of `tcpreplay -i <iface> -p <count> <pcap>`.
+type Replayer struct {
+	Host    *netsim.Host
+	Records []Record
+
+	// Speed scales timing: 2.0 replays twice as fast. Zero means 1.0.
+	Speed float64
+	// MaxPackets, if positive, bounds the number of packets replayed
+	// (tcpreplay's -p flag, ≈2500 per flow type in the paper's tests).
+	MaxPackets int
+	// StartAt offsets the first packet to this virtual time; the trace
+	// timeline is shifted so its first record fires then. When zero,
+	// the trace keeps its absolute timestamps (the first record fires
+	// at its own At), so capture-relative schedules stay aligned.
+	StartAt netsim.Time
+
+	// OnDone runs after the final packet is sent.
+	OnDone func()
+
+	eng  *netsim.Engine
+	sent int
+}
+
+// NewReplayer builds a replayer for recs through host.
+func NewReplayer(eng *netsim.Engine, host *netsim.Host, recs []Record) *Replayer {
+	return &Replayer{Host: host, Records: recs, eng: eng}
+}
+
+// Sent reports packets replayed so far.
+func (rp *Replayer) Sent() int { return rp.sent }
+
+// Start schedules the replay. Records are chained one event at a
+// time so arbitrarily large traces do not flood the event queue.
+func (rp *Replayer) Start() {
+	if len(rp.Records) == 0 {
+		if rp.OnDone != nil {
+			rp.OnDone()
+		}
+		return
+	}
+	if rp.Speed == 0 {
+		rp.Speed = 1.0
+	}
+	start := rp.StartAt
+	if start == 0 && rp.Speed == 1.0 {
+		start = rp.Records[0].At // absolute replay preserves the capture timeline
+	}
+	if start < rp.eng.Now() {
+		start = rp.eng.Now()
+	}
+	rp.eng.Schedule(start, func() { rp.sendNext(0, start, rp.Records[0].At) })
+}
+
+// sendNext transmits record i and chains the next one.
+func (rp *Replayer) sendNext(i int, base netsim.Time, traceBase netsim.Time) {
+	rec := &rp.Records[i]
+	rp.Host.Send(rec.Packet())
+	rp.sent++
+	if rp.sent == rp.MaxPackets || i+1 == len(rp.Records) {
+		if rp.OnDone != nil {
+			rp.OnDone()
+		}
+		return
+	}
+	next := &rp.Records[i+1]
+	gap := netsim.Time(float64(next.At-traceBase) / rp.Speed)
+	at := base + gap
+	if at < rp.eng.Now() {
+		at = rp.eng.Now()
+	}
+	rp.eng.Schedule(at, func() { rp.sendNext(i+1, base, traceBase) })
+}

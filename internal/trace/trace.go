@@ -1,0 +1,212 @@
+// Package trace provides a pcap-like packet trace format and a
+// tcpreplay-equivalent replayer for the netsim fabric.
+//
+// The paper's testbed experiments replay captured production traffic
+// with `tcpreplay -i <iface> -p <count> <pcap>`; Replayer reproduces
+// that workflow against simulated hosts, including the -p packet
+// bound and timing acceleration.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"sort"
+
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+// Record is one captured packet: header fields, capture timestamp,
+// and the generator's ground-truth label.
+type Record struct {
+	At      netsim.Time
+	Src     netip.Addr
+	Dst     netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   netsim.Proto
+	Flags   netsim.TCPFlags
+	Length  uint16
+
+	Label      bool
+	AttackType string
+}
+
+// Packet materializes the record as a sendable packet.
+func (r *Record) Packet() *netsim.Packet {
+	return &netsim.Packet{
+		Src:        r.Src,
+		Dst:        r.Dst,
+		SrcPort:    r.SrcPort,
+		DstPort:    r.DstPort,
+		Proto:      r.Proto,
+		Flags:      r.Flags,
+		Length:     int(r.Length),
+		Label:      r.Label,
+		AttackType: r.AttackType,
+	}
+}
+
+// SortByTime orders records chronologically (stable, so simultaneous
+// records keep generation order).
+func SortByTime(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].At < recs[j].At })
+}
+
+const (
+	fileMagic   uint32 = 0x414D5452 // "AMTR"
+	fileVersion uint8  = 1
+)
+
+// Write serializes records to w. Attack-type strings are interned in
+// a table so each record stores a one-byte index.
+func Write(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	types := make([]string, 0, 8)
+	index := make(map[string]uint8, 8)
+	for _, r := range recs {
+		if _, ok := index[r.AttackType]; !ok {
+			if len(types) == 256 {
+				return errors.New("trace: more than 256 attack types")
+			}
+			index[r.AttackType] = uint8(len(types))
+			types = append(types, r.AttackType)
+		}
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[:4], fileMagic)
+	b[4] = fileVersion
+	b[5] = uint8(len(types))
+	if _, err := bw.Write(b[:6]); err != nil {
+		return err
+	}
+	for _, s := range types {
+		if len(s) > 255 {
+			return fmt.Errorf("trace: attack type %q too long", s)
+		}
+		if err := bw.WriteByte(uint8(len(s))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+	}
+	binary.BigEndian.PutUint64(b[:], uint64(len(recs)))
+	if _, err := bw.Write(b[:]); err != nil {
+		return err
+	}
+	for i := range recs {
+		r := &recs[i]
+		binary.BigEndian.PutUint64(b[:], uint64(r.At))
+		if _, err := bw.Write(b[:]); err != nil {
+			return err
+		}
+		src, dst := r.Src.As4(), r.Dst.As4()
+		bw.Write(src[:])
+		bw.Write(dst[:])
+		binary.BigEndian.PutUint16(b[:2], r.SrcPort)
+		bw.Write(b[:2])
+		binary.BigEndian.PutUint16(b[:2], r.DstPort)
+		bw.Write(b[:2])
+		bw.WriteByte(byte(r.Proto))
+		bw.WriteByte(byte(r.Flags))
+		binary.BigEndian.PutUint16(b[:2], r.Length)
+		bw.Write(b[:2])
+		label := byte(0)
+		if r.Label {
+			label = 1
+		}
+		bw.WriteByte(label)
+		if err := bw.WriteByte(index[r.AttackType]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace previously produced by Write.
+func Read(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var b [8]byte
+	if _, err := io.ReadFull(br, b[:6]); err != nil {
+		return nil, fmt.Errorf("trace: header: %w", err)
+	}
+	if binary.BigEndian.Uint32(b[:4]) != fileMagic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if b[4] != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", b[4])
+	}
+	nTypes := int(b[5])
+	types := make([]string, nTypes)
+	for i := 0; i < nTypes; i++ {
+		n, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		s := make([]byte, n)
+		if _, err := io.ReadFull(br, s); err != nil {
+			return nil, err
+		}
+		types[i] = string(s)
+	}
+	if _, err := io.ReadFull(br, b[:]); err != nil {
+		return nil, err
+	}
+	count := binary.BigEndian.Uint64(b[:])
+	const maxRecords = 1 << 28
+	if count > maxRecords {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	recs := make([]Record, 0, count)
+	var rec [26]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		typeIdx := rec[25]
+		if int(typeIdx) >= nTypes {
+			return nil, fmt.Errorf("trace: record %d: attack type index %d out of range", i, typeIdx)
+		}
+		recs = append(recs, Record{
+			At:         netsim.Time(binary.BigEndian.Uint64(rec[:8])),
+			Src:        netip.AddrFrom4([4]byte(rec[8:12])),
+			Dst:        netip.AddrFrom4([4]byte(rec[12:16])),
+			SrcPort:    binary.BigEndian.Uint16(rec[16:18]),
+			DstPort:    binary.BigEndian.Uint16(rec[18:20]),
+			Proto:      netsim.Proto(rec[20]),
+			Flags:      netsim.TCPFlags(rec[21]),
+			Length:     binary.BigEndian.Uint16(rec[22:24]),
+			Label:      rec[24] == 1,
+			AttackType: types[typeIdx],
+		})
+	}
+	return recs, nil
+}
+
+// WriteFile writes records to path.
+func WriteFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads records from path.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bytes"
+	"net/netip"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			At:  100 * netsim.Microsecond,
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
+			SrcPort: 1234, DstPort: 80, Proto: netsim.TCP, Flags: netsim.FlagSYN,
+			Length: 60, Label: false, AttackType: "benign",
+		},
+		{
+			At:  250 * netsim.Microsecond,
+			Src: netip.MustParseAddr("192.0.2.66"), Dst: netip.MustParseAddr("10.0.0.2"),
+			SrcPort: 40000, DstPort: 80, Proto: netsim.TCP, Flags: netsim.FlagSYN,
+			Length: 40, Label: true, AttackType: "synflood",
+		},
+		{
+			At:  300 * netsim.Microsecond,
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
+			SrcPort: 1234, DstPort: 80, Proto: netsim.UDP,
+			Length: 1500, Label: false, AttackType: "benign",
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.amtr")
+	recs := sampleRecords()
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d, want %d", len(got), len(recs))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	var buf bytes.Buffer
+	Write(&buf, sampleRecords())
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(at uint32, sport, dport uint16, length uint16, label bool) bool {
+		recs := []Record{{
+			At:  netsim.Time(at),
+			Src: netip.MustParseAddr("10.9.8.7"), Dst: netip.MustParseAddr("10.6.5.4"),
+			SrcPort: sport, DstPort: dport, Proto: netsim.TCP,
+			Length: length, Label: label, AttackType: "t",
+		}}
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		return err == nil && len(got) == 1 && got[0] == recs[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortByTimeStable(t *testing.T) {
+	recs := []Record{
+		{At: 30, SrcPort: 1}, {At: 10, SrcPort: 2}, {At: 30, SrcPort: 3}, {At: 20, SrcPort: 4},
+	}
+	SortByTime(recs)
+	wantPorts := []uint16{2, 4, 1, 3}
+	for i, w := range wantPorts {
+		if recs[i].SrcPort != w {
+			t.Fatalf("order = %v", recs)
+		}
+	}
+}
+
+func replayRig(t *testing.T) (*netsim.Engine, *netsim.Host, *netsim.Host) {
+	t.Helper()
+	eng := netsim.NewEngine()
+	a := netsim.NewHost(eng, "a", netip.MustParseAddr("10.0.0.1"))
+	b := netsim.NewHost(eng, "b", netip.MustParseAddr("10.0.0.2"))
+	a.Attach(0, b)
+	return eng, a, b
+}
+
+func TestReplayerPreservesTiming(t *testing.T) {
+	eng, a, b := replayRig(t)
+	var times []netsim.Time
+	b.OnReceive = func(p *netsim.Packet) { times = append(times, eng.Now()) }
+	rp := NewReplayer(eng, a, sampleRecords())
+	rp.Start()
+	eng.Run()
+	if len(times) != 3 {
+		t.Fatalf("delivered %d, want 3", len(times))
+	}
+	// Gaps: 150µs then 50µs, regardless of the absolute trace epoch.
+	if d := times[1] - times[0]; d != 150*netsim.Microsecond {
+		t.Errorf("gap1 = %v, want 150µs", d)
+	}
+	if d := times[2] - times[1]; d != 50*netsim.Microsecond {
+		t.Errorf("gap2 = %v, want 50µs", d)
+	}
+}
+
+func TestReplayerSpeedup(t *testing.T) {
+	eng, a, b := replayRig(t)
+	var times []netsim.Time
+	b.OnReceive = func(p *netsim.Packet) { times = append(times, eng.Now()) }
+	rp := NewReplayer(eng, a, sampleRecords())
+	rp.Speed = 2.0
+	rp.Start()
+	eng.Run()
+	if d := times[1] - times[0]; d != 75*netsim.Microsecond {
+		t.Errorf("gap1 at 2x = %v, want 75µs", d)
+	}
+}
+
+func TestReplayerMaxPackets(t *testing.T) {
+	eng, a, b := replayRig(t)
+	rp := NewReplayer(eng, a, sampleRecords())
+	rp.MaxPackets = 2
+	done := false
+	rp.OnDone = func() { done = true }
+	rp.Start()
+	eng.Run()
+	if b.Received != 2 {
+		t.Errorf("received %d, want 2 (-p bound)", b.Received)
+	}
+	if rp.Sent() != 2 {
+		t.Errorf("Sent() = %d, want 2", rp.Sent())
+	}
+	if !done {
+		t.Error("OnDone not invoked")
+	}
+}
+
+func TestReplayerStartAtOffset(t *testing.T) {
+	eng, a, b := replayRig(t)
+	var first netsim.Time
+	b.OnReceive = func(p *netsim.Packet) {
+		if first == 0 {
+			first = eng.Now()
+		}
+	}
+	rp := NewReplayer(eng, a, sampleRecords())
+	rp.StartAt = 5 * netsim.Millisecond
+	rp.Start()
+	eng.Run()
+	if first != 5*netsim.Millisecond {
+		t.Errorf("first delivery at %v, want 5ms", first)
+	}
+}
+
+func TestReplayerEmptyTrace(t *testing.T) {
+	eng, a, _ := replayRig(t)
+	done := false
+	rp := NewReplayer(eng, a, nil)
+	rp.OnDone = func() { done = true }
+	rp.Start()
+	eng.Run()
+	if !done {
+		t.Error("OnDone not invoked for empty trace")
+	}
+}
+
+func TestRecordPacketMaterialization(t *testing.T) {
+	r := sampleRecords()[1]
+	p := r.Packet()
+	if p.Src != r.Src || p.DstPort != r.DstPort || p.Length != int(r.Length) ||
+		!p.Label || p.AttackType != "synflood" {
+		t.Errorf("packet = %+v", p)
+	}
+}

@@ -1,0 +1,192 @@
+package traffic
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/trace"
+)
+
+// AttackConfig shapes the four Table I attack workloads. Rates are in
+// packets per second of compressed virtual time; the experiment
+// presets size them so the per-episode packet counts keep the paper's
+// proportions relative to the sFlow sampling rate.
+type AttackConfig struct {
+	// Target is the attacked server.
+	Target netip.Addr
+
+	// ScanRate is the probe rate of SYN/UDP scans (pps).
+	ScanRate float64
+	// FloodRate is the SYN flood rate (pps).
+	FloodRate float64
+	// FloodBurst sends flood packets in back-to-back bursts of this
+	// size, producing the queue-occupancy signature floods leave.
+	FloodBurst int
+	// LorisConns is the number of concurrent SlowLoris connections
+	// per episode.
+	LorisConns int
+	// LorisKeepalive is the per-connection gap between partial header
+	// packets.
+	LorisKeepalive netsim.Time
+}
+
+// DefaultAttackConfig returns the attack intensities used by the
+// experiment presets.
+func DefaultAttackConfig(target netip.Addr) AttackConfig {
+	return AttackConfig{
+		Target:         target,
+		ScanRate:       12000,
+		FloodRate:      40000,
+		FloodBurst:     24,
+		LorisConns:     24,
+		LorisKeepalive: 12 * netsim.Millisecond,
+	}
+}
+
+// scanAttackerAddr is the single source the hping-style scans probe
+// from, as in the paper's simulated attacks.
+var scanAttackerAddr = netip.AddrFrom4([4]byte{203, 0, 113, 77})
+
+// lorisAddrs are the handful of sources a SlowLoris run occupies.
+var lorisAddrs = []netip.Addr{
+	netip.AddrFrom4([4]byte{203, 0, 113, 10}),
+	netip.AddrFrom4([4]byte{203, 0, 113, 11}),
+	netip.AddrFrom4([4]byte{203, 0, 113, 12}),
+}
+
+// GenerateAttacks emits every episode in sched, appending to dst.
+func GenerateAttacks(dst []trace.Record, cfg AttackConfig, sched Schedule, rng *rand.Rand) []trace.Record {
+	for _, ep := range sched {
+		switch ep.Type {
+		case SYNScan:
+			dst = generateScan(dst, cfg, ep, netsim.TCP, rng)
+		case UDPScan:
+			dst = generateScan(dst, cfg, ep, netsim.UDP, rng)
+		case SYNFlood:
+			dst = generateFlood(dst, cfg, ep, rng)
+		case SlowLoris:
+			dst = generateSlowLoris(dst, cfg, ep, rng)
+		}
+	}
+	return dst
+}
+
+// generateScan emits an hping-style port scan: one small probe per
+// destination port, source port incrementing per probe, fixed source
+// address. Every probe is its own single-packet 5-tuple flow.
+func generateScan(dst []trace.Record, cfg AttackConfig, ep Episode, proto netsim.Proto, rng *rand.Rand) []trace.Record {
+	label := SYNScan
+	var flags netsim.TCPFlags
+	length := 40
+	if proto == netsim.UDP {
+		label = UDPScan
+		length = 60
+	} else {
+		flags = netsim.FlagSYN
+	}
+	gapMean := float64(netsim.Second) / cfg.ScanRate
+	sport := uint16(1024 + rng.Intn(2000))
+	dport := uint16(1)
+	for t := ep.Start; t < ep.End; {
+		probe := trace.Record{
+			At: t, Src: scanAttackerAddr, Dst: cfg.Target,
+			SrcPort: sport, DstPort: dport,
+			Proto: proto, Flags: flags, Length: uint16(length),
+			Label: true, AttackType: label,
+		}
+		dst = append(dst, probe)
+		// hping retries unanswered probes: a quarter of flows get a
+		// second identical packet, so scan flows are not uniformly
+		// single-packet.
+		if rng.Float64() < 0.25 {
+			retry := probe
+			retry.At = t + netsim.Time(5+rng.Intn(15))*netsim.Millisecond
+			if retry.At < ep.End {
+				dst = append(dst, retry)
+			}
+		}
+		sport++
+		if sport == 0 {
+			sport = 1024
+		}
+		dport++
+		if dport == 0 {
+			dport = 1
+		}
+		t += netsim.Time(rng.ExpFloat64()*gapMean*0.4 + gapMean*0.6)
+	}
+	return dst
+}
+
+// generateFlood emits a spoofed-source SYN flood toward the target's
+// web port: tiny SYNs at high rate, sent in microbursts so the egress
+// queue visibly builds (the queue-occupancy signature).
+func generateFlood(dst []trace.Record, cfg AttackConfig, ep Episode, rng *rand.Rand) []trace.Record {
+	// A handful of direct (non-spoofed, fixed source port) flooders —
+	// hping without --rand-source — each form one giant flow, while
+	// the spoofed majority mint a fresh flow per packet.
+	type flooder struct {
+		src   netip.Addr
+		sport uint16
+	}
+	direct := make([]flooder, 4)
+	for i := range direct {
+		direct[i] = flooder{
+			src:   netip.AddrFrom4([4]byte{198, 19, byte(10 + i), byte(1 + rng.Intn(254))}),
+			sport: uint16(20000 + rng.Intn(40000)),
+		}
+	}
+	burstGap := netsim.Time(float64(cfg.FloodBurst) * float64(netsim.Second) / cfg.FloodRate)
+	for t := ep.Start; t < ep.End; t += burstGap {
+		for i := 0; i < cfg.FloodBurst; i++ {
+			src := netip.AddrFrom4([4]byte{198, 18, byte(rng.Intn(256)), byte(1 + rng.Intn(254))})
+			sport := uint16(1024 + rng.Intn(60000))
+			if rng.Float64() < 0.3 {
+				f := direct[rng.Intn(len(direct))]
+				src, sport = f.src, f.sport
+			}
+			dst = append(dst, trace.Record{
+				// Burst packets arrive nearly back-to-back.
+				At:  t + netsim.Time(i)*200*netsim.Nanosecond,
+				Src: src, Dst: cfg.Target,
+				SrcPort: sport, DstPort: 80,
+				Proto: netsim.TCP, Flags: netsim.FlagSYN, Length: 40,
+				Label: true, AttackType: SYNFlood,
+			})
+		}
+	}
+	return dst
+}
+
+// generateSlowLoris emits the low-and-slow attack: a modest number of
+// connections, each trickling tiny partial-header packets for the
+// whole episode. Total packet volume stays far below one sFlow
+// sampling interval — the property that makes SlowLoris invisible to
+// sampled monitoring in the paper's Figure 5.
+func generateSlowLoris(dst []trace.Record, cfg AttackConfig, ep Episode, rng *rand.Rand) []trace.Record {
+	for c := 0; c < cfg.LorisConns; c++ {
+		src := lorisAddrs[c%len(lorisAddrs)]
+		sport := uint16(20000 + c*7 + rng.Intn(5))
+		t := ep.Start + netsim.Time(rng.Int63n(int64(cfg.LorisKeepalive)))
+		emit := func(flags netsim.TCPFlags, length int) {
+			dst = append(dst, trace.Record{
+				At: t, Src: src, Dst: cfg.Target, SrcPort: sport, DstPort: 80,
+				Proto: netsim.TCP, Flags: flags, Length: uint16(length),
+				Label: true, AttackType: SlowLoris,
+			})
+		}
+		emit(netsim.FlagSYN, 60)
+		t += netsim.Time(rng.Int63n(int64(netsim.Millisecond)))
+		emit(netsim.FlagACK, 52)
+		for t < ep.End {
+			jitter := netsim.Time(rng.Int63n(int64(cfg.LorisKeepalive) / 4))
+			t += cfg.LorisKeepalive + jitter
+			if t >= ep.End {
+				break
+			}
+			emit(netsim.FlagACK|netsim.FlagPSH, 20+rng.Intn(20))
+		}
+	}
+	return dst
+}

@@ -1,0 +1,158 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/trace"
+)
+
+// BenignConfig shapes the benign web-server workload.
+type BenignConfig struct {
+	// Server is the production web server the capture focused on.
+	Server netip.Addr
+	// Clients is the size of the client address pool.
+	Clients int
+	// SessionsPerDay is the mean number of HTTP-like sessions per
+	// compressed capture day.
+	SessionsPerDay int
+	// MeanResponsePkts is the mean length of a response packet train.
+	MeanResponsePkts int
+	// GapScale is the base intra-session inter-packet gap.
+	GapScale netsim.Time
+}
+
+// DefaultBenignConfig returns the workload shape used by the
+// experiment presets.
+func DefaultBenignConfig(server netip.Addr) BenignConfig {
+	return BenignConfig{
+		Server:           server,
+		Clients:          96,
+		SessionsPerDay:   600,
+		MeanResponsePkts: 8,
+		GapScale:         150 * netsim.Microsecond,
+	}
+}
+
+// benignClientPool builds deterministic client addresses in
+// 172.16.x.y space.
+func benignClientPool(n int) []netip.Addr {
+	pool := make([]netip.Addr, n)
+	for i := range pool {
+		pool[i] = netip.AddrFrom4([4]byte{172, 16, byte(1 + i/250), byte(1 + i%250)})
+	}
+	return pool
+}
+
+// diurnal modulates session arrival intensity over the day: quiet
+// nights, busy afternoons, as in production web traffic.
+func diurnal(frac float64) float64 {
+	return 0.65 + 0.55*math.Sin(2*math.Pi*(frac-0.30))
+}
+
+// GenerateBenign emits benign web sessions across days of length
+// dayLen, appending to dst. Sessions model a TCP handshake, one or
+// more request/response exchanges with ACK clocking, and a FIN
+// teardown — both directions of each connection are emitted, since
+// both traverse the monitored link in the AmLight capture.
+func GenerateBenign(dst []trace.Record, cfg BenignConfig, days int, dayLen netsim.Time, rng *rand.Rand) []trace.Record {
+	pool := benignClientPool(cfg.Clients)
+	horizon := netsim.Time(days) * dayLen
+	// Thinned Poisson arrivals: candidate rate is the peak diurnal rate.
+	peakRate := float64(cfg.SessionsPerDay) * 1.2 / dayLen.Seconds()
+	t := netsim.Time(0)
+	for {
+		gap := netsim.Time(rng.ExpFloat64() / peakRate * float64(netsim.Second))
+		if gap < netsim.Microsecond {
+			gap = netsim.Microsecond
+		}
+		t += gap
+		if t >= horizon {
+			break
+		}
+		frac := float64(t%dayLen) / float64(dayLen)
+		if rng.Float64() > diurnal(frac)/1.2 {
+			continue // thinning
+		}
+		client := pool[rng.Intn(len(pool))]
+		dst = generateSession(dst, cfg, client, t, rng)
+	}
+	return dst
+}
+
+// generateSession appends one HTTP-like session starting at t.
+func generateSession(dst []trace.Record, cfg BenignConfig, client netip.Addr, t netsim.Time, rng *rand.Rand) []trace.Record {
+	sport := uint16(32768 + rng.Intn(28000))
+	dport := uint16(80)
+	if rng.Float64() < 0.55 {
+		dport = 443
+	}
+	// Control-packet sizes vary with the client stack's TCP options
+	// (MSS, SACK, timestamps, window scale): production client SYNs
+	// carry full option sets (≥64 B), while attack tools emit minimal
+	// byte-identical 60 B probes.
+	synSize := 64 + 4*rng.Intn(5) // 64–80
+	ackSize := 52 + 4*rng.Intn(4) // 52–64
+	gap := func(scale float64) netsim.Time {
+		g := netsim.Time(rng.ExpFloat64() * scale * float64(cfg.GapScale))
+		if g < netsim.Microsecond {
+			g = netsim.Microsecond
+		}
+		return g
+	}
+	c2s := func(at netsim.Time, flags netsim.TCPFlags, length int) trace.Record {
+		return trace.Record{
+			At: at, Src: client, Dst: cfg.Server, SrcPort: sport, DstPort: dport,
+			Proto: netsim.TCP, Flags: flags, Length: uint16(length), AttackType: Benign,
+		}
+	}
+	s2c := func(at netsim.Time, flags netsim.TCPFlags, length int) trace.Record {
+		return trace.Record{
+			At: at, Src: cfg.Server, Dst: client, SrcPort: dport, DstPort: sport,
+			Proto: netsim.TCP, Flags: flags, Length: uint16(length), AttackType: Benign,
+		}
+	}
+
+	// Handshake.
+	dst = append(dst, c2s(t, netsim.FlagSYN, synSize))
+	t += gap(1)
+	dst = append(dst, s2c(t, netsim.FlagSYN|netsim.FlagACK, synSize))
+	t += gap(1)
+	dst = append(dst, c2s(t, netsim.FlagACK, ackSize))
+
+	// Request/response exchanges.
+	exchanges := 1 + rng.Intn(3)
+	for x := 0; x < exchanges; x++ {
+		t += gap(2)
+		reqLen := 200 + rng.Intn(1000)
+		dst = append(dst, c2s(t, netsim.FlagACK|netsim.FlagPSH, reqLen))
+		// Server think time, then a response train.
+		t += gap(4)
+		train := 1 + int(rng.ExpFloat64()*float64(cfg.MeanResponsePkts))
+		if train > 60 {
+			train = 60
+		}
+		for i := 0; i < train; i++ {
+			length := 1500
+			if i == train-1 {
+				length = 80 + rng.Intn(1400)
+			}
+			dst = append(dst, s2c(t, netsim.FlagACK, length))
+			t += gap(0.3) // near back-to-back data train
+			if i%2 == 1 {
+				dst = append(dst, c2s(t, netsim.FlagACK, ackSize))
+			}
+		}
+	}
+
+	// Teardown.
+	t += gap(2)
+	dst = append(dst, c2s(t, netsim.FlagFIN|netsim.FlagACK, ackSize))
+	t += gap(1)
+	dst = append(dst, s2c(t, netsim.FlagFIN|netsim.FlagACK, ackSize))
+	t += gap(1)
+	dst = append(dst, c2s(t, netsim.FlagACK, ackSize))
+	return dst
+}
