@@ -1,0 +1,39 @@
+# Developer entry points. `make check` is the gate every change must
+# pass: vet, build, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-obs clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector's ~15x slowdown pushes the heavyweight experiment
+# replays past the package timeout, so the race pass covers the
+# packages where goroutines actually interact.
+race:
+	$(GO) test -race ./internal/core/... ./internal/obs/... \
+		./internal/store/... ./internal/telemetry/... \
+		./internal/netsim/... ./internal/flow/...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# bench-obs runs the live-pipeline latency benchmark and writes the
+# stage/prediction latency percentiles to BENCH_obs.json.
+bench-obs:
+	BENCH_OBS_OUT=$(CURDIR)/BENCH_obs.json $(GO) test -run '^$$' \
+		-bench BenchmarkLivePipeline_Latency -benchtime 5000x .
+	@echo wrote $(CURDIR)/BENCH_obs.json
+
+clean:
+	rm -f BENCH_obs.json
+	$(GO) clean ./...

@@ -6,8 +6,11 @@
 package intddos
 
 import (
+	"encoding/json"
+	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/amlight/intddos/internal/experiment"
 	"github.com/amlight/intddos/internal/flow"
@@ -561,6 +564,108 @@ func BenchmarkMechanismIngest(b *testing.B) {
 		pi.At = netsim.Time(i)
 		mech.Observe(pi)
 	}
+}
+
+// BenchmarkLivePipeline_Latency measures the wall-clock concurrent
+// runtime end to end: per-iteration cost of ingesting one observation
+// into the running pipeline, with the stage/prediction latency
+// percentiles from the obs registry attached via b.ReportMetric.
+// When BENCH_OBS_OUT names a file, the full latency snapshot is also
+// written there as JSON (see `make bench-obs`).
+func BenchmarkLivePipeline_Latency(b *testing.B) {
+	c := benchSetup(b)
+	train, _ := c.INT.Split(0.1, 42)
+	model, scaler, err := FitModel(StageTwoModels()[1], train.Subsample(20000, 42), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := NewObsRegistry()
+	live, err := NewLiveRuntime(LiveRuntimeConfig{
+		Models: []Classifier{model}, Scaler: scaler, Registry: reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	live.Start()
+	defer live.Stop()
+
+	pi := flow.PacketInfo{
+		Key:    flow.Key{Src: traffic.ServerAddr, Dst: traffic.ServerAddr, DstPort: 80, Proto: netsim.TCP},
+		Length: 777, HasTelemetry: true,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Leave pi.At zero: the live runtime stamps wall-clock arrival
+		// itself, which keeps journal-wait measurements meaningful.
+		pi.Key.SrcPort = uint16(i % 512) // spread load over flows
+		live.Ingest(pi)
+	}
+	b.StopTimer()
+	// Drain: the poller coalesces updates per flow, so wait for the
+	// journal and queue to empty rather than for b.N decisions.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if live.DB.JournalLen() == 0 && int(live.Predictions.Load())+int(live.Shed.Load()) > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	snap := live.MetricsSnapshot()
+	if h, ok := snap.Histogram("intddos_predict_latency_seconds"); ok && h.Count > 0 {
+		b.ReportMetric(h.Quantile(0.50)*1e3, "p50-ms")
+		b.ReportMetric(h.Quantile(0.95)*1e3, "p95-ms")
+		b.ReportMetric(h.Quantile(0.99)*1e3, "p99-ms")
+		b.ReportMetric(h.Max*1e3, "max-ms")
+	}
+	writeBenchObs(b, snap)
+}
+
+// writeBenchObs dumps the latency histograms of a metrics snapshot as
+// JSON when the BENCH_OBS_OUT environment variable names a file.
+func writeBenchObs(b *testing.B, snap ObsSnapshot) {
+	path := os.Getenv("BENCH_OBS_OUT")
+	if path == "" {
+		return
+	}
+	type histJSON struct {
+		Count uint64  `json:"count"`
+		P50   float64 `json:"p50_s"`
+		P95   float64 `json:"p95_s"`
+		P99   float64 `json:"p99_s"`
+		Max   float64 `json:"max_s"`
+		Mean  float64 `json:"mean_s"`
+	}
+	out := struct {
+		Bench      string              `json:"bench"`
+		When       string              `json:"when"`
+		Histograms map[string]histJSON `json:"histograms"`
+		Counters   map[string]int64    `json:"counters"`
+	}{
+		Bench:      b.Name(),
+		When:       time.Now().UTC().Format(time.RFC3339),
+		Histograms: map[string]histJSON{},
+		Counters:   snap.Counters,
+	}
+	for name, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		out.Histograms[name] = histJSON{
+			Count: h.Count,
+			P50:   h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+			Max: h.Max, Mean: h.Mean(),
+		}
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote latency snapshot to %s", path)
 }
 
 // benchName formats a sampling rate sub-benchmark name.

@@ -6,15 +6,22 @@
 // Usage:
 //
 //	intddos [-scale small] [-seed 42] [-packets 2500] [-trace file.amtr] [-v]
+//	intddos -live [-obs-addr :9090] [-live-for 1m]
 //
 // With -trace the replayed traffic comes from a capture written by
-// datagen instead of a generated workload.
+// datagen instead of a generated workload. With -live the pipeline
+// runs as concurrent goroutines on the wall clock (the deployment
+// mode) and -obs-addr serves /metrics (Prometheus text), /healthz,
+// /traces, and /debug/pprof while it does.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/amlight/intddos"
 )
@@ -26,11 +33,31 @@ func main() {
 	tracePath := flag.String("trace", "", "optional .amtr trace to replay instead of the built-in workload")
 	saveBundle := flag.String("save-bundle", "", "train the ensemble and write it to this bundle file, then exit")
 	bundlePath := flag.String("bundle", "", "detect over -trace using a pre-trained bundle instead of training")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /traces and pprof on this address (e.g. :9090)")
+	liveMode := flag.Bool("live", false, "run the wall-clock concurrent pipeline instead of the simulated replay")
+	liveFor := flag.Duration("live-for", 0, "keep the -live replay looping for this long (0: one pass; implies looping until SIGINT when negative)")
 	verbose := flag.Bool("v", false, "print every decision")
 	flag.Parse()
 
+	// The observability registry is shared by whichever pipeline runs;
+	// serving it costs nothing when no metrics are registered yet.
+	reg := intddos.NewObsRegistry()
+	if *obsAddr != "" {
+		srv, err := reg.ListenAndServe(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "intddos: obs:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability endpoints on http://%s (/metrics /healthz /traces /debug/pprof)\n", srv.Addr())
+	}
+
 	if *saveBundle != "" {
 		trainAndSave(*saveBundle, *scale, *seed)
+		return
+	}
+	if *liveMode {
+		runLive(*scale, *seed, *packets, *liveFor, reg, *verbose)
 		return
 	}
 	if *tracePath != "" {
@@ -57,6 +84,115 @@ func main() {
 		}
 	}
 	fmt.Print(intddos.FormatTableVI(live))
+}
+
+// runLive drives the wall-clock concurrent runtime (core.Live): it
+// pre-trains an RF offline, replays the simulated sink's INT reports
+// through the pipeline at wall-clock pace, and leaves the obs
+// registry continuously scrapeable while doing so. A final metrics
+// summary — counters, queue gauges, per-stage latency percentiles —
+// is printed on exit.
+func runLive(scale string, seed int64, packets int, liveFor time.Duration, reg *intddos.ObsRegistry, verbose bool) {
+	capture, err := intddos.Collect(intddos.DataConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "intddos:", err)
+		os.Exit(1)
+	}
+	train, _ := capture.INT.Split(0.1, seed)
+	model, scaler, err := intddos.FitModel(intddos.StageTwoModels()[1], train.Subsample(40000, seed), seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "intddos:", err)
+		os.Exit(1)
+	}
+
+	live, err := intddos.NewLiveRuntime(intddos.LiveRuntimeConfig{
+		Models:          []intddos.Classifier{model},
+		Scaler:          scaler,
+		Registry:        reg,
+		FlowIdleTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "intddos:", err)
+		os.Exit(1)
+	}
+	if verbose {
+		live.OnDecision = func(d intddos.Decision) {
+			fmt.Printf("%-40s label=%d latency=%v\n", d.Key, d.Label, time.Duration(d.Latency))
+		}
+	}
+
+	// Materialize the sink's reports once; the live loop replays them.
+	maxReports := 5 * packets
+	var reports []*intddos.Report
+	tb := intddos.NewTestbed(intddos.TestbedConfig{})
+	tb.Collector.OnReport = func(r *intddos.Report, _ intddos.Time) {
+		if len(reports) < maxReports {
+			reports = append(reports, r)
+		}
+	}
+	rp := tb.Replayer(capture.Workload.Records)
+	rp.MaxPackets = maxReports
+	rp.Start()
+	tb.Run()
+	if len(reports) == 0 {
+		fmt.Fprintln(os.Stderr, "intddos: no INT reports collected")
+		os.Exit(1)
+	}
+
+	live.Start()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	deadline := time.Time{}
+	if liveFor > 0 {
+		deadline = time.Now().Add(liveFor)
+	}
+	fmt.Printf("live pipeline running: %d reports per pass", len(reports))
+	if liveFor != 0 {
+		fmt.Printf(", looping for %v", liveFor)
+	}
+	fmt.Println(" (Ctrl-C to stop)")
+
+	passes := 0
+replay:
+	for {
+		for i, r := range reports {
+			live.HandleReport(r)
+			// Pace in small batches so the poll/predict loop keeps up
+			// and queue-depth metrics show realistic occupancy.
+			if i%64 == 63 {
+				select {
+				case <-sig:
+					break replay
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+		}
+		passes++
+		if liveFor == 0 || (!deadline.IsZero() && time.Now().After(deadline)) {
+			break
+		}
+		select {
+		case <-sig:
+			break replay
+		default:
+		}
+	}
+
+	// Drain the backlog briefly, then stop and summarize.
+	drain := time.Now().Add(5 * time.Second)
+	for time.Now().Before(drain) {
+		done := len(live.Decisions()) + int(live.Shed.Load())
+		if done >= int(live.Reports.Load()) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	live.Stop()
+
+	fmt.Printf("\n%d passes, %d reports, %d decisions, %d shed, %d evicted\n",
+		passes, live.Reports.Load(), len(live.Decisions()), live.Shed.Load(), live.Evictions.Load())
+	fmt.Println("\n# metrics snapshot")
+	fmt.Print(live.MetricsSnapshot().FormatSummary())
 }
 
 // trainAndSave trains an RF on a generated workload and writes it as

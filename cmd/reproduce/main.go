@@ -150,6 +150,20 @@ func main() {
 			fmt.Println(intddos.FormatTableVI(live))
 			writeCSV(*csvDir, "table6.csv", func(w io.Writer) error { return intddos.WriteTableVICSV(w, live) })
 		}
+		if sel("table6") {
+			// Table-VI companion: detection latency distribution per
+			// attack type, summarized from every live decision.
+			reg := intddos.NewObsRegistry()
+			hv := reg.HistogramVec("intddos_predict_latency_seconds", "attack_type", intddos.LatencyBuckets())
+			for typ, ds := range live.Decisions {
+				h := hv.With(typ)
+				for _, d := range ds {
+					h.Observe(d.Latency.Seconds())
+				}
+			}
+			fmt.Println(intddos.FormatLatencySummary(
+				"TABLE VI companion: detection latency percentiles by attack type", hv.Snapshots()))
+		}
 		if sel("figure7") {
 			fmt.Println(intddos.FormatFigure7(live, intddos.Benign, 100))
 			fmt.Println(intddos.FormatFigure7(live, intddos.SlowLoris, 100))

@@ -35,6 +35,7 @@ import (
 	"github.com/amlight/intddos/internal/mitigate"
 	"github.com/amlight/intddos/internal/ml"
 	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/obs"
 	"github.com/amlight/intddos/internal/sflow"
 	"github.com/amlight/intddos/internal/telemetry"
 	"github.com/amlight/intddos/internal/testbed"
@@ -180,6 +181,37 @@ type (
 	MitigateConfig = mitigate.Config
 	// RuleGenerator turns attack decisions into expiring drop rules.
 	RuleGenerator = mitigate.Generator
+)
+
+// Observability layer: a dependency-free metrics registry with
+// counters, gauges, and lock-free latency histograms, a sampled
+// per-stage span tracer, and an HTTP surface exposing /metrics
+// (Prometheus text), /healthz, /traces, and pprof. Wire a registry
+// into LiveRuntimeConfig.Registry (or read Live.Obs()) and mount
+// Registry.Handler() to watch the pipeline run.
+type (
+	// ObsRegistry names and owns a set of metrics for one pipeline.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is a point-in-time copy of every metric.
+	ObsSnapshot = obs.Snapshot
+	// ObsHistogramSnapshot is one histogram's state with quantiles.
+	ObsHistogramSnapshot = obs.HistogramSnapshot
+	// ObsServer is a running observability HTTP listener.
+	ObsServer = obs.Server
+	// PipelineTrace is one sampled record's per-stage timing journey.
+	PipelineTrace = obs.Trace
+)
+
+// NewObsRegistry returns an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// Observability helpers.
+var (
+	// LatencyBuckets is the default 1µs–60s histogram bucket ladder.
+	LatencyBuckets = obs.LatencyBuckets
+	// FormatLatencySummary renders a Table-VI-style percentile table
+	// (p50/p95/p99/max) from per-label histogram snapshots.
+	FormatLatencySummary = obs.FormatLatencySummary
 )
 
 // NewMicroburstDetector builds a detector with the given queue-depth

@@ -9,6 +9,7 @@ import (
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/ml"
 	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/obs"
 	"github.com/amlight/intddos/internal/store"
 	"github.com/amlight/intddos/internal/telemetry"
 )
@@ -42,6 +43,77 @@ type LiveConfig struct {
 	// SkipNewRecords restricts prediction to record updates (§III-3
 	// strict reading).
 	SkipNewRecords bool
+
+	// FlowIdleTimeout evicts flows idle past this TTL — their vote
+	// windows, flow-table state, and database records — so long runs
+	// don't accumulate per-flow memory without bound. Zero disables
+	// eviction. Evictions are counted in intddos_evictions_total.
+	FlowIdleTimeout time.Duration
+	// SweepInterval is how often the eviction pass runs (default:
+	// FlowIdleTimeout).
+	SweepInterval time.Duration
+
+	// Registry receives the runtime's metrics, stage histograms, and
+	// decision tracer; nil builds a private registry, readable via
+	// Obs(). A registry should be scoped to one pipeline instance.
+	Registry *obs.Registry
+	// TraceSampleEvery routes 1-in-N flow records through the
+	// per-stage span tracer (default 64; negative disables tracing).
+	TraceSampleEvery int
+}
+
+// liveMetrics bundles the runtime's obs instruments. All fields are
+// nil-safe, so a zero value disables instrumentation.
+type liveMetrics struct {
+	reports     *obs.Counter
+	snapshots   *obs.Counter
+	predictions *obs.Counter
+	shed        *obs.Counter
+	polls       *obs.Counter
+	evictions   *obs.Counter
+
+	decisions *obs.CounterVec // by attack_type
+	misclass  *obs.CounterVec // by attack_type
+
+	predictLatency *obs.Histogram // end-to-end §III-2 prediction latency
+
+	// Per-stage latency histograms (children of intddos_stage_seconds
+	// cached so the hot path skips the vec lookup).
+	stageIngest  *obs.Histogram
+	stageJournal *obs.Histogram
+	stageQueue   *obs.Histogram
+	stagePredict *obs.Histogram
+	stageVote    *obs.Histogram
+}
+
+// newLiveMetrics registers the runtime's instruments on reg.
+func newLiveMetrics(reg *obs.Registry) liveMetrics {
+	stages := reg.HistogramVec("intddos_stage_seconds", "stage", nil)
+	return liveMetrics{
+		reports:        reg.Counter("intddos_reports_total"),
+		snapshots:      reg.Counter("intddos_snapshots_total"),
+		predictions:    reg.Counter("intddos_predictions_total"),
+		shed:           reg.Counter("intddos_shed_total"),
+		polls:          reg.Counter("intddos_polls_total"),
+		evictions:      reg.Counter("intddos_evictions_total"),
+		decisions:      reg.CounterVec("intddos_decisions_total", "attack_type"),
+		misclass:       reg.CounterVec("intddos_misclassified_total", "attack_type"),
+		predictLatency: reg.Histogram("intddos_predict_latency_seconds", nil),
+		stageIngest:    stages.With("ingest"),
+		stageJournal:   stages.With("journal_wait"),
+		stageQueue:     stages.With("queue_wait"),
+		stagePredict:   stages.With("scale_predict"),
+		stageVote:      stages.With("vote"),
+	}
+}
+
+// queued is one flow record in flight to the prediction workers,
+// carrying the timestamps and (for sampled records) the span trace
+// that make per-stage latencies observable.
+type queued struct {
+	rec        store.FlowRecord
+	enqueuedAt time.Time
+	tr         *obs.Trace
 }
 
 // Live runs the four Figure 2 modules as concurrent goroutines over
@@ -60,20 +132,27 @@ type Live struct {
 	DB     *store.DB
 	cursor uint64
 
-	reqCh chan store.FlowRecord
+	reqCh chan queued
 	quit  chan struct{}
 	wg    sync.WaitGroup
+	stop  sync.Once
+
+	reg    *obs.Registry
+	met    liveMetrics
+	tracer *obs.Tracer
 
 	decisions []Decision
 	// OnDecision observes every final decision (called off the
 	// prediction goroutine; keep it fast).
 	OnDecision func(Decision)
 
-	// Stats (atomics: read while running).
+	// Stats (atomics: read while running). Mirrored into the obs
+	// registry; kept for compatibility with existing callers.
 	Reports     atomic.Int64
 	Snapshots   atomic.Int64
 	Predictions atomic.Int64
 	Shed        atomic.Int64
+	Evictions   atomic.Int64
 }
 
 // NewLive validates cfg and builds the runtime.
@@ -108,17 +187,47 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	if cfg.VoteWindow <= 0 {
 		cfg.VoteWindow = 3
 	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = cfg.FlowIdleTimeout
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
 	l := &Live{
 		cfg:     cfg,
 		table:   flow.NewTable(),
 		windows: make(map[flow.Key][]int),
 		DB:      store.New(),
-		reqCh:   make(chan store.FlowRecord, cfg.QueueCap),
+		reqCh:   make(chan queued, cfg.QueueCap),
 		quit:    make(chan struct{}),
+		reg:     cfg.Registry,
 	}
+	l.table.IdleTimeout = netsim.Time(cfg.FlowIdleTimeout)
 	l.DB.JournalNew = !cfg.SkipNewRecords
+	l.met = newLiveMetrics(l.reg)
+	if cfg.TraceSampleEvery >= 0 {
+		l.tracer = l.reg.Tracer("intddos_pipeline", cfg.TraceSampleEvery, 64)
+	}
+	l.reg.GaugeFunc("intddos_queue_depth", func() float64 { return float64(len(l.reqCh)) })
+	l.reg.GaugeFunc("intddos_queue_capacity", func() float64 { return float64(cap(l.reqCh)) })
+	l.reg.GaugeFunc("intddos_vote_windows", func() float64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return float64(len(l.windows))
+	})
+	l.DB.Instrument(l.reg)
 	return l, nil
 }
+
+// Obs returns the runtime's metrics registry (the one passed in
+// LiveConfig.Registry, or the private default). Mount Obs().Handler()
+// to serve /metrics, /healthz, /traces, and pprof.
+func (l *Live) Obs() *obs.Registry { return l.reg }
+
+// MetricsSnapshot captures every runtime metric — counters, queue
+// gauges, and the per-stage latency histograms — for end-of-run
+// summaries.
+func (l *Live) MetricsSnapshot() obs.Snapshot { return l.reg.Snapshot() }
 
 // now returns the wall clock in the repository's Time domain.
 func now() netsim.Time { return netsim.Time(time.Now().UnixNano()) }
@@ -134,9 +243,12 @@ func (l *Live) Start() {
 }
 
 // Stop terminates the pipeline and waits for the goroutines. Pending
-// queue items are abandoned.
+// queue items are abandoned, not drained: records already handed to a
+// prediction worker finish and are logged, records still queued are
+// dropped silently (they were never acknowledged anywhere). Stop is
+// idempotent — extra calls wait for the same shutdown and return.
 func (l *Live) Stop() {
-	close(l.quit)
+	l.stop.Do(func() { close(l.quit) })
 	l.wg.Wait()
 }
 
@@ -144,12 +256,14 @@ func (l *Live) Stop() {
 // Data Processor). Safe for concurrent use.
 func (l *Live) HandleReport(r *telemetry.Report) {
 	l.Reports.Add(1)
+	l.met.reports.Inc()
 	l.Ingest(flow.FromINT(r, now()))
 }
 
 // Ingest folds a normalized observation into the flow table and
 // writes its snapshot to the database. Safe for concurrent use.
 func (l *Live) Ingest(pi flow.PacketInfo) {
+	start := time.Now()
 	if pi.At == 0 {
 		pi.At = now()
 	}
@@ -160,6 +274,8 @@ func (l *Live) Ingest(pi flow.PacketInfo) {
 	l.mu.Unlock()
 	l.DB.UpsertFlow(key, feats, reg, last, updates, pi.Label, pi.AttackType)
 	l.Snapshots.Add(1)
+	l.met.snapshots.Inc()
+	l.met.stageIngest.Since(start)
 }
 
 // Decisions returns a copy of the decision log.
@@ -172,28 +288,73 @@ func (l *Live) Decisions() []Decision {
 }
 
 // centralServer polls the database journal and feeds the prediction
-// queue, shedding when it is full.
+// queue, shedding when it is full. It also runs the idle-flow
+// eviction sweeps when a TTL is configured.
 func (l *Live) centralServer() {
 	defer l.wg.Done()
 	ticker := time.NewTicker(l.cfg.PollInterval)
 	defer ticker.Stop()
+	var sweepC <-chan time.Time
+	if l.cfg.FlowIdleTimeout > 0 {
+		sweeper := time.NewTicker(l.cfg.SweepInterval)
+		defer sweeper.Stop()
+		sweepC = sweeper.C
+	}
 	for {
 		select {
 		case <-l.quit:
 			return
+		case <-sweepC:
+			l.sweep()
 		case <-ticker.C:
 			recs, cur := l.DB.PollUpdates(l.cursor, l.cfg.PollBatch)
 			l.cursor = cur
 			l.DB.TrimJournal(cur)
+			l.met.polls.Inc()
+			polled := time.Now()
 			for _, rec := range recs {
+				// Journal wait: snapshot write → this poll.
+				updated := time.Unix(0, int64(rec.UpdatedAt))
+				l.met.stageJournal.ObserveDuration(polled.Sub(updated))
+				tr := l.tracer.Sample(rec.Key.String())
+				tr.StageAt("journal_wait", updated, polled)
 				select {
-				case l.reqCh <- rec:
+				case l.reqCh <- queued{rec: rec, enqueuedAt: polled, tr: tr}:
 				default:
 					l.Shed.Add(1)
+					l.met.shed.Inc()
 				}
 			}
 		}
 	}
+}
+
+// sweep evicts flows idle past FlowIdleTimeout: their vote windows,
+// flow-table state, and database records.
+func (l *Live) sweep() {
+	cutoff := now()
+	timeout := netsim.Time(l.cfg.FlowIdleTimeout)
+	var stale []flow.Key
+	l.mu.Lock()
+	for key := range l.windows {
+		st := l.table.Get(key)
+		if st == nil || cutoff-st.LastAt > timeout {
+			delete(l.windows, key)
+		}
+	}
+	l.table.Range(func(st *flow.State) bool {
+		if cutoff-st.LastAt > timeout {
+			stale = append(stale, st.Key)
+		}
+		return true
+	})
+	evicted := l.table.Sweep(cutoff)
+	l.mu.Unlock()
+	for _, key := range stale {
+		l.DB.DeleteFlow(key)
+	}
+	l.Evictions.Add(int64(evicted))
+	l.met.evictions.Add(int64(evicted))
 }
 
 // predictionWorker standardizes snapshots, runs the ensemble, and
@@ -205,8 +366,12 @@ func (l *Live) predictionWorker() {
 		select {
 		case <-l.quit:
 			return
-		case rec := <-l.reqCh:
-			l.cfg.Scaler.TransformRow(scaled, rec.Features)
+		case q := <-l.reqCh:
+			dequeued := time.Now()
+			l.met.stageQueue.ObserveDuration(dequeued.Sub(q.enqueuedAt))
+			q.tr.StageAt("queue_wait", q.enqueuedAt, dequeued)
+
+			l.cfg.Scaler.TransformRow(scaled, q.rec.Features)
 			votes := make([]int, len(l.cfg.Models))
 			ones := 0
 			for i, m := range l.cfg.Models {
@@ -214,17 +379,23 @@ func (l *Live) predictionWorker() {
 				ones += votes[i]
 			}
 			l.Predictions.Add(1)
+			l.met.predictions.Inc()
+			predicted := time.Now()
+			l.met.stagePredict.ObserveDuration(predicted.Sub(dequeued))
+			q.tr.StageAt("scale_predict", dequeued, predicted)
+
 			raw := 0
 			if ones >= l.cfg.ModelQuorum {
 				raw = 1
 			}
-			l.finish(rec, raw, votes)
+			l.finish(q, raw, votes, predicted)
 		}
 	}
 }
 
 // finish applies window voting and logs the decision.
-func (l *Live) finish(rec store.FlowRecord, raw int, votes []int) {
+func (l *Live) finish(q queued, raw int, votes []int, predicted time.Time) {
+	rec := q.rec
 	t := now()
 	l.mu.Lock()
 	w := append(l.windows[rec.Key], raw)
@@ -253,6 +424,20 @@ func (l *Live) finish(rec store.FlowRecord, raw int, votes []int) {
 	l.decisions = append(l.decisions, d)
 	cb := l.OnDecision
 	l.mu.Unlock()
+
+	typ := rec.AttackType
+	if typ == "" {
+		typ = "unknown"
+	}
+	l.met.decisions.With(typ).Inc()
+	if !d.Correct() {
+		l.met.misclass.With(typ).Inc()
+	}
+	l.met.predictLatency.Observe(d.Latency.Seconds())
+	voted := time.Now()
+	l.met.stageVote.ObserveDuration(voted.Sub(predicted))
+	q.tr.StageAt("vote", predicted, voted)
+	l.tracer.Finish(q.tr)
 
 	l.DB.AppendPrediction(store.PredictionRecord{
 		Key: rec.Key, Label: label, At: t, Latency: d.Latency,

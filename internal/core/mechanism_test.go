@@ -63,7 +63,7 @@ func attackDetector() stubModel {
 	return stubModel{name: "stub", index: 1, thresh: 100}
 }
 
-func obs(sport uint16, at netsim.Time, length int, label bool, typ string) flow.PacketInfo {
+func simObs(sport uint16, at netsim.Time, length int, label bool, typ string) flow.PacketInfo {
 	return flow.PacketInfo{
 		Key: flow.Key{
 			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"),
@@ -103,7 +103,7 @@ func TestMechanismEndToEndDecision(t *testing.T) {
 	// Three attack packets in one flow.
 	for i := 0; i < 3; i++ {
 		at := netsim.Time(i) * 100 * netsim.Microsecond
-		eng.Schedule(at, func() { m.Observe(obs(7, eng.Now(), 40, true, "synflood")) })
+		eng.Schedule(at, func() { m.Observe(simObs(7, eng.Now(), 40, true, "synflood")) })
 	}
 	eng.RunUntil(50 * netsim.Millisecond)
 	if m.Snapshots != 3 {
@@ -139,7 +139,7 @@ func TestMechanismEnsembleQuorum(t *testing.T) {
 	cfg.ModelQuorum = 2
 	m, _ := New(eng, cfg)
 	m.Start()
-	eng.Schedule(0, func() { m.Observe(obs(1, 0, 40, true, "synflood")) })
+	eng.Schedule(0, func() { m.Observe(simObs(1, 0, 40, true, "synflood")) })
 	eng.RunUntil(20 * netsim.Millisecond)
 	if len(m.Decisions) != 1 || m.Decisions[0].Label != 0 {
 		t.Fatalf("1-of-3 quorum-2 decisions = %+v", m.Decisions)
@@ -151,7 +151,7 @@ func TestMechanismEnsembleQuorum(t *testing.T) {
 	cfg2.ModelQuorum = 2
 	m2, _ := New(eng2, cfg2)
 	m2.Start()
-	eng2.Schedule(0, func() { m2.Observe(obs(1, 0, 40, true, "synflood")) })
+	eng2.Schedule(0, func() { m2.Observe(simObs(1, 0, 40, true, "synflood")) })
 	eng2.RunUntil(20 * netsim.Millisecond)
 	if len(m2.Decisions) != 1 || m2.Decisions[0].Label != 1 {
 		t.Fatalf("2-of-3 quorum-2 decisions = %+v", m2.Decisions)
@@ -171,7 +171,7 @@ func TestMechanismWindowSmoothing(t *testing.T) {
 	for i, size := range sizes {
 		at := netsim.Time(i) * 10 * netsim.Millisecond
 		size := size
-		eng.Schedule(at, func() { m.Observe(obs(2, eng.Now(), size, true, "synflood")) })
+		eng.Schedule(at, func() { m.Observe(simObs(2, eng.Now(), size, true, "synflood")) })
 	}
 	eng.RunUntil(netsim.Second)
 	if len(m.Decisions) != 3 {
@@ -188,8 +188,8 @@ func TestMechanismWindowTieResolvesBenign(t *testing.T) {
 	m, _ := New(eng, testConfig(attackDetector()))
 	m.Start()
 	// Two packets: one attack-looking, one benign-looking → [1,0].
-	eng.Schedule(0, func() { m.Observe(obs(3, 0, 40, false, "benign")) })
-	eng.Schedule(10*netsim.Millisecond, func() { m.Observe(obs(3, eng.Now(), 1000, false, "benign")) })
+	eng.Schedule(0, func() { m.Observe(simObs(3, 0, 40, false, "benign")) })
+	eng.Schedule(10*netsim.Millisecond, func() { m.Observe(simObs(3, eng.Now(), 1000, false, "benign")) })
 	eng.RunUntil(netsim.Second)
 	if len(m.Decisions) != 2 {
 		t.Fatalf("decisions = %d", len(m.Decisions))
@@ -205,12 +205,12 @@ func TestMechanismSkipNewRecordsSkipsFirstPacket(t *testing.T) {
 	cfg.SkipNewRecords = true
 	m, _ := New(eng, cfg)
 	m.Start()
-	eng.Schedule(0, func() { m.Observe(obs(4, 0, 40, true, "synscan")) })
+	eng.Schedule(0, func() { m.Observe(simObs(4, 0, 40, true, "synscan")) })
 	eng.RunUntil(100 * netsim.Millisecond)
 	if len(m.Decisions) != 0 {
 		t.Fatalf("single-packet flow produced %d decisions with SkipNewRecords", len(m.Decisions))
 	}
-	eng.Schedule(eng.Now(), func() { m.Observe(obs(4, eng.Now(), 40, true, "synscan")) })
+	eng.Schedule(eng.Now(), func() { m.Observe(simObs(4, eng.Now(), 40, true, "synscan")) })
 	eng.RunUntil(200 * netsim.Millisecond)
 	if len(m.Decisions) != 1 {
 		t.Fatalf("update produced %d decisions", len(m.Decisions))
@@ -229,7 +229,7 @@ func TestMechanismBacklogLatencyGrows(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		sport := uint16(100 + i)
 		at := netsim.Time(i) * 100 * netsim.Microsecond
-		eng.Schedule(at, func() { m.Observe(obs(sport, eng.Now(), 1000, false, "benign")) })
+		eng.Schedule(at, func() { m.Observe(simObs(sport, eng.Now(), 1000, false, "benign")) })
 	}
 	eng.RunUntil(5 * netsim.Second)
 	if len(m.Decisions) != 100 {
@@ -254,7 +254,7 @@ func TestMechanismQueueCapDrops(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		sport := uint16(i)
 		eng.Schedule(netsim.Time(i)*10*netsim.Microsecond, func() {
-			m.Observe(obs(sport, eng.Now(), 1000, false, "benign"))
+			m.Observe(simObs(sport, eng.Now(), 1000, false, "benign"))
 		})
 	}
 	eng.RunUntil(10 * netsim.Second)
@@ -273,7 +273,7 @@ func TestMechanismSweepEvictsState(t *testing.T) {
 	cfg.SweepInterval = 20 * netsim.Millisecond
 	m, _ := New(eng, cfg)
 	m.Start()
-	eng.Schedule(0, func() { m.Observe(obs(9, 0, 40, true, "synscan")) })
+	eng.Schedule(0, func() { m.Observe(simObs(9, 0, 40, true, "synscan")) })
 	eng.RunUntil(netsim.Second)
 	if m.Table.Len() != 0 {
 		t.Errorf("flow table len = %d after idle timeout", m.Table.Len())

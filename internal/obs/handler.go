@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+)
+
+// Handler returns the registry's HTTP surface:
+//
+//	/metrics      Prometheus text exposition format
+//	/healthz      liveness probe ("ok")
+//	/traces       recent sampled pipeline traces, one per line
+//	/debug/pprof  the standard Go profiling endpoints
+//	/             an index of the above
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.mu.Lock()
+		names := make([]string, 0, len(r.tracers))
+		tracers := make([]*Tracer, 0, len(r.tracers))
+		for name := range r.tracers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tracers = append(tracers, r.tracers[name])
+		}
+		r.mu.Unlock()
+		for i, t := range tracers {
+			fmt.Fprintf(w, "# tracer %s (1 in %d, %d sampled)\n", names[i], t.every, t.SampledCount())
+			for _, tr := range t.Recent() {
+				fmt.Fprintln(w, tr.String())
+			}
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "intddos observability endpoints:")
+		for _, p := range []string{"/metrics", "/healthz", "/traces", "/debug/pprof/"} {
+			fmt.Fprintln(w, "  "+p)
+		}
+	})
+	return mux
+}
+
+// Server is a running observability HTTP listener.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe starts serving the registry's Handler on addr
+// (":9090", "127.0.0.1:0", ...) in a background goroutine. Close the
+// returned server to stop.
+func (r *Registry) ListenAndServe(addr string) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(lis)
+	return &Server{lis: lis, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,258 @@
+// Package obs is the repository's dependency-free observability
+// layer: a metrics registry (counters, gauges, fixed-bucket latency
+// histograms, one-label vectors), a sampled span tracer for per-stage
+// pipeline timings, a Prometheus-text/pprof HTTP handler, and a
+// Snapshot API for end-of-run summaries.
+//
+// The paper reports its real-time behaviour post hoc (Table VI:
+// average/max prediction time, per-attack misclassification counts);
+// obs makes the same quantities continuously readable from the live
+// pipeline. Hot-path primitives are lock-free (atomics only) and all
+// instrument types are nil-safe, so an uninstrumented component pays
+// one branch per event.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Nil-safe.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (negative deltas are ignored to
+// keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. Nil-safe.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(floatBits(v))
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFromBits(g.bits.Load())
+}
+
+// CounterVec is a family of counters keyed by one label value.
+type CounterVec struct {
+	name  string
+	label string
+
+	mu   sync.Mutex
+	kids map[string]*Counter
+}
+
+// With returns the child counter for the label value, creating it on
+// first use. Nil-safe: a nil vec returns a nil (no-op) counter.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.kids[value]
+	if !ok {
+		c = &Counter{name: v.name}
+		v.kids[value] = c
+	}
+	return c
+}
+
+// Values returns the current per-label counts.
+func (v *CounterVec) Values() map[string]int64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]int64, len(v.kids))
+	for val, c := range v.kids {
+		out[val] = c.Value()
+	}
+	return out
+}
+
+func (v *CounterVec) labelValues() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, 0, len(v.kids))
+	for val := range v.kids {
+		vals = append(vals, val)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// Registry names and owns a set of metrics. Registration is
+// idempotent: asking for an existing name returns the existing
+// instrument (kind mismatches panic — they are programming errors).
+// A registry is scoped to one pipeline instance; sharing one between
+// two pipelines merges their counts.
+type Registry struct {
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	counterFns  map[string]func() float64
+	gauges      map[string]*Gauge
+	gaugeFns    map[string]func() float64
+	counterVecs map[string]*CounterVec
+	hists       map[string]*Histogram
+	histVecs    map[string]*HistogramVec
+	tracers     map[string]*Tracer
+	kinds       map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:    make(map[string]*Counter),
+		counterFns:  make(map[string]func() float64),
+		gauges:      make(map[string]*Gauge),
+		gaugeFns:    make(map[string]func() float64),
+		counterVecs: make(map[string]*CounterVec),
+		hists:       make(map[string]*Histogram),
+		histVecs:    make(map[string]*HistogramVec),
+		tracers:     make(map[string]*Tracer),
+		kinds:       make(map[string]string),
+	}
+}
+
+// claim records name as kind, panicking on cross-kind reuse.
+func (r *Registry) claim(name, kind string) bool {
+	if prev, ok := r.kinds[name]; ok {
+		if prev != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, prev))
+		}
+		return false
+	}
+	r.kinds[name] = kind
+	return true
+}
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.claim(name, "counter") {
+		r.counters[name] = &Counter{name: name}
+	}
+	return r.counters[name]
+}
+
+// CounterFunc exposes an externally maintained monotone value (for
+// example an existing atomic counter) under name. The first
+// registration wins; later ones are ignored.
+func (r *Registry) CounterFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.claim(name, "counterfunc") {
+		r.counterFns[name] = fn
+	}
+}
+
+// Gauge registers (or fetches) a settable gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.claim(name, "gauge") {
+		r.gauges[name] = &Gauge{name: name}
+	}
+	return r.gauges[name]
+}
+
+// GaugeFunc exposes a computed instantaneous value under name (for
+// example a channel depth). The callback runs on the scrape/snapshot
+// goroutine and must be safe to call concurrently with the pipeline.
+// The first registration wins; later ones are ignored.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.claim(name, "gaugefunc") {
+		r.gaugeFns[name] = fn
+	}
+}
+
+// CounterVec registers (or fetches) a one-label counter family.
+func (r *Registry) CounterVec(name, label string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.claim(name, "countervec") {
+		r.counterVecs[name] = &CounterVec{name: name, label: label, kids: make(map[string]*Counter)}
+	}
+	return r.counterVecs[name]
+}
+
+// Histogram registers (or fetches) a histogram with the given bucket
+// upper bounds (nil selects LatencyBuckets).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.claim(name, "histogram") {
+		if bounds == nil {
+			bounds = LatencyBuckets()
+		}
+		r.hists[name] = newHistogram(name, bounds)
+	}
+	return r.hists[name]
+}
+
+// HistogramVec registers (or fetches) a one-label histogram family.
+func (r *Registry) HistogramVec(name, label string, bounds []float64) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.claim(name, "histogramvec") {
+		if bounds == nil {
+			bounds = LatencyBuckets()
+		}
+		r.histVecs[name] = newHistogramVec(name, label, bounds)
+	}
+	return r.histVecs[name]
+}
+
+// Tracer registers (or fetches) a sampled span tracer.
+func (r *Registry) Tracer(name string, sampleEvery, keep int) *Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.claim(name, "tracer") {
+		r.tracers[name] = newTracer(name, sampleEvery, keep)
+	}
+	return r.tracers[name]
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

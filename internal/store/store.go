@@ -10,9 +10,11 @@ package store
 
 import (
 	"sync"
+	"time"
 
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/obs"
 )
 
 // FlowRecord is one database row: the newest feature snapshot for a
@@ -72,6 +74,21 @@ type DB struct {
 	// (per-packet predictions from the first packet on, Figure 7)
 	// require true, the default used by the mechanism.
 	JournalNew bool
+
+	// UpsertLatency, when set, observes the wall-clock duration of
+	// every UpsertFlow call in seconds (nil-safe; set by Instrument).
+	UpsertLatency *obs.Histogram
+}
+
+// Instrument registers the database's metrics on reg: the journal
+// backlog and live-record gauges, and the upsert latency histogram.
+// Call once per database; re-registration on the same registry is a
+// no-op for the gauges.
+func (db *DB) Instrument(reg *obs.Registry) {
+	reg.GaugeFunc("intddos_store_journal_length", func() float64 { return float64(db.JournalLen()) })
+	reg.GaugeFunc("intddos_store_flows", func() float64 { return float64(db.FlowCount()) })
+	reg.GaugeFunc("intddos_store_predictions_logged", func() float64 { return float64(db.PredictionCount()) })
+	db.UpsertLatency = reg.Histogram("intddos_store_upsert_seconds", nil)
 }
 
 // New returns an empty database that journals new records.
@@ -82,6 +99,9 @@ func New() *DB {
 // UpsertFlow writes a feature snapshot for key, returning whether the
 // record was created. The features slice is copied.
 func (db *DB) UpsertFlow(key flow.Key, features []float64, registeredAt, updatedAt netsim.Time, updates int, truth bool, attackType string) (created bool) {
+	if db.UpsertLatency != nil {
+		defer db.UpsertLatency.Since(time.Now())
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	rec, ok := db.flows[key]

@@ -6,6 +6,7 @@ import (
 
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/obs"
 )
 
 func key(p uint16) flow.Key {
@@ -152,5 +153,28 @@ func TestDeleteFlow(t *testing.T) {
 	// Re-upsert after delete is a create again.
 	if !db.UpsertFlow(key(1), []float64{1}, 0, 0, 1, false, "") {
 		t.Error("re-create after delete not flagged as created")
+	}
+}
+
+func TestInstrument(t *testing.T) {
+	db := New()
+	reg := obs.NewRegistry()
+	db.Instrument(reg)
+	db.UpsertFlow(key(1), []float64{1}, 0, 0, 1, false, "")
+	db.UpsertFlow(key(1), []float64{2}, 0, 1, 2, false, "")
+
+	s := reg.Snapshot()
+	if got := s.Gauges["intddos_store_flows"]; got != 1 {
+		t.Errorf("flows gauge = %v, want 1", got)
+	}
+	if got := s.Gauges["intddos_store_journal_length"]; got != 2 {
+		t.Errorf("journal gauge = %v, want 2", got)
+	}
+	if h, ok := s.Histogram("intddos_store_upsert_seconds"); !ok || h.Count != 2 {
+		t.Errorf("upsert histogram count = %d, want 2", h.Count)
+	}
+	db.TrimJournal(2)
+	if got := reg.Snapshot().Gauges["intddos_store_journal_length"]; got != 0 {
+		t.Errorf("journal gauge after trim = %v, want 0", got)
 	}
 }

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/obs"
 )
 
 // Collector is the INT collector: it terminates report datagrams,
@@ -22,6 +23,22 @@ type Collector struct {
 	DecodeErrors int
 	SeqGaps      int // reports inferred lost from sequence discontinuities
 	lastSeq      uint64
+
+	// Obs mirrors (nil-safe; set by Instrument). The plain-int stats
+	// above are only safe to read from the event loop; these counters
+	// are safe to scrape concurrently.
+	decoded *obs.Counter
+	dropped *obs.Counter
+	gaps    *obs.Counter
+}
+
+// Instrument registers concurrent-scrape-safe counters for the
+// collector's decode statistics on reg. Call before the simulation
+// starts.
+func (c *Collector) Instrument(reg *obs.Registry) {
+	c.decoded = reg.Counter("intddos_telemetry_reports_decoded_total")
+	c.dropped = reg.Counter("intddos_telemetry_reports_dropped_total")
+	c.gaps = reg.Counter("intddos_telemetry_seq_gaps_total")
 }
 
 // NewCollector constructs a collector on eng.
@@ -34,11 +51,14 @@ func (c *Collector) Receive(p *netsim.Packet) {
 	rep, err := DecodeReport(p.Payload)
 	if err != nil {
 		c.DecodeErrors++
+		c.dropped.Inc()
 		return
 	}
 	c.Received++
+	c.decoded.Inc()
 	if c.lastSeq != 0 && rep.Seq > c.lastSeq+1 {
 		c.SeqGaps += int(rep.Seq - c.lastSeq - 1)
+		c.gaps.Add(int64(rep.Seq - c.lastSeq - 1))
 	}
 	if rep.Seq > c.lastSeq {
 		c.lastSeq = rep.Seq

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"testing"
+
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/obs"
+)
+
+func TestCollectorInstrument(t *testing.T) {
+	eng := netsim.NewEngine()
+	col := NewCollector(eng)
+	reg := obs.NewRegistry()
+	col.Instrument(reg)
+
+	good := sampleReport()
+	col.Receive(&netsim.Packet{Payload: good.Encode(InstAll)})
+	bad := sampleReport()
+	bad.Seq = good.Seq + 3 // two reports inferred lost
+	col.Receive(&netsim.Packet{Payload: bad.Encode(InstAll)})
+	col.Receive(&netsim.Packet{Payload: []byte{0xff}}) // undecodable
+
+	s := reg.Snapshot()
+	if got := s.Counters["intddos_telemetry_reports_decoded_total"]; got != 2 {
+		t.Errorf("decoded = %d, want 2", got)
+	}
+	if got := s.Counters["intddos_telemetry_reports_dropped_total"]; got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+	if got := s.Counters["intddos_telemetry_seq_gaps_total"]; got != 2 {
+		t.Errorf("seq gaps = %d, want 2", got)
+	}
+	// Obs counters mirror the event-loop stats.
+	if col.Received != 2 || col.DecodeErrors != 1 || col.SeqGaps != 2 {
+		t.Errorf("plain stats = %d/%d/%d", col.Received, col.DecodeErrors, col.SeqGaps)
+	}
+}
+
+func TestNetCollectorInstrument(t *testing.T) {
+	col, err := ListenReports("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	reg := obs.NewRegistry()
+	col.Instrument(reg)
+	col.Received.Add(5)
+	col.DecodeErrors.Add(1)
+
+	s := reg.Snapshot()
+	if got := s.Counters["intddos_telemetry_reports_received_total"]; got != 5 {
+		t.Errorf("received = %d, want 5", got)
+	}
+	if got := s.Counters["intddos_telemetry_report_decode_errors_total"]; got != 1 {
+		t.Errorf("decode errors = %d, want 1", got)
+	}
+}
