@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the gate every change must
-# pass: vet, build, and the full test suite under the race detector.
+# pass: vet, build, the full test suite, the race pass, and a short
+# fuzz smoke over every wire-format parser.
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-obs clean
+.PHONY: check vet build test race bench bench-obs bench-shard fuzz-smoke clean
 
-check: vet build test race
+check: vet build test race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +25,17 @@ race:
 		./internal/store/... ./internal/telemetry/... \
 		./internal/netsim/... ./internal/flow/...
 
+# fuzz-smoke runs each fuzz target for 10s from its committed seed
+# corpus (testdata/fuzz/) — enough to catch format-level regressions
+# without turning `make check` into a fuzzing campaign.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeHeader$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeHop$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeReport$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/sflow/
+	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/trace/
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
@@ -34,6 +46,14 @@ bench-obs:
 		-bench BenchmarkLivePipeline_Latency -benchtime 5000x .
 	@echo wrote $(CURDIR)/BENCH_obs.json
 
+# bench-shard sweeps the sharded pipeline (legacy baseline plus
+# shards×workers configurations) and writes the throughput/contention
+# table to BENCH_shard.json.
+bench-shard:
+	BENCH_SHARD_OUT=$(CURDIR)/BENCH_shard.json $(GO) test -run '^$$' \
+		-bench BenchmarkShardScaling -benchtime 5000x .
+	@echo wrote $(CURDIR)/BENCH_shard.json
+
 clean:
-	rm -f BENCH_obs.json
+	rm -f BENCH_obs.json BENCH_shard.json
 	$(GO) clean ./...

@@ -7,6 +7,7 @@ package intddos
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"sync"
 	"testing"
@@ -681,5 +682,149 @@ func benchName(rate int) string {
 		return "rate-1in4096"
 	default:
 		return "rate-1in16384"
+	}
+}
+
+// shardBenchResult is one BenchmarkShardScaling configuration's
+// outcome, accumulated across sub-benchmarks and dumped as
+// BENCH_shard.json (see `make bench-shard`).
+type shardBenchResult struct {
+	Shards       int     `json:"shards"` // 0 = legacy single-lock DB
+	Workers      int     `json:"workers"`
+	NsPerIngest  float64 `json:"ns_per_ingest"`
+	IngestPerSec float64 `json:"ingest_per_sec"`
+	Predictions  int64   `json:"predictions"`
+	Shed         int64   `json:"shed"`
+	Contention   int64   `json:"lock_contention"`
+	Imbalance    float64 `json:"shard_imbalance"`
+}
+
+var (
+	shardBenchMu      sync.Mutex
+	shardBenchResults []shardBenchResult
+)
+
+// BenchmarkShardScaling sweeps the sharded pipeline across
+// shard×worker configurations, ingesting from parallel goroutines —
+// the contention profile the striping exists to fix. The shards=0
+// row is the paper-faithful single-lock baseline. On a single-core
+// host the sweep mainly shows the striping costs nothing; the
+// throughput separation appears with 4+ cores.
+func BenchmarkShardScaling(b *testing.B) {
+	c := benchSetup(b)
+	train, _ := c.INT.Split(0.1, 42)
+	model, scaler, err := FitModel(StageTwoModels()[1], train.Subsample(20000, 42), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := []struct{ shards, workers int }{
+		{0, 1}, {1, 1}, {2, 2}, {4, 4}, {8, 8},
+	}
+	for _, cfg := range configs {
+		name := "legacy"
+		if cfg.shards > 0 {
+			name = benchShardName(cfg.shards, cfg.workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			reg := NewObsRegistry()
+			live, err := NewLiveRuntime(LiveRuntimeConfig{
+				Models: []Classifier{model}, Scaler: scaler, Registry: reg,
+				Shards: cfg.shards, Workers: cfg.workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			live.Start()
+			defer live.Stop()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				pi := flow.PacketInfo{
+					Key:    flow.Key{Src: traffic.ServerAddr, Dst: traffic.ServerAddr, DstPort: 80, Proto: netsim.TCP},
+					Length: 777, HasTelemetry: true,
+				}
+				i := 0
+				for pb.Next() {
+					pi.Key.SrcPort = uint16(i % 512) // spread load over flows/shards
+					live.Ingest(pi)
+					i++
+				}
+			})
+			b.StopTimer()
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+
+			// Drain briefly so prediction-side counters are meaningful.
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				if live.DB.JournalLen() == 0 && int(live.Predictions.Load())+int(live.Shed.Load()) > 0 {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+
+			snap := live.MetricsSnapshot()
+			res := shardBenchResult{
+				Shards: cfg.shards, Workers: cfg.workers,
+				NsPerIngest:  nsPerOp,
+				IngestPerSec: 1e9 / nsPerOp,
+				Predictions:  int64(live.Predictions.Load()),
+				Shed:         int64(live.Shed.Load()),
+				Contention:   snap.Counters["intddos_store_lock_contention_total"],
+				Imbalance:    snap.Gauges["intddos_store_shard_imbalance"],
+			}
+			b.ReportMetric(res.IngestPerSec, "ingest/sec")
+			if res.Imbalance > 0 {
+				b.ReportMetric(res.Imbalance, "imbalance")
+			}
+			// The harness runs each sub-benchmark more than once (the
+			// N=1 sizing pass first); keep only the latest result per
+			// configuration.
+			shardBenchMu.Lock()
+			replaced := false
+			for i := range shardBenchResults {
+				if shardBenchResults[i].Shards == res.Shards && shardBenchResults[i].Workers == res.Workers {
+					shardBenchResults[i] = res
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				shardBenchResults = append(shardBenchResults, res)
+			}
+			writeShardBench(b, shardBenchResults)
+			shardBenchMu.Unlock()
+		})
+	}
+}
+
+// benchShardName formats a shard/worker sub-benchmark name.
+func benchShardName(shards, workers int) string {
+	return fmt.Sprintf("shards-%d-w%d", shards, workers)
+}
+
+// writeShardBench rewrites the accumulated sweep as JSON when the
+// BENCH_SHARD_OUT environment variable names a file (caller holds
+// shardBenchMu).
+func writeShardBench(b *testing.B, results []shardBenchResult) {
+	path := os.Getenv("BENCH_SHARD_OUT")
+	if path == "" {
+		return
+	}
+	out := struct {
+		Bench   string             `json:"bench"`
+		When    string             `json:"when"`
+		Results []shardBenchResult `json:"results"`
+	}{
+		Bench:   "BenchmarkShardScaling",
+		When:    time.Now().UTC().Format(time.RFC3339),
+		Results: results,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -36,6 +36,8 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /healthz, /traces and pprof on this address (e.g. :9090)")
 	liveMode := flag.Bool("live", false, "run the wall-clock concurrent pipeline instead of the simulated replay")
 	liveFor := flag.Duration("live-for", 0, "keep the -live replay looping for this long (0: one pass; implies looping until SIGINT when negative)")
+	shards := flag.Int("shards", 0, "stripe the flow table, database, and dispatch over N shards (0: the paper's single-lock layout)")
+	workers := flag.Int("workers", 0, "prediction worker goroutines for -live (0: one, like the paper's single predictor)")
 	verbose := flag.Bool("v", false, "print every decision")
 	flag.Parse()
 
@@ -57,7 +59,7 @@ func main() {
 		return
 	}
 	if *liveMode {
-		runLive(*scale, *seed, *packets, *liveFor, reg, *verbose)
+		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, reg, *verbose)
 		return
 	}
 	if *tracePath != "" {
@@ -66,7 +68,7 @@ func main() {
 	}
 
 	live, err := intddos.RunTableVI(intddos.LiveConfig{
-		Scale: *scale, Seed: *seed, PacketsPerType: *packets,
+		Scale: *scale, Seed: *seed, PacketsPerType: *packets, Shards: *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -92,7 +94,7 @@ func main() {
 // registry continuously scrapeable while doing so. A final metrics
 // summary — counters, queue gauges, per-stage latency percentiles —
 // is printed on exit.
-func runLive(scale string, seed int64, packets int, liveFor time.Duration, reg *intddos.ObsRegistry, verbose bool) {
+func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers int, reg *intddos.ObsRegistry, verbose bool) {
 	capture, err := intddos.Collect(intddos.DataConfig{Scale: scale, Seed: seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -110,6 +112,8 @@ func runLive(scale string, seed int64, packets int, liveFor time.Duration, reg *
 		Scaler:          scaler,
 		Registry:        reg,
 		FlowIdleTimeout: 30 * time.Second,
+		Shards:          shards,
+		Workers:         workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)

@@ -1,0 +1,155 @@
+// Golden-file regression tests for the reproduction's text
+// artifacts: each table is rendered at scale=tiny seed=42 and
+// compared byte-for-byte against testdata/golden/. Run with -update
+// to re-bless the files after an intentional change.
+//
+// The sharded store rides the same rails: TestGoldenTableVISharded
+// renders Table VI with Shards=1 and requires it byte-identical to
+// the legacy single-lock output — the acceptance gate that makes
+// sharding a deployment substitution, not a semantic change.
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/amlight/intddos"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+const (
+	goldenScale   = intddos.ScaleTiny
+	goldenSeed    = 42
+	goldenPackets = 250
+)
+
+// goldenCapture memoizes the shared tiny capture across table tests.
+var goldenCapture = sync.OnceValues(func() (*intddos.Capture, error) {
+	return intddos.Collect(intddos.DataConfig{Scale: goldenScale, Seed: goldenSeed})
+})
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/reproduce -run TestGolden -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden output.\n--- golden\n%s\n--- got\n%s\nRe-bless with -update if the change is intentional.",
+			name, want, got)
+	}
+}
+
+func TestGoldenTableI(t *testing.T) {
+	c, err := goldenCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1.txt", intddos.FormatTableI(intddos.RunTableI(c)))
+}
+
+func TestGoldenTableII(t *testing.T) {
+	checkGolden(t, "table2.txt", intddos.FormatTableII(intddos.RunTableII()))
+}
+
+func TestGoldenTableIII(t *testing.T) {
+	c, err := goldenCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := intddos.RunTableIII(c, goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := intddos.FormatEvalRows("TABLE III: ML model performance, INT vs sFlow (90:10 split)", t3.Rows) +
+		"\n" + intddos.FormatConfusion("FIGURE 3: Confusion matrix, RF on INT", t3.RFConfusionINT) +
+		"\n" + intddos.FormatConfusion("FIGURE 4: Confusion matrix, RF on sFlow", t3.RFConfusionSFlow)
+	checkGolden(t, "table3.txt", out)
+}
+
+func TestGoldenTableIV(t *testing.T) {
+	c, err := goldenCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := intddos.RunTableIV(c, goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table4.txt", intddos.FormatEvalRows(
+		"TABLE IV: Zero-day performance (train: June 6-10, test: June 11, SlowLoris unseen)", t4))
+}
+
+func TestGoldenTableV(t *testing.T) {
+	c, err := goldenCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t5, err := intddos.RunTableV(c, goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table5.txt", intddos.FormatTableVMatrix(t5)+"\n"+intddos.FormatTableV(t5))
+}
+
+// tableVI renders Table VI at the golden configuration with the given
+// store layout.
+func tableVI(t *testing.T, shards int) string {
+	t.Helper()
+	live, err := intddos.RunTableVI(intddos.LiveConfig{
+		Scale: goldenScale, Seed: goldenSeed, PacketsPerType: goldenPackets, Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return intddos.FormatTableVI(live)
+}
+
+func TestGoldenTableVI(t *testing.T) {
+	checkGolden(t, "table6.txt", tableVI(t, 0))
+}
+
+// TestGoldenTableVISharded pins the tentpole's bit-identity
+// guarantee: the same experiment through a one-shard ShardedDB must
+// render Table VI byte-for-byte identical to the legacy single-lock
+// store (and therefore to the golden file).
+func TestGoldenTableVISharded(t *testing.T) {
+	legacy, sharded := tableVI(t, 0), tableVI(t, 1)
+	if legacy != sharded {
+		t.Errorf("Table VI differs between legacy DB and ShardedDB(1):\n--- legacy\n%s\n--- sharded\n%s", legacy, sharded)
+	}
+	checkGolden(t, "table6.txt", sharded)
+}
+
+func TestGoldenLatencyCompanion(t *testing.T) {
+	live, err := intddos.RunTableVI(intddos.LiveConfig{
+		Scale: goldenScale, Seed: goldenSeed, PacketsPerType: goldenPackets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := intddos.NewObsRegistry()
+	hv := reg.HistogramVec("intddos_predict_latency_seconds", "attack_type", intddos.LatencyBuckets())
+	for typ, ds := range live.Decisions {
+		h := hv.With(typ)
+		for _, d := range ds {
+			h.Observe(d.Latency.Seconds())
+		}
+	}
+	checkGolden(t, "table6_latency.txt", intddos.FormatLatencySummary(
+		"TABLE VI companion: detection latency percentiles by attack type", hv.Snapshots()))
+}

@@ -27,6 +27,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "experiment seed")
 	only := flag.String("only", "", "comma-separated subset: table1..table6, figure3, figure4, figure5, figure7, coverage, ablation")
 	packets := flag.Int("packets", 2500, "packets per flow type in the live (Table VI) replays")
+	shards := flag.Int("shards", 0, "database shards for the live (Table VI) replays (0: the paper's single-lock store; 1 is observably identical to 0)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	flag.Parse()
 
@@ -143,7 +144,7 @@ func main() {
 	}
 	if sel("table6") || sel("figure7") {
 		live, err := intddos.RunTableVI(intddos.LiveConfig{
-			Scale: *scale, Seed: *seed, PacketsPerType: *packets,
+			Scale: *scale, Seed: *seed, PacketsPerType: *packets, Shards: *shards,
 		})
 		fail(err)
 		if sel("table6") {

@@ -25,16 +25,27 @@ type LiveConfig struct {
 	Scaler *ml.StandardScaler
 
 	// PollInterval is the CentralServer polling period (default 5 ms
-	// wall time).
+	// wall time). With sharding, every shard poller ticks at this
+	// period independently.
 	PollInterval time.Duration
-	// PollBatch bounds records fetched per poll (default 256).
+	// PollBatch bounds records fetched per poll per shard (default 256).
 	PollBatch int
-	// QueueCap bounds the prediction input channel (default 4096);
-	// beyond it updates are shed and counted.
+	// QueueCap bounds the prediction input channels (default 4096,
+	// divided across workers); beyond it updates are shed and counted.
 	QueueCap int
 	// Workers is the number of prediction goroutines (default 1,
-	// like the paper's single Python predictor).
+	// like the paper's single Python predictor). Each worker owns its
+	// own input channel; shards are assigned to workers round-robin,
+	// so all updates of one flow are predicted by one worker in
+	// journal order — the invariant the vote window needs.
 	Workers int
+
+	// Shards stripes the flow table, the database journal, and the
+	// dispatch to prediction workers by flow.Key hash. Zero selects
+	// the legacy single-lock store.DB (the paper's one-database
+	// layout); n >= 1 selects a store.ShardedDB with n shards, which
+	// at n=1 is observably identical to the legacy layout.
+	Shards int
 
 	// ModelQuorum and VoteWindow mirror the simulated mechanism
 	// (defaults 2-of-ensemble and 3).
@@ -116,31 +127,48 @@ type queued struct {
 	tr         *obs.Trace
 }
 
+// liveShard is the per-shard mutable state of the runtime: the vote
+// windows of the flows hashed onto the shard. The flow-table stripe
+// lives in the ShardedTable and the journal stripe in the Store, both
+// indexed by the same Key.Shard value.
+type liveShard struct {
+	mu      sync.Mutex
+	windows map[flow.Key][]int
+}
+
 // Live runs the four Figure 2 modules as concurrent goroutines over
 // the wall clock — the deployment mode of the paper's production
 // implementation — sharing the same flow table, database, and voting
 // logic as the simulated Mechanism. Timestamps are wall-clock
 // nanoseconds widened into the same Time domain the rest of the
 // repository uses.
+//
+// The hot path is sharded end to end by flow.Key hash: each shard has
+// its own flow-table stripe, database journal with cursor, and poller
+// goroutine, and shards map to prediction workers round-robin, so
+// every update of one flow flows through one lock stripe, one
+// journal, one poller, and one worker — per-flow prediction order is
+// preserved at any worker count. With Shards=0 (the default) the
+// layout degenerates to the legacy single-lock pipeline.
 type Live struct {
-	cfg LiveConfig
+	cfg     LiveConfig
+	nShards int
 
-	mu      sync.Mutex // guards table, windows, decisions
-	table   *flow.Table
-	windows map[flow.Key][]int
+	tables *flow.ShardedTable
+	shards []*liveShard
 
-	DB     *store.DB
-	cursor uint64
+	DB store.Store
 
-	reqCh chan queued
-	quit  chan struct{}
-	wg    sync.WaitGroup
-	stop  sync.Once
+	workerChs []chan queued
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	stop      sync.Once
 
 	reg    *obs.Registry
 	met    liveMetrics
 	tracer *obs.Tracer
 
+	decMu     sync.Mutex
 	decisions []Decision
 	// OnDecision observes every final decision (called off the
 	// prediction goroutine; keep it fast).
@@ -178,6 +206,9 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.Shards < 0 {
+		cfg.Shards = 0
+	}
 	if cfg.ModelQuorum <= 0 {
 		cfg.ModelQuorum = (len(cfg.Models) + 2) / 2
 	}
@@ -193,28 +224,58 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	nShards := cfg.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	var db store.Store
+	if cfg.Shards == 0 {
+		db = store.New() // the paper's exact single-lock layout
+	} else {
+		db = store.NewSharded(cfg.Shards)
+	}
 	l := &Live{
 		cfg:     cfg,
-		table:   flow.NewTable(),
-		windows: make(map[flow.Key][]int),
-		DB:      store.New(),
-		reqCh:   make(chan queued, cfg.QueueCap),
+		nShards: nShards,
+		tables:  flow.NewShardedTable(nShards),
+		shards:  make([]*liveShard, nShards),
+		DB:      db,
 		quit:    make(chan struct{}),
 		reg:     cfg.Registry,
 	}
-	l.table.IdleTimeout = netsim.Time(cfg.FlowIdleTimeout)
-	l.DB.JournalNew = !cfg.SkipNewRecords
+	for i := range l.shards {
+		l.shards[i] = &liveShard{windows: make(map[flow.Key][]int)}
+	}
+	perWorkerCap := cfg.QueueCap / cfg.Workers
+	if perWorkerCap < 1 {
+		perWorkerCap = 1
+	}
+	l.workerChs = make([]chan queued, cfg.Workers)
+	for i := range l.workerChs {
+		l.workerChs[i] = make(chan queued, perWorkerCap)
+	}
+	l.tables.SetIdleTimeout(netsim.Time(cfg.FlowIdleTimeout))
+	l.DB.SetJournalNew(!cfg.SkipNewRecords)
 	l.met = newLiveMetrics(l.reg)
 	if cfg.TraceSampleEvery >= 0 {
 		l.tracer = l.reg.Tracer("intddos_pipeline", cfg.TraceSampleEvery, 64)
 	}
-	l.reg.GaugeFunc("intddos_queue_depth", func() float64 { return float64(len(l.reqCh)) })
-	l.reg.GaugeFunc("intddos_queue_capacity", func() float64 { return float64(cap(l.reqCh)) })
-	l.reg.GaugeFunc("intddos_vote_windows", func() float64 {
-		l.mu.Lock()
-		defer l.mu.Unlock()
-		return float64(len(l.windows))
+	l.reg.GaugeFunc("intddos_queue_depth", func() float64 {
+		n := 0
+		for _, ch := range l.workerChs {
+			n += len(ch)
+		}
+		return float64(n)
 	})
+	l.reg.GaugeFunc("intddos_queue_capacity", func() float64 {
+		n := 0
+		for _, ch := range l.workerChs {
+			n += cap(ch)
+		}
+		return float64(n)
+	})
+	l.reg.GaugeFunc("intddos_vote_windows", func() float64 { return float64(l.windowCount()) })
+	l.reg.GaugeFunc("intddos_pipeline_shards", func() float64 { return float64(l.nShards) })
 	l.DB.Instrument(l.reg)
 	return l, nil
 }
@@ -229,16 +290,26 @@ func (l *Live) Obs() *obs.Registry { return l.reg }
 // summaries.
 func (l *Live) MetricsSnapshot() obs.Snapshot { return l.reg.Snapshot() }
 
+// Shards returns the pipeline's stripe count.
+func (l *Live) Shards() int { return l.nShards }
+
 // now returns the wall clock in the repository's Time domain.
 func now() netsim.Time { return netsim.Time(time.Now().UnixNano()) }
 
-// Start launches the CentralServer and Prediction goroutines.
+// Start launches the per-shard CentralServer pollers, the Prediction
+// workers, and (when a TTL is configured) the eviction sweeper.
 func (l *Live) Start() {
-	l.wg.Add(1)
-	go l.centralServer()
+	for s := 0; s < l.nShards; s++ {
+		l.wg.Add(1)
+		go l.shardPoller(s)
+	}
 	for w := 0; w < l.cfg.Workers; w++ {
 		l.wg.Add(1)
-		go l.predictionWorker()
+		go l.predictionWorker(w)
+	}
+	if l.cfg.FlowIdleTimeout > 0 {
+		l.wg.Add(1)
+		go l.sweeper()
 	}
 }
 
@@ -260,18 +331,25 @@ func (l *Live) HandleReport(r *telemetry.Report) {
 	l.Ingest(flow.FromINT(r, now()))
 }
 
-// Ingest folds a normalized observation into the flow table and
-// writes its snapshot to the database. Safe for concurrent use.
+// Ingest folds a normalized observation into its flow-table stripe
+// and writes the snapshot to the database shard. Safe for concurrent
+// use; observations of flows on different shards never contend.
 func (l *Live) Ingest(pi flow.PacketInfo) {
 	start := time.Now()
 	if pi.At == 0 {
 		pi.At = now()
 	}
-	l.mu.Lock()
-	st, _ := l.table.Observe(pi)
-	feats := st.Features(nil, l.cfg.Features)
-	key, reg, last, updates := st.Key, st.RegisteredAt, st.LastAt, st.Updates
-	l.mu.Unlock()
+	var (
+		feats   []float64
+		key     flow.Key
+		reg     netsim.Time
+		last    netsim.Time
+		updates int
+	)
+	l.tables.ObserveFunc(pi, func(st *flow.State) {
+		feats = st.Features(nil, l.cfg.Features)
+		key, reg, last, updates = st.Key, st.RegisteredAt, st.LastAt, st.Updates
+	})
 	l.DB.UpsertFlow(key, feats, reg, last, updates, pi.Label, pi.AttackType)
 	l.Snapshots.Add(1)
 	l.met.snapshots.Inc()
@@ -280,36 +358,49 @@ func (l *Live) Ingest(pi flow.PacketInfo) {
 
 // Decisions returns a copy of the decision log.
 func (l *Live) Decisions() []Decision {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.decMu.Lock()
+	defer l.decMu.Unlock()
 	out := make([]Decision, len(l.decisions))
 	copy(out, l.decisions)
 	return out
 }
 
-// centralServer polls the database journal and feeds the prediction
-// queue, shedding when it is full. It also runs the idle-flow
-// eviction sweeps when a TTL is configured.
-func (l *Live) centralServer() {
+// windowCount sums live vote windows across shards.
+func (l *Live) windowCount() int {
+	n := 0
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		n += len(sh.windows)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// workerFor maps a shard to its prediction worker's channel. The
+// static shard→worker assignment (round-robin) is what gives workers
+// shard affinity: one flow is always predicted by one worker.
+func (l *Live) workerFor(shard int) chan queued {
+	return l.workerChs[shard%len(l.workerChs)]
+}
+
+// shardPoller is one shard's CentralServer: it polls the shard's
+// journal through a private cursor and feeds the shard's worker,
+// shedding when the worker queue is full. Pollers of different shards
+// share no locks.
+func (l *Live) shardPoller(shard int) {
 	defer l.wg.Done()
+	ch := l.workerFor(shard)
 	ticker := time.NewTicker(l.cfg.PollInterval)
 	defer ticker.Stop()
-	var sweepC <-chan time.Time
-	if l.cfg.FlowIdleTimeout > 0 {
-		sweeper := time.NewTicker(l.cfg.SweepInterval)
-		defer sweeper.Stop()
-		sweepC = sweeper.C
-	}
+	var cursor uint64
 	for {
 		select {
 		case <-l.quit:
 			return
-		case <-sweepC:
-			l.sweep()
 		case <-ticker.C:
-			recs, cur := l.DB.PollUpdates(l.cursor, l.cfg.PollBatch)
-			l.cursor = cur
-			l.DB.TrimJournal(cur)
+			recs, cur := l.DB.PollShard(shard, cursor, l.cfg.PollBatch)
+			cursor = cur
+			l.DB.TrimShard(shard, cur)
 			l.met.polls.Inc()
 			polled := time.Now()
 			for _, rec := range recs {
@@ -319,7 +410,7 @@ func (l *Live) centralServer() {
 				tr := l.tracer.Sample(rec.Key.String())
 				tr.StageAt("journal_wait", updated, polled)
 				select {
-				case l.reqCh <- queued{rec: rec, enqueuedAt: polled, tr: tr}:
+				case ch <- queued{rec: rec, enqueuedAt: polled, tr: tr}:
 				default:
 					l.Shed.Add(1)
 					l.met.shed.Inc()
@@ -329,44 +420,70 @@ func (l *Live) centralServer() {
 	}
 }
 
+// sweeper periodically evicts flows idle past FlowIdleTimeout.
+func (l *Live) sweeper() {
+	defer l.wg.Done()
+	ticker := time.NewTicker(l.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-ticker.C:
+			l.sweep()
+		}
+	}
+}
+
 // sweep evicts flows idle past FlowIdleTimeout: their vote windows,
-// flow-table state, and database records.
+// flow-table state, and database records. Shards are swept one at a
+// time so the rest of the pipeline keeps running.
 func (l *Live) sweep() {
 	cutoff := now()
 	timeout := netsim.Time(l.cfg.FlowIdleTimeout)
 	var stale []flow.Key
-	l.mu.Lock()
-	for key := range l.windows {
-		st := l.table.Get(key)
-		if st == nil || cutoff-st.LastAt > timeout {
-			delete(l.windows, key)
-		}
-	}
-	l.table.Range(func(st *flow.State) bool {
+	l.tables.Range(func(st *flow.State) bool {
 		if cutoff-st.LastAt > timeout {
 			stale = append(stale, st.Key)
 		}
 		return true
 	})
-	evicted := l.table.Sweep(cutoff)
-	l.mu.Unlock()
+	evicted := l.tables.Sweep(cutoff)
 	for _, key := range stale {
 		l.DB.DeleteFlow(key)
+	}
+	// Windows die with their table entry, or when their flow record
+	// is gone entirely (a late decision can re-create a window after
+	// its flow was swept).
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		for key := range sh.windows {
+			alive := l.tables.Get(key, func(st *flow.State) {
+				if cutoff-st.LastAt > timeout {
+					delete(sh.windows, key)
+				}
+			})
+			if !alive {
+				delete(sh.windows, key)
+			}
+		}
+		sh.mu.Unlock()
 	}
 	l.Evictions.Add(int64(evicted))
 	l.met.evictions.Add(int64(evicted))
 }
 
 // predictionWorker standardizes snapshots, runs the ensemble, and
-// aggregates decisions.
-func (l *Live) predictionWorker() {
+// aggregates decisions for the shards assigned to it.
+func (l *Live) predictionWorker(w int) {
 	defer l.wg.Done()
+	ch := l.workerChs[w]
 	scaled := make([]float64, len(l.cfg.Features))
 	for {
 		select {
 		case <-l.quit:
 			return
-		case q := <-l.reqCh:
+		case q := <-ch:
 			dequeued := time.Now()
 			l.met.stageQueue.ObserveDuration(dequeued.Sub(q.enqueuedAt))
 			q.tr.StageAt("queue_wait", q.enqueuedAt, dequeued)
@@ -393,20 +510,23 @@ func (l *Live) predictionWorker() {
 	}
 }
 
-// finish applies window voting and logs the decision.
+// finish applies window voting on the flow's shard and logs the
+// decision.
 func (l *Live) finish(q queued, raw int, votes []int, predicted time.Time) {
 	rec := q.rec
 	t := now()
-	l.mu.Lock()
-	w := append(l.windows[rec.Key], raw)
+	sh := l.shards[rec.Key.Shard(l.nShards)]
+	sh.mu.Lock()
+	w := append(sh.windows[rec.Key], raw)
 	if len(w) > l.cfg.VoteWindow {
 		w = w[len(w)-l.cfg.VoteWindow:]
 	}
-	l.windows[rec.Key] = w
+	sh.windows[rec.Key] = w
 	sum := 0
 	for _, v := range w {
 		sum += v
 	}
+	sh.mu.Unlock()
 	label := 0
 	if 2*sum > len(w) {
 		label = 1
@@ -421,9 +541,10 @@ func (l *Live) finish(q queued, raw int, votes []int, predicted time.Time) {
 		Truth:      rec.Truth,
 		AttackType: rec.AttackType,
 	}
+	l.decMu.Lock()
 	l.decisions = append(l.decisions, d)
 	cb := l.OnDecision
-	l.mu.Unlock()
+	l.decMu.Unlock()
 
 	typ := rec.AttackType
 	if typ == "" {

@@ -117,25 +117,15 @@ func TestLiveWindowEviction(t *testing.T) {
 	if !waitFor(t, 2*time.Second, func() bool { return len(l.Decisions()) == 8 }) {
 		t.Fatalf("decisions = %d, want 8", len(l.Decisions()))
 	}
-	l.mu.Lock()
-	withWindows := len(l.windows)
-	l.mu.Unlock()
-	if withWindows == 0 {
+	if l.windowCount() == 0 {
 		t.Fatal("no vote windows created")
 	}
 	// Idle past the TTL: windows, table state, and DB records go.
 	if !waitFor(t, 3*time.Second, func() bool {
-		l.mu.Lock()
-		n := len(l.windows)
-		tl := l.table.Len()
-		l.mu.Unlock()
-		return n == 0 && tl == 0 && l.DB.FlowCount() == 0
+		return l.windowCount() == 0 && l.tables.Len() == 0 && l.DB.FlowCount() == 0
 	}) {
-		l.mu.Lock()
-		windows, tableLen := len(l.windows), l.table.Len()
-		l.mu.Unlock()
 		t.Fatalf("not evicted: windows=%d table=%d dbflows=%d",
-			windows, tableLen, l.DB.FlowCount())
+			l.windowCount(), l.tables.Len(), l.DB.FlowCount())
 	}
 	if l.Evictions.Load() == 0 {
 		t.Error("eviction atomic not incremented")

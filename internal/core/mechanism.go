@@ -71,6 +71,14 @@ type Config struct {
 	// timeout.
 	FlowIdleTimeout netsim.Time
 	SweepInterval   netsim.Time
+
+	// Shards selects the database layout: zero keeps the paper's
+	// single-lock store.DB, n >= 1 stripes the journal over a
+	// store.ShardedDB with n shards. The simulated mechanism is
+	// single-threaded either way — sharding here exists so the
+	// reproduction can assert that a sharded store is observably
+	// identical to the legacy one (Table VI is bit-exact at n=1).
+	Shards int
 }
 
 // Decision is one final, smoothed classification of a flow snapshot.
@@ -99,9 +107,9 @@ type Mechanism struct {
 	cfg Config
 
 	Table *flow.Table
-	DB    *store.DB
+	DB    store.Store
 
-	cursor  uint64
+	cursors []uint64
 	queue   []store.FlowRecord
 	busy    bool
 	windows map[flow.Key][]int
@@ -150,16 +158,26 @@ func New(eng *netsim.Engine, cfg Config) (*Mechanism, error) {
 	if cfg.SweepInterval <= 0 {
 		cfg.SweepInterval = cfg.FlowIdleTimeout
 	}
+	if cfg.Shards < 0 {
+		cfg.Shards = 0
+	}
+	var db store.Store
+	if cfg.Shards == 0 {
+		db = store.New()
+	} else {
+		db = store.NewSharded(cfg.Shards)
+	}
 	m := &Mechanism{
 		eng:     eng,
 		cfg:     cfg,
 		Table:   flow.NewTable(),
-		DB:      store.New(),
+		DB:      db,
+		cursors: make([]uint64, db.Shards()),
 		windows: make(map[flow.Key][]int),
 		scaled:  make([]float64, len(cfg.Features)),
 	}
 	m.Table.IdleTimeout = cfg.FlowIdleTimeout
-	m.DB.JournalNew = !cfg.SkipNewRecords
+	m.DB.SetJournalNew(!cfg.SkipNewRecords)
 	return m, nil
 }
 
@@ -194,19 +212,23 @@ func (m *Mechanism) observe(pi flow.PacketInfo) {
 	m.Snapshots++
 }
 
-// pollTick is the CentralServer: fetch journal updates, enqueue them
-// for prediction, re-arm.
+// pollTick is the CentralServer: fetch journal updates from every
+// shard (in shard-index order, which for the legacy single-shard DB
+// is exactly the old single-journal poll), enqueue them for
+// prediction, re-arm.
 func (m *Mechanism) pollTick() {
-	recs, cur := m.DB.PollUpdates(m.cursor, m.cfg.PollBatch)
-	m.cursor = cur
-	for _, rec := range recs {
-		if m.cfg.QueueCap > 0 && len(m.queue) >= m.cfg.QueueCap {
-			m.DroppedPolls++
-			continue
+	for s := range m.cursors {
+		recs, cur := m.DB.PollShard(s, m.cursors[s], m.cfg.PollBatch)
+		m.cursors[s] = cur
+		for _, rec := range recs {
+			if m.cfg.QueueCap > 0 && len(m.queue) >= m.cfg.QueueCap {
+				m.DroppedPolls++
+				continue
+			}
+			m.queue = append(m.queue, rec)
 		}
-		m.queue = append(m.queue, rec)
+		m.DB.TrimShard(s, cur)
 	}
-	m.DB.TrimJournal(m.cursor)
 	if len(m.queue) > m.MaxQueue {
 		m.MaxQueue = len(m.queue)
 	}

@@ -46,6 +46,11 @@ type LiveConfig struct {
 	// the paper pre-trains on data replayed through the testbed
 	// (§IV-C2).
 	AttackUtilization float64
+	// Shards selects the mechanism's database layout: zero is the
+	// paper's single-lock store, n >= 1 a ShardedDB with n shards.
+	// Table VI is bit-identical between the two at n=1 — the golden
+	// tests pin that.
+	Shards int
 }
 
 // fillDefaults resolves zero-valued fields.
@@ -239,6 +244,7 @@ func replayLive(recs []trace.Record, speed float64, models []ml.Classifier, scal
 		ServiceTime:  cfg.ServiceTime,
 		ModelQuorum:  cfg.ModelQuorum,
 		VoteWindow:   cfg.VoteWindow,
+		Shards:       cfg.Shards,
 	})
 	if err != nil {
 		return nil, err

@@ -25,6 +25,42 @@ func (k Key) String() string {
 	return fmt.Sprintf("%s:%d>%s:%d/%s", k.Src, k.SrcPort, k.Dst, k.DstPort, k.Proto)
 }
 
+// Hash returns a stable FNV-1a hash of the five-tuple. Every sharded
+// structure in the pipeline (flow tables, the database, the dispatch
+// to prediction workers) derives its shard from this one value, so a
+// flow lands on the same shard at every layer.
+func (k Key) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	src, dst := k.Src.As16(), k.Dst.As16()
+	for _, b := range src {
+		h = (h ^ uint64(b)) * prime64
+	}
+	for _, b := range dst {
+		h = (h ^ uint64(b)) * prime64
+	}
+	h = (h ^ uint64(k.SrcPort>>8)) * prime64
+	h = (h ^ uint64(k.SrcPort&0xFF)) * prime64
+	h = (h ^ uint64(k.DstPort>>8)) * prime64
+	h = (h ^ uint64(k.DstPort&0xFF)) * prime64
+	h = (h ^ uint64(k.Proto)) * prime64
+	// FNV-1a's low bits disperse poorly under modulo sharding; run a
+	// 64-bit avalanche finalizer so every output bit depends on every
+	// input byte.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Shard maps the key onto one of n shards (n must be positive).
+func (k Key) Shard(n int) int { return int(k.Hash() % uint64(n)) }
+
 // PacketInfo is one monitored packet observation, normalized from
 // either monitoring source. Telemetry fields are valid only when
 // HasTelemetry is set (INT); sFlow observations carry header fields

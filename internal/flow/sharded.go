@@ -1,0 +1,160 @@
+package flow
+
+import (
+	"sync"
+
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+// ShardedTable is a lock-striped flow table: N independent Tables,
+// each behind its own mutex, with flows routed by Key.Hash. Unlike
+// the plain Table — which relies on its caller for synchronization —
+// a ShardedTable is safe for concurrent use, and two observations of
+// flows on different shards never contend.
+//
+// With one shard it degenerates to a mutex around a single Table,
+// i.e. exactly the legacy concurrency shape of core.Live.
+type ShardedTable struct {
+	shards []tableShard
+}
+
+type tableShard struct {
+	mu    sync.Mutex
+	table *Table
+}
+
+// NewShardedTable builds a striped table with n shards (n < 1 is
+// treated as 1).
+func NewShardedTable(n int) *ShardedTable {
+	if n < 1 {
+		n = 1
+	}
+	st := &ShardedTable{shards: make([]tableShard, n)}
+	for i := range st.shards {
+		st.shards[i].table = NewTable()
+	}
+	return st
+}
+
+// Shards returns the stripe count.
+func (t *ShardedTable) Shards() int { return len(t.shards) }
+
+// ShardFor returns the shard index key routes to.
+func (t *ShardedTable) ShardFor(key Key) int { return key.Shard(len(t.shards)) }
+
+// SetIdleTimeout configures idle eviction on every shard.
+func (t *ShardedTable) SetIdleTimeout(d netsim.Time) {
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		t.shards[i].table.IdleTimeout = d
+		t.shards[i].mu.Unlock()
+	}
+}
+
+// Observe folds one observation into its flow's shard and reports
+// whether the record was created. The *State must not be retained —
+// use ObserveFunc to read it safely.
+func (t *ShardedTable) Observe(pi PacketInfo) (created bool) {
+	_, created = t.observe(pi, nil)
+	return created
+}
+
+// ObserveFunc folds one observation into its flow's shard and invokes
+// fn on the updated record while the shard lock is held, so fn can
+// extract features without racing other writers. fn must not block or
+// call back into the table.
+func (t *ShardedTable) ObserveFunc(pi PacketInfo, fn func(*State)) (created bool) {
+	_, created = t.observe(pi, fn)
+	return created
+}
+
+func (t *ShardedTable) observe(pi PacketInfo, fn func(*State)) (*State, bool) {
+	s := &t.shards[pi.Key.Shard(len(t.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, created := s.table.Observe(pi)
+	if fn != nil {
+		fn(st)
+	}
+	return st, created
+}
+
+// Get invokes fn on the record for k under the shard lock and reports
+// whether the record exists. fn may be nil for a bare existence check.
+func (t *ShardedTable) Get(k Key, fn func(*State)) bool {
+	s := &t.shards[k.Shard(len(t.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.table.Get(k)
+	if st == nil {
+		return false
+	}
+	if fn != nil {
+		fn(st)
+	}
+	return true
+}
+
+// Len returns the number of live flow records across all shards.
+func (t *ShardedTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		n += t.shards[i].table.Len()
+		t.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// ShardLen returns the number of live records on one shard.
+func (t *ShardedTable) ShardLen(shard int) int {
+	s := &t.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.Len()
+}
+
+// Created sums per-shard creation counts.
+func (t *ShardedTable) Created() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		n += t.shards[i].table.Created
+		t.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Sweep evicts idle records on every shard and returns the total
+// removed. Shards are swept one at a time, so writers to other shards
+// proceed during the pass.
+func (t *ShardedTable) Sweep(now netsim.Time) int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		n += t.shards[i].table.Sweep(now)
+		t.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Range calls fn for every live record under its shard's lock;
+// returning false stops early. fn must not call back into the table.
+func (t *ShardedTable) Range(fn func(*State) bool) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		stop := false
+		s.table.Range(func(st *State) bool {
+			if !fn(st) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		s.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package flow
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+
+	"github.com/amlight/intddos/internal/netsim"
+)
+
+func shardKey(i int) Key {
+	return Key{
+		Src:     netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+		Dst:     netip.AddrFrom4([4]byte{192, 168, 0, 1}),
+		SrcPort: uint16(1024 + i),
+		DstPort: 80,
+		Proto:   netsim.TCP,
+	}
+}
+
+func TestKeyHashStableAndSpread(t *testing.T) {
+	k := shardKey(7)
+	if k.Hash() != k.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+	if k.Shard(1) != 0 {
+		t.Fatal("single-shard mapping must be 0")
+	}
+	// Distinct tuples should spread: over 4096 keys and 8 shards, no
+	// shard should be empty and none should hold the vast majority.
+	const keys, shards = 4096, 8
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[shardKey(i).Shard(shards)]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Errorf("shard %d empty", s)
+		}
+		if n > keys/2 {
+			t.Errorf("shard %d holds %d of %d keys", s, n, keys)
+		}
+	}
+}
+
+// TestShardedTableMatchesTable drives the same observation stream
+// through a plain Table and a ShardedTable and compares the visible
+// per-flow state.
+func TestShardedTableMatchesTable(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		plain := NewTable()
+		sharded := NewShardedTable(shards)
+		for i := 0; i < 500; i++ {
+			pi := PacketInfo{
+				Key:    shardKey(i % 17),
+				Length: 100 + i%7,
+				At:     netsim.Time(i) * netsim.Millisecond,
+			}
+			plain.Observe(pi)
+			sharded.Observe(pi)
+		}
+		if plain.Len() != sharded.Len() {
+			t.Fatalf("shards=%d: len %d != %d", shards, sharded.Len(), plain.Len())
+		}
+		if plain.Created != sharded.Created() {
+			t.Fatalf("shards=%d: created %d != %d", shards, sharded.Created(), plain.Created)
+		}
+		plain.Range(func(want *State) bool {
+			found := sharded.Get(want.Key, func(got *State) {
+				if got.Updates != want.Updates || got.Size.Sum() != want.Size.Sum() ||
+					got.LastAt != want.LastAt || got.IAT.Sum() != want.IAT.Sum() {
+					t.Errorf("shards=%d: state mismatch for %s", shards, want.Key)
+				}
+			})
+			if !found {
+				t.Errorf("shards=%d: flow %s missing", shards, want.Key)
+			}
+			return true
+		})
+	}
+}
+
+func TestShardedTableSweep(t *testing.T) {
+	st := NewShardedTable(4)
+	st.SetIdleTimeout(10 * netsim.Millisecond)
+	for i := 0; i < 32; i++ {
+		st.Observe(PacketInfo{Key: shardKey(i), Length: 64, At: netsim.Time(i % 2)})
+	}
+	if got := st.Sweep(netsim.Second); got != 32 {
+		t.Fatalf("swept %d, want 32", got)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("len after sweep = %d", st.Len())
+	}
+}
+
+// TestShardedTableConcurrent exercises cross-shard writers under the
+// race detector, including the ObserveFunc feature-extraction path.
+func TestShardedTableConcurrent(t *testing.T) {
+	st := NewShardedTable(8)
+	set := INTFeatures()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]float64, 0, len(set))
+			for i := 0; i < 200; i++ {
+				pi := PacketInfo{Key: shardKey(w*200 + i%50), Length: 64, At: netsim.Time(i)}
+				st.ObserveFunc(pi, func(s *State) { buf = s.Features(buf[:0], set) })
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st.Len() == 0 {
+		t.Fatal("no flows recorded")
+	}
+}

@@ -68,6 +68,103 @@ func (g *Gauge) Value() float64 {
 	return floatFromBits(g.bits.Load())
 }
 
+// GaugeVec is a family of gauges keyed by one label value. Children
+// are either settable (With) or computed on read (WithFunc) — the
+// latter suits values owned elsewhere, like per-shard journal depths.
+type GaugeVec struct {
+	name  string
+	label string
+
+	mu   sync.Mutex
+	kids map[string]*Gauge
+	fns  map[string]func() float64
+}
+
+// With returns the settable child gauge for the label value, creating
+// it on first use. Nil-safe: a nil vec returns a nil (no-op) gauge.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.kids[value]
+	if !ok {
+		g = &Gauge{name: v.name}
+		v.kids[value] = g
+	}
+	return g
+}
+
+// WithFunc exposes a computed child under the label value. The first
+// registration for a value wins; later ones are ignored. Nil-safe.
+func (v *GaugeVec) WithFunc(value string, fn func() float64) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.fns[value]; !ok {
+		v.fns[value] = fn
+	}
+}
+
+// Values returns the current per-label values, settable and computed
+// children merged (computed wins on a value collision).
+func (v *GaugeVec) Values() map[string]float64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	kids := make(map[string]*Gauge, len(v.kids))
+	for val, g := range v.kids {
+		kids[val] = g
+	}
+	fns := make(map[string]func() float64, len(v.fns))
+	for val, fn := range v.fns {
+		fns[val] = fn
+	}
+	v.mu.Unlock()
+	// Callbacks run outside the vec lock: they may read pipeline state
+	// whose owners also register children during scrapes.
+	out := make(map[string]float64, len(kids)+len(fns))
+	for val, g := range kids {
+		out[val] = g.Value()
+	}
+	for val, fn := range fns {
+		out[val] = fn()
+	}
+	return out
+}
+
+func (v *GaugeVec) labelValues() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, 0, len(v.kids)+len(v.fns))
+	for val := range v.kids {
+		vals = append(vals, val)
+	}
+	for val := range v.fns {
+		if _, dup := v.kids[val]; !dup {
+			vals = append(vals, val)
+		}
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// value reads one child by label value (computed children win).
+func (v *GaugeVec) value(val string) float64 {
+	v.mu.Lock()
+	fn := v.fns[val]
+	g := v.kids[val]
+	v.mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return g.Value()
+}
+
 // CounterVec is a family of counters keyed by one label value.
 type CounterVec struct {
 	name  string
@@ -129,6 +226,7 @@ type Registry struct {
 	counterFns  map[string]func() float64
 	gauges      map[string]*Gauge
 	gaugeFns    map[string]func() float64
+	gaugeVecs   map[string]*GaugeVec
 	counterVecs map[string]*CounterVec
 	hists       map[string]*Histogram
 	histVecs    map[string]*HistogramVec
@@ -143,6 +241,7 @@ func NewRegistry() *Registry {
 		counterFns:  make(map[string]func() float64),
 		gauges:      make(map[string]*Gauge),
 		gaugeFns:    make(map[string]func() float64),
+		gaugeVecs:   make(map[string]*GaugeVec),
 		counterVecs: make(map[string]*CounterVec),
 		hists:       make(map[string]*Histogram),
 		histVecs:    make(map[string]*HistogramVec),
@@ -204,6 +303,20 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	if r.claim(name, "gaugefunc") {
 		r.gaugeFns[name] = fn
 	}
+}
+
+// GaugeVec registers (or fetches) a one-label gauge family.
+func (r *Registry) GaugeVec(name, label string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.claim(name, "gaugevec") {
+		r.gaugeVecs[name] = &GaugeVec{
+			name: name, label: label,
+			kids: make(map[string]*Gauge),
+			fns:  make(map[string]func() float64),
+		}
+	}
+	return r.gaugeVecs[name]
 }
 
 // CounterVec registers (or fetches) a one-label counter family.

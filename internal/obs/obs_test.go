@@ -328,3 +328,47 @@ func TestSnapshotFormatSummary(t *testing.T) {
 		t.Errorf("summary = %q", out)
 	}
 }
+
+func TestGaugeVec(t *testing.T) {
+	reg := NewRegistry()
+	gv := reg.GaugeVec("shard_depth", "shard")
+	gv.With("0").Set(3)
+	gv.With("1").Set(7)
+	depth := 11.0
+	gv.WithFunc("2", func() float64 { return depth })
+	gv.WithFunc("2", func() float64 { return -1 }) // first registration wins
+
+	vals := gv.Values()
+	if vals["0"] != 3 || vals["1"] != 7 || vals["2"] != 11 {
+		t.Errorf("values = %v", vals)
+	}
+	if reg.GaugeVec("shard_depth", "shard") != gv {
+		t.Error("re-registration returned a different vec")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Gauges[`shard_depth{shard="2"}`]; got != 11 {
+		t.Errorf("snapshot child = %v, want 11", got)
+	}
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE shard_depth gauge",
+		`shard_depth{shard="0"} 3`,
+		`shard_depth{shard="1"} 7`,
+		`shard_depth{shard="2"} 11`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	var nilVec *GaugeVec
+	nilVec.With("x").Set(1)
+	nilVec.WithFunc("y", func() float64 { return 1 })
+	if nilVec.Values() != nil {
+		t.Error("nil vec produced values")
+	}
+}

@@ -45,6 +45,11 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, fn := range r.gaugeFns {
 		s.Gauges[name] = fn()
 	}
+	for name, v := range r.gaugeVecs {
+		for val, g := range v.Values() {
+			s.Gauges[childKey(name, v.label, val)] = g
+		}
+	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()
 	}
@@ -107,6 +112,15 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		name, fn := name, fn
 		fams = append(fams, family{name, func(w io.Writer) {
 			fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(fn()))
+		}})
+	}
+	for name, v := range r.gaugeVecs {
+		v := v
+		fams = append(fams, family{name, func(w io.Writer) {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", v.name)
+			for _, val := range v.labelValues() {
+				fmt.Fprintf(w, "%s{%s=%q} %s\n", v.name, v.label, val, formatFloat(v.value(val)))
+			}
 		}})
 	}
 	for name, h := range r.hists {

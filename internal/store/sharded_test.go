@@ -1,0 +1,143 @@
+package store
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/amlight/intddos/internal/flow"
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/obs"
+)
+
+func testKey(i int) flow.Key {
+	return flow.Key{
+		Src:     netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+		Dst:     netip.AddrFrom4([4]byte{192, 168, 0, 1}),
+		SrcPort: uint16(1024 + i),
+		DstPort: 80,
+		Proto:   netsim.TCP,
+	}
+}
+
+func TestShardedBasics(t *testing.T) {
+	s := NewSharded(4)
+	if s.Shards() != 4 {
+		t.Fatalf("Shards() = %d", s.Shards())
+	}
+	for i := 0; i < 64; i++ {
+		created := s.UpsertFlow(testKey(i), []float64{float64(i)}, 1, 2, 1, false, "")
+		if !created {
+			t.Fatalf("flow %d not created", i)
+		}
+	}
+	if s.FlowCount() != 64 {
+		t.Fatalf("FlowCount = %d", s.FlowCount())
+	}
+	if s.JournalLen() != 64 {
+		t.Fatalf("JournalLen = %d", s.JournalLen())
+	}
+	// Per-shard journal lengths must sum to the total and agree with
+	// key placement.
+	sum := 0
+	for i := 0; i < s.Shards(); i++ {
+		sum += s.ShardJournalLen(i)
+	}
+	if sum != 64 {
+		t.Fatalf("per-shard sum = %d", sum)
+	}
+	rec, ok := s.Flow(testKey(3))
+	if !ok || rec.Features[0] != 3 {
+		t.Fatalf("Flow(3) = %+v ok=%v", rec, ok)
+	}
+	s.DeleteFlow(testKey(3))
+	if _, ok := s.Flow(testKey(3)); ok {
+		t.Fatal("flow 3 survived delete")
+	}
+
+	// Poll each shard to exhaustion; union must be all 64 upserts.
+	seen := 0
+	for sh := 0; sh < s.Shards(); sh++ {
+		cursor := uint64(0)
+		for {
+			recs, cur := s.PollShard(sh, cursor, 10)
+			if len(recs) == 0 {
+				break
+			}
+			seen += len(recs)
+			cursor = cur
+			s.TrimShard(sh, cur)
+		}
+	}
+	if seen != 64 {
+		t.Fatalf("polled %d records, want 64", seen)
+	}
+	if s.JournalLen() != 0 {
+		t.Fatalf("journal not drained: %d", s.JournalLen())
+	}
+}
+
+func TestShardedPredictionsGlobalOrder(t *testing.T) {
+	s := NewSharded(4)
+	for i := 0; i < 10; i++ {
+		s.AppendPrediction(PredictionRecord{Key: testKey(i), Label: i % 2})
+	}
+	preds := s.Predictions()
+	if len(preds) != 10 || s.PredictionCount() != 10 {
+		t.Fatalf("predictions = %d", len(preds))
+	}
+	for i, p := range preds {
+		if p.Key != testKey(i) {
+			t.Fatalf("prediction %d out of append order", i)
+		}
+	}
+}
+
+func TestShardedInstrument(t *testing.T) {
+	s := NewSharded(2)
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	for i := 0; i < 32; i++ {
+		s.UpsertFlow(testKey(i), []float64{1}, 1, 2, 1, false, "")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges["intddos_store_flows"]; got != 32 {
+		t.Errorf("flows gauge = %v", got)
+	}
+	if got := snap.Gauges["intddos_store_shards"]; got != 2 {
+		t.Errorf("shards gauge = %v", got)
+	}
+	imb := snap.Gauges["intddos_store_shard_imbalance"]
+	if imb < 1 || imb > 2 {
+		t.Errorf("imbalance = %v, want within [1,2]", imb)
+	}
+	// Per-shard journal gauges must sum to the aggregate.
+	perShard := 0.0
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, "intddos_store_shard_journal_length{") {
+			perShard += v
+		}
+	}
+	if perShard != snap.Gauges["intddos_store_journal_length"] {
+		t.Errorf("per-shard journal sum %v != aggregate %v",
+			perShard, snap.Gauges["intddos_store_journal_length"])
+	}
+	if h, ok := snap.Histogram("intddos_store_upsert_seconds"); !ok || h.Count != 32 {
+		t.Errorf("upsert histogram count = %+v", h)
+	}
+}
+
+func TestShardedImbalanceEmpty(t *testing.T) {
+	if got := NewSharded(4).Imbalance(); got != 0 {
+		t.Fatalf("empty imbalance = %v", got)
+	}
+}
+
+func TestDBPollShardPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shard 1 of a 1-shard DB")
+		}
+	}()
+	New().PollShard(1, 0, 10)
+}

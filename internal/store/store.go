@@ -54,6 +54,48 @@ type PredictionRecord struct {
 	AttackType string
 }
 
+// Store is the database contract the detection pipeline runs
+// against. Two implementations exist: DB, the paper-faithful single
+// mutex around one flow map (the shape of the original Python
+// deployment's one database), and ShardedDB, N lock-striped DB shards
+// for multi-core ingest. The journal is exposed per shard — Shards,
+// PollShard, TrimShard — so a poller per shard never touches a global
+// lock; a single-shard store is polled exactly like the legacy
+// PollUpdates/TrimJournal pair.
+type Store interface {
+	// UpsertFlow writes a feature snapshot for key, returning whether
+	// the record was created. The features slice is copied.
+	UpsertFlow(key flow.Key, features []float64, registeredAt, updatedAt netsim.Time, updates int, truth bool, attackType string) (created bool)
+	// Flow returns a copy of the record for key and whether it exists.
+	Flow(key flow.Key) (FlowRecord, bool)
+	// FlowCount returns the number of live flow records.
+	FlowCount() int
+	// DeleteFlow removes a flow record (eviction passthrough).
+	DeleteFlow(key flow.Key)
+
+	// Shards returns the journal stripe count (1 for the legacy DB).
+	Shards() int
+	// PollShard returns up to max journal entries after cursor on one
+	// shard and the new cursor — the CentralServer's change feed.
+	PollShard(shard int, cursor uint64, max int) ([]FlowRecord, uint64)
+	// TrimShard drops one shard's journal entries at or before cursor.
+	TrimShard(shard int, cursor uint64)
+	// JournalLen returns unconsumed journal entries across all shards.
+	JournalLen() int
+
+	// AppendPrediction logs a final decision; Predictions copies the
+	// log in append order; PredictionCount returns its size.
+	AppendPrediction(p PredictionRecord)
+	Predictions() []PredictionRecord
+	PredictionCount() int
+
+	// SetJournalNew controls whether brand-new records enter the
+	// journal (see DB.JournalNew).
+	SetJournalNew(on bool)
+	// Instrument registers the store's metrics on reg.
+	Instrument(reg *obs.Registry)
+}
+
 // journalEntry marks one update available to pollers.
 type journalEntry struct {
 	seq uint64
@@ -78,6 +120,11 @@ type DB struct {
 	// UpsertLatency, when set, observes the wall-clock duration of
 	// every UpsertFlow call in seconds (nil-safe; set by Instrument).
 	UpsertLatency *obs.Histogram
+
+	// Contention, when set, counts UpsertFlow calls that found the
+	// mutex already held (nil-safe; set by ShardedDB.Instrument to
+	// quantify residual intra-shard contention).
+	Contention *obs.Counter
 }
 
 // Instrument registers the database's metrics on reg: the journal
@@ -102,7 +149,10 @@ func (db *DB) UpsertFlow(key flow.Key, features []float64, registeredAt, updated
 	if db.UpsertLatency != nil {
 		defer db.UpsertLatency.Since(time.Now())
 	}
-	db.mu.Lock()
+	if !db.mu.TryLock() {
+		db.Contention.Inc() // nil-safe
+		db.mu.Lock()
+	}
 	defer db.mu.Unlock()
 	rec, ok := db.flows[key]
 	if !ok {
@@ -222,3 +272,32 @@ func (db *DB) DeleteFlow(key flow.Key) {
 	defer db.mu.Unlock()
 	delete(db.flows, key)
 }
+
+// Shards returns 1: the legacy database is a single journal stripe.
+func (db *DB) Shards() int { return 1 }
+
+// PollShard is PollUpdates on the store's only stripe (shard must be
+// 0), giving DB the same per-shard polling surface as ShardedDB.
+func (db *DB) PollShard(shard int, cursor uint64, max int) ([]FlowRecord, uint64) {
+	if shard != 0 {
+		panic("store: DB has exactly one shard")
+	}
+	return db.PollUpdates(cursor, max)
+}
+
+// TrimShard is TrimJournal on the store's only stripe.
+func (db *DB) TrimShard(shard int, cursor uint64) {
+	if shard != 0 {
+		panic("store: DB has exactly one shard")
+	}
+	db.TrimJournal(cursor)
+}
+
+// SetJournalNew toggles journaling of brand-new records.
+func (db *DB) SetJournalNew(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.JournalNew = on
+}
+
+var _ Store = (*DB)(nil)

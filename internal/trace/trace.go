@@ -162,7 +162,15 @@ func Read(r io.Reader) ([]Record, error) {
 	if count > maxRecords {
 		return nil, fmt.Errorf("trace: implausible record count %d", count)
 	}
-	recs := make([]Record, 0, count)
+	// Cap the preallocation: count is attacker-controlled (a truncated
+	// or hostile header can claim up to maxRecords ≈ 2^28, which would
+	// reserve tens of gigabytes before the first record read fails).
+	// Found by FuzzRead; grow organically past the cap.
+	prealloc := count
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	recs := make([]Record, 0, prealloc)
 	var rec [26]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
