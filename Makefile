@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-obs bench-shard fuzz-smoke clean
+.PHONY: check vet build test race bench bench-obs bench-shard bench-batch fuzz-smoke clean
 
 check: vet build test race fuzz-smoke
 
@@ -54,6 +54,15 @@ bench-shard:
 		-bench BenchmarkShardScaling -benchtime 5000x .
 	@echo wrote $(CURDIR)/BENCH_shard.json
 
+# bench-batch sweeps batched ensemble scoring and the live runtime
+# across micro-batch sizes (1/8/32/128) and writes the throughput and
+# speedup table to BENCH_batch.json.
+bench-batch:
+	BENCH_BATCH_OUT=$(CURDIR)/BENCH_batch.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkEnsembleBatchScaling|BenchmarkLiveBatchScaling' \
+		-benchtime 2000x .
+	@echo wrote $(CURDIR)/BENCH_batch.json
+
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_batch.json
 	$(GO) clean ./...

@@ -38,6 +38,8 @@ func main() {
 	liveFor := flag.Duration("live-for", 0, "keep the -live replay looping for this long (0: one pass; implies looping until SIGINT when negative)")
 	shards := flag.Int("shards", 0, "stripe the flow table, database, and dispatch over N shards (0: the paper's single-lock layout)")
 	workers := flag.Int("workers", 0, "prediction worker goroutines for -live (0: one, like the paper's single predictor)")
+	predictBatch := flag.Int("predict-batch", 0, "scoring micro-batch size (0/1: the paper's record-at-a-time prediction; results are identical at any size)")
+	predictLinger := flag.Duration("predict-linger", 0, "how long a -live prediction worker waits to fill a micro-batch (0: score immediately)")
 	verbose := flag.Bool("v", false, "print every decision")
 	flag.Parse()
 
@@ -59,7 +61,7 @@ func main() {
 		return
 	}
 	if *liveMode {
-		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, reg, *verbose)
+		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, reg, *verbose)
 		return
 	}
 	if *tracePath != "" {
@@ -69,6 +71,7 @@ func main() {
 
 	live, err := intddos.RunTableVI(intddos.LiveConfig{
 		Scale: *scale, Seed: *seed, PacketsPerType: *packets, Shards: *shards,
+		PredictBatch: *predictBatch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -94,7 +97,7 @@ func main() {
 // registry continuously scrapeable while doing so. A final metrics
 // summary — counters, queue gauges, per-stage latency percentiles —
 // is printed on exit.
-func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers int, reg *intddos.ObsRegistry, verbose bool) {
+func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, reg *intddos.ObsRegistry, verbose bool) {
 	capture, err := intddos.Collect(intddos.DataConfig{Scale: scale, Seed: seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -114,6 +117,8 @@ func runLive(scale string, seed int64, packets int, liveFor time.Duration, shard
 		FlowIdleTimeout: 30 * time.Second,
 		Shards:          shards,
 		Workers:         workers,
+		PredictBatch:    predictBatch,
+		PredictLinger:   predictLinger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)

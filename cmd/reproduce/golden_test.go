@@ -107,12 +107,16 @@ func TestGoldenTableV(t *testing.T) {
 }
 
 // tableVI renders Table VI at the golden configuration with the given
-// store layout.
-func tableVI(t *testing.T, shards int) string {
+// store layout and scoring batch size.
+func tableVI(t *testing.T, shards int, predictBatch ...int) string {
 	t.Helper()
-	live, err := intddos.RunTableVI(intddos.LiveConfig{
+	cfg := intddos.LiveConfig{
 		Scale: goldenScale, Seed: goldenSeed, PacketsPerType: goldenPackets, Shards: shards,
-	})
+	}
+	if len(predictBatch) > 0 {
+		cfg.PredictBatch = predictBatch[0]
+	}
+	live, err := intddos.RunTableVI(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,6 +137,15 @@ func TestGoldenTableVISharded(t *testing.T) {
 		t.Errorf("Table VI differs between legacy DB and ShardedDB(1):\n--- legacy\n%s\n--- sharded\n%s", legacy, sharded)
 	}
 	checkGolden(t, "table6.txt", sharded)
+}
+
+// TestGoldenTableVIBatch32 pins the batched-inference bit-identity
+// guarantee: scoring the Prediction module's queue in micro-batches of
+// 32 must render Table VI byte-for-byte identical to the golden file
+// blessed at the paper-faithful batch size of 1. Batching amortizes
+// the ensemble call but never moves a decision, a vote, or a latency.
+func TestGoldenTableVIBatch32(t *testing.T) {
+	checkGolden(t, "table6.txt", tableVI(t, 0, 32))
 }
 
 func TestGoldenLatencyCompanion(t *testing.T) {

@@ -28,6 +28,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: table1..table6, figure3, figure4, figure5, figure7, coverage, ablation")
 	packets := flag.Int("packets", 2500, "packets per flow type in the live (Table VI) replays")
 	shards := flag.Int("shards", 0, "database shards for the live (Table VI) replays (0: the paper's single-lock store; 1 is observably identical to 0)")
+	predictBatch := flag.Int("predict-batch", 0, "scoring micro-batch size for the live (Table VI) replays (0/1: the paper's record-at-a-time prediction; results are identical at any size)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	flag.Parse()
 
@@ -145,6 +146,7 @@ func main() {
 	if sel("table6") || sel("figure7") {
 		live, err := intddos.RunTableVI(intddos.LiveConfig{
 			Scale: *scale, Seed: *seed, PacketsPerType: *packets, Shards: *shards,
+			PredictBatch: *predictBatch,
 		})
 		fail(err)
 		if sel("table6") {

@@ -116,6 +116,9 @@ type (
 	ConfusionMatrix = ml.ConfusionMatrix
 	// Classifier is a trainable binary classifier.
 	Classifier = ml.Classifier
+	// BatchClassifier is a Classifier with an amortized many-rows
+	// scoring path; every shipped model family implements it.
+	BatchClassifier = ml.BatchClassifier
 	// StandardScaler standardizes features to zero mean, unit var.
 	StandardScaler = ml.StandardScaler
 	// Bundle is a deployable model set: ensemble + scaler + feature

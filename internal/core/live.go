@@ -47,6 +47,20 @@ type LiveConfig struct {
 	// at n=1 is observably identical to the legacy layout.
 	Shards int
 
+	// PredictBatch caps the micro-batch a prediction worker drains
+	// from its shard queue per wakeup: queued records already waiting
+	// are scored through the scaler and ensemble batch paths in one
+	// amortized call instead of one record per wakeup. The batch
+	// contract makes results row-for-row identical to per-record
+	// scoring, so this only trades per-record overhead for batching.
+	// Zero or one keeps the paper's record-at-a-time behavior.
+	PredictBatch int
+	// PredictLinger is how long a worker with an unfilled micro-batch
+	// waits for more records before scoring what it has (default 0:
+	// score immediately — batches only form from backlog). Lingering
+	// trades per-record latency for larger batches under load.
+	PredictLinger time.Duration
+
 	// ModelQuorum and VoteWindow mirror the simulated mechanism
 	// (defaults 2-of-ensemble and 3).
 	ModelQuorum int
@@ -87,6 +101,8 @@ type liveMetrics struct {
 	misclass  *obs.CounterVec // by attack_type
 
 	predictLatency *obs.Histogram // end-to-end §III-2 prediction latency
+	batchSize      *obs.Histogram // records per micro-batch scoring call
+	sampleLatency  *obs.Histogram // per-sample share of the batch scoring call
 
 	// Per-stage latency histograms (children of intddos_stage_seconds
 	// cached so the hot path skips the vec lookup).
@@ -110,6 +126,8 @@ func newLiveMetrics(reg *obs.Registry) liveMetrics {
 		decisions:      reg.CounterVec("intddos_decisions_total", "attack_type"),
 		misclass:       reg.CounterVec("intddos_misclassified_total", "attack_type"),
 		predictLatency: reg.Histogram("intddos_predict_latency_seconds", nil),
+		batchSize:      reg.Histogram("intddos_predict_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		sampleLatency:  reg.Histogram("intddos_predict_sample_seconds", nil),
 		stageIngest:    stages.With("ingest"),
 		stageJournal:   stages.With("journal_wait"),
 		stageQueue:     stages.With("queue_wait"),
@@ -208,6 +226,9 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	}
 	if cfg.Shards < 0 {
 		cfg.Shards = 0
+	}
+	if cfg.PredictBatch < 1 {
+		cfg.PredictBatch = 1
 	}
 	if cfg.ModelQuorum <= 0 {
 		cfg.ModelQuorum = (len(cfg.Models) + 2) / 2
@@ -473,40 +494,99 @@ func (l *Live) sweep() {
 	l.met.evictions.Add(int64(evicted))
 }
 
+// batchScratch is a prediction worker's reusable scoring buffers: the
+// feature-row view of the current micro-batch and the standardized
+// rows the ensemble reads. One worker owns one scratch, so batch calls
+// never allocate row storage after warm-up.
+type batchScratch struct {
+	rows   [][]float64
+	scaled [][]float64
+}
+
 // predictionWorker standardizes snapshots, runs the ensemble, and
-// aggregates decisions for the shards assigned to it.
+// aggregates decisions for the shards assigned to it. Each wakeup
+// drains the worker's channel into a micro-batch of up to
+// cfg.PredictBatch records and scores them through the scaler and
+// ensemble batch paths in one amortized call; results are row-for-row
+// identical to record-at-a-time scoring, and PredictBatch=1
+// degenerates to exactly that.
 func (l *Live) predictionWorker(w int) {
 	defer l.wg.Done()
 	ch := l.workerChs[w]
-	scaled := make([]float64, len(l.cfg.Features))
+	maxBatch := l.cfg.PredictBatch
+	batch := make([]queued, 0, maxBatch)
+	scratch := &batchScratch{}
 	for {
 		select {
 		case <-l.quit:
 			return
 		case q := <-ch:
-			dequeued := time.Now()
-			l.met.stageQueue.ObserveDuration(dequeued.Sub(q.enqueuedAt))
-			q.tr.StageAt("queue_wait", q.enqueuedAt, dequeued)
-
-			l.cfg.Scaler.TransformRow(scaled, q.rec.Features)
-			votes := make([]int, len(l.cfg.Models))
-			ones := 0
-			for i, m := range l.cfg.Models {
-				votes[i] = m.Predict(scaled)
-				ones += votes[i]
+			batch = append(batch[:0], q)
+			// Backlog already queued joins the batch without blocking.
+		drain:
+			for len(batch) < maxBatch {
+				select {
+				case q := <-ch:
+					batch = append(batch, q)
+				default:
+					break drain
+				}
 			}
-			l.Predictions.Add(1)
-			l.met.predictions.Inc()
-			predicted := time.Now()
-			l.met.stagePredict.ObserveDuration(predicted.Sub(dequeued))
-			q.tr.StageAt("scale_predict", dequeued, predicted)
-
-			raw := 0
-			if ones >= l.cfg.ModelQuorum {
-				raw = 1
+			// An unfilled batch may linger briefly for stragglers. On
+			// quit we still score what was dequeued — those records
+			// were taken off the channel and would otherwise vanish.
+			if l.cfg.PredictLinger > 0 && len(batch) < maxBatch {
+				timer := time.NewTimer(l.cfg.PredictLinger)
+			linger:
+				for len(batch) < maxBatch {
+					select {
+					case <-l.quit:
+						break linger
+					case q := <-ch:
+						batch = append(batch, q)
+					case <-timer.C:
+						break linger
+					}
+				}
+				timer.Stop()
 			}
-			l.finish(q, raw, votes, predicted)
+			l.predictBatch(batch, scratch)
 		}
+	}
+}
+
+// predictBatch scores one micro-batch — standardization, ensemble
+// votes, quorum — and finishes every record in arrival order, so the
+// per-flow decision sequence a single worker produces is independent
+// of how records were grouped into batches.
+func (l *Live) predictBatch(batch []queued, s *batchScratch) {
+	dequeued := time.Now()
+	s.rows = s.rows[:0]
+	for _, q := range batch {
+		l.met.stageQueue.ObserveDuration(dequeued.Sub(q.enqueuedAt))
+		q.tr.StageAt("queue_wait", q.enqueuedAt, dequeued)
+		s.rows = append(s.rows, q.rec.Features)
+	}
+	s.scaled = l.cfg.Scaler.TransformBatch(s.scaled, s.rows)
+	votes, ones := ml.EnsembleVotes(l.cfg.Models, s.scaled)
+	n := len(batch)
+	l.Predictions.Add(int64(n))
+	l.met.predictions.Add(int64(n))
+	predicted := time.Now()
+	// The batch call's cost is attributed evenly to its samples: at
+	// batch size one this is the same duration the per-record path
+	// observed.
+	perSample := predicted.Sub(dequeued) / time.Duration(n)
+	l.met.batchSize.Observe(float64(n))
+	for i := range batch {
+		l.met.stagePredict.Observe(perSample.Seconds())
+		l.met.sampleLatency.Observe(perSample.Seconds())
+		batch[i].tr.StageAt("scale_predict", dequeued, predicted)
+		raw := 0
+		if ones[i] >= l.cfg.ModelQuorum {
+			raw = 1
+		}
+		l.finish(batch[i], raw, votes[i], predicted)
 	}
 }
 

@@ -66,6 +66,16 @@ type Config struct {
 	// from the first packet on, Figure 7 — requires.
 	SkipNewRecords bool
 
+	// PredictBatch is the Prediction module's scoring batch: when the
+	// service queue holds several records, the ensemble scores up to
+	// this many of them in one amortized batch call, and completions
+	// then drain the cached scores one record per ServiceTime. Timing,
+	// decision order, and votes are identical to per-sample scoring
+	// (the batch contract guarantees row-for-row equality), so Table
+	// VI is byte-identical at any batch size. Zero or one keeps
+	// per-sample scoring, the paper-faithful default.
+	PredictBatch int
+
 	// FlowIdleTimeout evicts idle flows (with their vote windows and
 	// database records); zero disables. SweepInterval defaults to the
 	// timeout.
@@ -114,7 +124,13 @@ type Mechanism struct {
 	busy    bool
 	windows map[flow.Key][]int
 
-	scaled []float64 // reusable standardization buffer
+	scaled [][]float64 // reusable standardization batch buffer
+	// scoredVotes/scoredOnes cache batch-scored results for the queue
+	// head: index 0 always corresponds to queue[0]. Scoring is pure,
+	// so scoring records at batch time instead of service time changes
+	// nothing observable.
+	scoredVotes [][]int
+	scoredOnes  []int
 
 	// OnDecision observes every final decision as it is made.
 	OnDecision func(Decision)
@@ -161,6 +177,9 @@ func New(eng *netsim.Engine, cfg Config) (*Mechanism, error) {
 	if cfg.Shards < 0 {
 		cfg.Shards = 0
 	}
+	if cfg.PredictBatch < 1 {
+		cfg.PredictBatch = 1
+	}
 	var db store.Store
 	if cfg.Shards == 0 {
 		db = store.New()
@@ -174,7 +193,6 @@ func New(eng *netsim.Engine, cfg Config) (*Mechanism, error) {
 		DB:      db,
 		cursors: make([]uint64, db.Shards()),
 		windows: make(map[flow.Key][]int),
-		scaled:  make([]float64, len(cfg.Features)),
 	}
 	m.Table.IdleTimeout = cfg.FlowIdleTimeout
 	m.DB.SetJournalNew(!cfg.SkipNewRecords)
@@ -244,22 +262,39 @@ func (m *Mechanism) startService() {
 	m.eng.After(m.cfg.ServiceTime, m.completeService)
 }
 
+// scoreHead batch-scores the queue's head block through the scaler
+// and ensemble batch paths, filling the scored caches consumed one
+// record per service completion.
+func (m *Mechanism) scoreHead() {
+	k := m.cfg.PredictBatch
+	if k > len(m.queue) {
+		k = len(m.queue)
+	}
+	rows := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		rows[i] = m.queue[i].Features
+	}
+	m.scaled = m.cfg.Scaler.TransformBatch(m.scaled, rows)
+	m.scoredVotes, m.scoredOnes = ml.EnsembleVotes(m.cfg.Models, m.scaled)
+}
+
 // completeService is the Prediction module finishing one item, plus
 // the Data Processor's aggregation of the result (§IV-C4 ensemble
 // and window voting).
 func (m *Mechanism) completeService() {
+	// Prediction module: standardize and run the ensemble over the
+	// queue head block (a 1-record block at the default PredictBatch),
+	// then consume one cached result per completion.
+	if len(m.scoredVotes) == 0 {
+		m.scoreHead()
+	}
 	rec := m.queue[0]
 	copy(m.queue, m.queue[1:])
 	m.queue = m.queue[:len(m.queue)-1]
+	votes, ones := m.scoredVotes[0], m.scoredOnes[0]
+	m.scoredVotes = m.scoredVotes[1:]
+	m.scoredOnes = m.scoredOnes[1:]
 
-	// Prediction module: standardize, run the ensemble.
-	m.cfg.Scaler.TransformRow(m.scaled, rec.Features)
-	votes := make([]int, len(m.cfg.Models))
-	ones := 0
-	for i, mod := range m.cfg.Models {
-		votes[i] = mod.Predict(m.scaled)
-		ones += votes[i]
-	}
 	m.Predictions++
 	raw := 0
 	if ones >= m.cfg.ModelQuorum {

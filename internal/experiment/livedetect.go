@@ -51,6 +51,14 @@ type LiveConfig struct {
 	// Table VI is bit-identical between the two at n=1 — the golden
 	// tests pin that.
 	Shards int
+	// PredictBatch sizes the Prediction module's scoring micro-batch:
+	// up to this many queued records are standardized and voted in one
+	// amortized ensemble call, while service completions still consume
+	// one result per ServiceTime. Decisions, votes, and latencies are
+	// identical at every batch size — the golden tests pin Table VI
+	// byte-for-byte at 1 and 32. Zero or one is the paper-faithful
+	// record-at-a-time default.
+	PredictBatch int
 }
 
 // fillDefaults resolves zero-valued fields.
@@ -245,6 +253,7 @@ func replayLive(recs []trace.Record, speed float64, models []ml.Classifier, scal
 		ModelQuorum:  cfg.ModelQuorum,
 		VoteWindow:   cfg.VoteWindow,
 		Shards:       cfg.Shards,
+		PredictBatch: cfg.PredictBatch,
 	})
 	if err != nil {
 		return nil, err

@@ -60,6 +60,48 @@ func (a *adaptiveNN) Predict(x []float64) int {
 	return a.net.Predict(x)
 }
 
+// PredictBatch implements ml.BatchClassifier directly on the wrapped
+// network's batched forward pass instead of falling through a sample
+// loop; an untrained wrapper labels everything benign, like Predict.
+func (a *adaptiveNN) PredictBatch(X [][]float64) []int {
+	if a.net == nil {
+		return make([]int, len(X))
+	}
+	return a.net.PredictBatch(X)
+}
+
+// PredictProbaBatch delegates to the wrapped network's batch path.
+func (a *adaptiveNN) PredictProbaBatch(X [][]float64) []float64 {
+	if a.net == nil {
+		return make([]float64, len(X))
+	}
+	return a.net.PredictProbaBatch(X)
+}
+
+// Proba exposes the wrapped network's attack score.
+func (a *adaptiveNN) Proba(x []float64) float64 {
+	if a.net == nil {
+		return 0
+	}
+	return a.net.Proba(x)
+}
+
+// Every model family ships the amortized batch contract; a missing
+// implementation is a compile error here rather than a silent
+// fallthrough to the sample loop.
+var (
+	_ ml.BatchClassifier = (*forest.Forest)(nil)
+	_ ml.BatchClassifier = (*bayes.GaussianNB)(nil)
+	_ ml.BatchClassifier = (*knn.KNN)(nil)
+	_ ml.BatchClassifier = (*neural.Network)(nil)
+	_ ml.BatchClassifier = (*adaptiveNN)(nil)
+
+	_ ml.BatchProbaClassifier = (*forest.Forest)(nil)
+	_ ml.BatchProbaClassifier = (*bayes.GaussianNB)(nil)
+	_ ml.BatchProbaClassifier = (*neural.Network)(nil)
+	_ ml.BatchProbaClassifier = (*adaptiveNN)(nil)
+)
+
 // MarshalBinary delegates to the trained network.
 func (a *adaptiveNN) MarshalBinary() ([]byte, error) {
 	if a.net == nil {
@@ -111,16 +153,9 @@ type EvalResult struct {
 	TestRows  int
 }
 
-// batchPredictor is implemented by models with a parallel batch path.
-type batchPredictor interface {
-	PredictBatch(X [][]float64) []int
-}
-
-// predictAll uses the model's batch path when available.
+// predictAll scores through the model's amortized batch path
+// (ml.PredictBatch dispatches on ml.BatchClassifier).
 func predictAll(c ml.Classifier, X [][]float64) []int {
-	if bp, ok := c.(batchPredictor); ok {
-		return bp.PredictBatch(X)
-	}
 	return ml.PredictBatch(c, X)
 }
 

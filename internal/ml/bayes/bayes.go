@@ -18,6 +18,11 @@ type GaussianNB struct {
 	prior [2]float64   // log class priors
 	mean  [2][]float64 // per-class feature means
 	vr    [2][]float64 // per-class feature variances
+	// lnorm caches -0.5*log(2π·vr) per class and feature — the
+	// likelihood's normalization constants, hoisted out of the sample
+	// loop so scoring never recomputes a logarithm. Derived from vr by
+	// cacheNorms after Fit or UnmarshalBinary.
+	lnorm [2][]float64
 	ready bool
 }
 
@@ -87,16 +92,30 @@ func (g *GaussianNB) Fit(X [][]float64, y []int) error {
 	n := float64(len(X))
 	g.prior[0] = math.Log(float64(count[0]) / n)
 	g.prior[1] = math.Log(float64(count[1]) / n)
+	g.cacheNorms()
 	g.ready = true
 	return nil
+}
+
+// cacheNorms precomputes the per-feature log-normalization constants.
+// The cached value is exactly the -0.5*log(2π·vr) term the likelihood
+// previously evaluated per sample, so scores are bit-identical.
+func (g *GaussianNB) cacheNorms() {
+	for c := 0; c < 2; c++ {
+		g.lnorm[c] = make([]float64, len(g.vr[c]))
+		for j, v := range g.vr[c] {
+			g.lnorm[c][j] = -0.5 * math.Log(2*math.Pi*v)
+		}
+	}
 }
 
 // logLikelihood returns the joint log-likelihood of x under class c.
 func (g *GaussianNB) logLikelihood(x []float64, c int) float64 {
 	ll := g.prior[c]
+	norm, mean, vr := g.lnorm[c], g.mean[c], g.vr[c]
 	for j, v := range x {
-		d := v - g.mean[c][j]
-		ll += -0.5*math.Log(2*math.Pi*g.vr[c][j]) - d*d/(2*g.vr[c][j])
+		d := v - mean[j]
+		ll += norm[j] - d*d/(2*vr[j])
 	}
 	return ll
 }
@@ -121,4 +140,83 @@ func (g *GaussianNB) Proba(x []float64) float64 {
 	m := math.Max(l0, l1)
 	e0, e1 := math.Exp(l0-m), math.Exp(l1-m)
 	return e1 / (e0 + e1)
+}
+
+// logLikelihoodBlock4 computes four rows' log-likelihoods under class
+// c in one pass: the per-feature constants and class parameters are
+// loaded once per block, and the four accumulator chains are
+// independent, so the divides and adds of different rows overlap.
+// Each row's accumulation order matches logLikelihood exactly.
+func (g *GaussianNB) logLikelihoodBlock4(x0, x1, x2, x3 []float64, c int) (l0, l1, l2, l3 float64) {
+	l0, l1, l2, l3 = g.prior[c], g.prior[c], g.prior[c], g.prior[c]
+	norm, mean, vr := g.lnorm[c], g.mean[c], g.vr[c]
+	for j := range x0 {
+		m, v, nm := mean[j], vr[j], norm[j]
+		d0 := x0[j] - m
+		d1 := x1[j] - m
+		d2 := x2[j] - m
+		d3 := x3[j] - m
+		l0 += nm - d0*d0/(2*v)
+		l1 += nm - d1*d1/(2*v)
+		l2 += nm - d2*d2/(2*v)
+		l3 += nm - d3*d3/(2*v)
+	}
+	return l0, l1, l2, l3
+}
+
+// PredictBatch implements ml.BatchClassifier: blocked class-posterior
+// comparison, row-for-row identical to Predict.
+func (g *GaussianNB) PredictBatch(X [][]float64) []int {
+	out := make([]int, len(X))
+	if !g.ready {
+		return out
+	}
+	i := 0
+	for ; i+4 <= len(X); i += 4 {
+		a0, a1, a2, a3 := g.logLikelihoodBlock4(X[i], X[i+1], X[i+2], X[i+3], 0)
+		b0, b1, b2, b3 := g.logLikelihoodBlock4(X[i], X[i+1], X[i+2], X[i+3], 1)
+		if b0 > a0 {
+			out[i] = 1
+		}
+		if b1 > a1 {
+			out[i+1] = 1
+		}
+		if b2 > a2 {
+			out[i+2] = 1
+		}
+		if b3 > a3 {
+			out[i+3] = 1
+		}
+	}
+	for ; i < len(X); i++ {
+		out[i] = g.Predict(X[i])
+	}
+	return out
+}
+
+// PredictProbaBatch returns P(attack|x) per row, row-for-row
+// identical to Proba.
+func (g *GaussianNB) PredictProbaBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	if !g.ready {
+		return out
+	}
+	softmax2 := func(l0, l1 float64) float64 {
+		m := math.Max(l0, l1)
+		e0, e1 := math.Exp(l0-m), math.Exp(l1-m)
+		return e1 / (e0 + e1)
+	}
+	i := 0
+	for ; i+4 <= len(X); i += 4 {
+		a0, a1, a2, a3 := g.logLikelihoodBlock4(X[i], X[i+1], X[i+2], X[i+3], 0)
+		b0, b1, b2, b3 := g.logLikelihoodBlock4(X[i], X[i+1], X[i+2], X[i+3], 1)
+		out[i] = softmax2(a0, b0)
+		out[i+1] = softmax2(a1, b1)
+		out[i+2] = softmax2(a2, b2)
+		out[i+3] = softmax2(a3, b3)
+	}
+	for ; i < len(X); i++ {
+		out[i] = g.Proba(X[i])
+	}
+	return out
 }

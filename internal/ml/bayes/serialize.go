@@ -51,6 +51,7 @@ func (g *GaussianNB) UnmarshalBinary(buf []byte) error {
 			}
 		}
 	}
+	g.cacheNorms()
 	g.ready = true
 	return nil
 }

@@ -129,8 +129,34 @@ type Classifier interface {
 	Predict(x []float64) int
 }
 
-// PredictBatch labels every row of X.
+// BatchClassifier is the primary scoring contract: a Classifier whose
+// PredictBatch amortizes per-sample overhead (buffer allocation,
+// model-state traversal, cache misses) across a block of rows. Every
+// model family in this repository implements it, and implementations
+// are required to be row-for-row identical to calling Predict in a
+// loop — batch scoring is a throughput optimization, never a semantic
+// change.
+type BatchClassifier interface {
+	Classifier
+	// PredictBatch labels every row of X, equal element-wise to
+	// [Predict(x) for x in X].
+	PredictBatch(X [][]float64) []int
+}
+
+// PredictBatch labels every row of X, using the model's amortized
+// batch path when it implements BatchClassifier and a sequential
+// Predict loop otherwise. The two paths are interchangeable by the
+// BatchClassifier contract.
 func PredictBatch(c Classifier, X [][]float64) []int {
+	if bc, ok := c.(BatchClassifier); ok {
+		return bc.PredictBatch(X)
+	}
+	return SequentialPredict(c, X)
+}
+
+// SequentialPredict labels every row of X one Predict call at a time
+// — the reference implementation batch paths are tested against.
+func SequentialPredict(c Classifier, X [][]float64) []int {
 	out := make([]int, len(X))
 	for i, x := range X {
 		out[i] = c.Predict(x)

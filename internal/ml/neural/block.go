@@ -1,0 +1,34 @@
+package neural
+
+// layerBlock4Go is the portable layerBlock4 kernel: for a dense layer
+// with `in` inputs, it computes the pre-activations of a four-row
+// block from the packed input plane xt (element j*4+r is row r's
+// input j) into the packed output plane yt:
+//
+//	yt[o*4+r] = b[o] + Σ_j w[o*in+j] · xt[j*4+r]
+//
+// Each (row, neuron) sum accumulates in strict j order, exactly like
+// the scalar forward pass, so results are bit-identical to it. The
+// amd64 assembly kernel follows the same contract.
+func layerBlock4Go(w, b, xt, yt []float64, in int) {
+	for o := range b {
+		// Reslicing to the layer width lets the compiler drop the
+		// per-element bounds checks in the dot-product loop.
+		row := w[o*in:]
+		row = row[:in]
+		bo := b[o]
+		s0, s1, s2, s3 := bo, bo, bo, bo
+		x := xt
+		for _, v := range row {
+			s0 += v * x[0]
+			s1 += v * x[1]
+			s2 += v * x[2]
+			s3 += v * x[3]
+			x = x[4:]
+		}
+		yt[4*o] = s0
+		yt[4*o+1] = s1
+		yt[4*o+2] = s2
+		yt[4*o+3] = s3
+	}
+}

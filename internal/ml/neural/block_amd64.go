@@ -1,0 +1,13 @@
+//go:build amd64
+
+package neural
+
+// layerBlock4 computes the packed pre-activations of one dense layer
+// for a four-row block; see layerBlock4Go for the contract. The SSE2
+// kernel (baseline on amd64, so no feature detection is needed) maps
+// block rows to vector lanes: every lane performs the same
+// multiply-then-add sequence in the same j order as the scalar
+// forward pass, so results are bit-identical to layerBlock4Go.
+//
+//go:noescape
+func layerBlock4(w, b, xt, yt []float64, in int)

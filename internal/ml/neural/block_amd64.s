@@ -1,0 +1,112 @@
+// SSE2 layerBlock4 kernel. Block rows map to vector lanes — two rows
+// per XMM register — so each lane runs the scalar forward pass's
+// multiply-then-add sequence in the same j order, keeping results
+// bit-identical to layerBlock4Go. Outputs are processed two at a time
+// (four independent accumulator chains) to cover the FP-add latency.
+
+#include "textflag.h"
+
+// func layerBlock4(w, b, xt, yt []float64, in int)
+TEXT ·layerBlock4(SB), NOSPLIT, $0-104
+	MOVQ w_base+0(FP), SI
+	MOVQ b_base+24(FP), BX
+	MOVQ b_len+32(FP), R8  // out
+	MOVQ xt_base+48(FP), DX
+	MOVQ yt_base+72(FP), DI
+	MOVQ in+96(FP), CX
+
+	XORQ R9, R9   // o: output index
+	MOVQ SI, R10  // weight-row cursor (row o)
+
+opair:
+	// Two outputs per pass while at least two remain.
+	MOVQ R8, AX
+	SUBQ R9, AX
+	CMPQ AX, $2
+	JLT  otail
+	LEAQ (R10)(CX*8), R11  // weight row o+1
+
+	// Accumulators seeded with the biases: X0/X1 hold rows 01/23 of
+	// output o, X2/X3 of output o+1.
+	MOVSD    (BX)(R9*8), X0
+	UNPCKLPD X0, X0
+	MOVAPD   X0, X1
+	MOVSD    8(BX)(R9*8), X2
+	UNPCKLPD X2, X2
+	MOVAPD   X2, X3
+
+	MOVQ  DX, R13  // xt column cursor
+	MOVQ  CX, R12  // remaining j iterations
+	TESTQ R12, R12
+	JZ    opair_done
+
+jloop2:
+	MOVSD    (R10), X4
+	UNPCKLPD X4, X4      // broadcast w[o][j]
+	MOVSD    (R11), X5
+	UNPCKLPD X5, X5      // broadcast w[o+1][j]
+	MOVUPD   (R13), X6   // xt column j, rows 0-1
+	MOVUPD   16(R13), X7 // xt column j, rows 2-3
+	MOVAPD   X6, X8
+	MULPD    X4, X8
+	ADDPD    X8, X0
+	MOVAPD   X7, X9
+	MULPD    X4, X9
+	ADDPD    X9, X1
+	MULPD    X5, X6
+	ADDPD    X6, X2
+	MULPD    X5, X7
+	ADDPD    X7, X3
+	ADDQ     $8, R10
+	ADDQ     $8, R11
+	ADDQ     $32, R13
+	DECQ     R12
+	JNZ      jloop2
+
+opair_done:
+	MOVQ   R9, AX
+	SHLQ   $5, AX  // o*4 doubles = o*32 bytes
+	MOVUPD X0, (DI)(AX*1)
+	MOVUPD X1, 16(DI)(AX*1)
+	MOVUPD X2, 32(DI)(AX*1)
+	MOVUPD X3, 48(DI)(AX*1)
+	MOVQ   R11, R10  // row o+1's end is row o+2's start
+	ADDQ   $2, R9
+	JMP    opair
+
+otail:
+	// At most one output remains.
+	CMPQ R9, R8
+	JGE  done
+	MOVSD    (BX)(R9*8), X0
+	UNPCKLPD X0, X0
+	MOVAPD   X0, X1
+	MOVQ     DX, R13
+	MOVQ     CX, R12
+	TESTQ    R12, R12
+	JZ       otail_done
+
+jloop1:
+	MOVSD    (R10), X4
+	UNPCKLPD X4, X4
+	MOVUPD   (R13), X6
+	MULPD    X4, X6
+	ADDPD    X6, X0
+	MOVUPD   16(R13), X7
+	MULPD    X4, X7
+	ADDPD    X7, X1
+	ADDQ     $8, R10
+	ADDQ     $32, R13
+	DECQ     R12
+	JNZ      jloop1
+
+otail_done:
+	MOVQ   R9, AX
+	SHLQ   $5, AX
+	MOVUPD X0, (DI)(AX*1)
+	MOVUPD X1, 16(DI)(AX*1)
+	INCQ   R9
+	JMP    otail
+
+done:
+	RET

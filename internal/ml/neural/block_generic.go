@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package neural
+
+// layerBlock4 dispatches to the portable kernel on targets without an
+// assembly implementation.
+func layerBlock4(w, b, xt, yt []float64, in int) {
+	layerBlock4Go(w, b, xt, yt, in)
+}

@@ -1,0 +1,40 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLayerBlock4MatchesGo checks the platform layerBlock4 kernel
+// against the portable reference bit-for-bit across layer shapes,
+// including odd output counts (the kernel's single-output tail) and
+// negative values.
+func TestLayerBlock4MatchesGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, in := range []int{1, 2, 3, 12, 15, 64} {
+		for _, out := range []int{1, 2, 3, 5, 16, 33} {
+			w := make([]float64, in*out)
+			for i := range w {
+				w[i] = rng.NormFloat64()
+			}
+			b := make([]float64, out)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			xt := make([]float64, 4*in)
+			for i := range xt {
+				xt[i] = rng.NormFloat64() * 3
+			}
+			got := make([]float64, 4*out)
+			want := make([]float64, 4*out)
+			layerBlock4(w, b, xt, got, in)
+			layerBlock4Go(w, b, xt, want, in)
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("in=%d out=%d: yt[%d] = %x, want %x", in, out, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

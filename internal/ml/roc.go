@@ -10,6 +10,15 @@ type ProbaClassifier interface {
 	Proba(x []float64) float64
 }
 
+// BatchProbaClassifier is a ProbaClassifier with an amortized batch
+// scoring path, mirroring BatchClassifier: PredictProbaBatch must be
+// row-for-row identical to calling Proba in a loop.
+type BatchProbaClassifier interface {
+	ProbaClassifier
+	// PredictProbaBatch returns P(attack|x) for every row of X.
+	PredictProbaBatch(X [][]float64) []float64
+}
+
 // ROCPoint is one operating point of a score threshold sweep.
 type ROCPoint struct {
 	Threshold float64
@@ -84,8 +93,12 @@ func BestThreshold(points []ROCPoint) ROCPoint {
 	return best
 }
 
-// Scores applies a ProbaClassifier across rows.
+// ScoreRows applies a ProbaClassifier across rows, using the model's
+// batch path when it implements BatchProbaClassifier.
 func ScoreRows(c ProbaClassifier, X [][]float64) []float64 {
+	if bc, ok := c.(BatchProbaClassifier); ok {
+		return bc.PredictProbaBatch(X)
+	}
 	out := make([]float64, len(X))
 	for i, x := range X {
 		out[i] = c.Proba(x)

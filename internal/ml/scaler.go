@@ -72,6 +72,27 @@ func (s *StandardScaler) TransformRow(dst, x []float64) []float64 {
 	return dst
 }
 
+// TransformBatch standardizes every row of X into dst, growing dst as
+// needed, and returns dst[:len(X)]. Row buffers already present in
+// dst are reused, so a prediction worker can standardize micro-batch
+// after micro-batch without allocating; each row equals TransformRow
+// on the same input.
+func (s *StandardScaler) TransformBatch(dst, X [][]float64) [][]float64 {
+	if cap(dst) < len(X) {
+		grown := make([][]float64, len(X))
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:len(X)]
+	for i, row := range X {
+		if len(dst[i]) != len(row) {
+			dst[i] = make([]float64, len(row))
+		}
+		s.TransformRow(dst[i], row)
+	}
+	return dst
+}
+
 // FitTransform fits on X and returns the standardized copy.
 func (s *StandardScaler) FitTransform(X [][]float64) ([][]float64, error) {
 	if err := s.Fit(X); err != nil {

@@ -1,0 +1,37 @@
+package ml
+
+// EnsembleVotes scores every row of X with every model through the
+// batch path and returns the transposed result: votes[i] is row i's
+// per-model vote vector (in model order, safe for the caller to
+// retain) and ones[i] how many models voted attack — the inputs the
+// §IV-C4 quorum rule consumes. Each model walks the whole batch once,
+// so per-batch costs (tree-arena faults, activation buffers, hoisted
+// constants) are paid per model instead of per sample.
+func EnsembleVotes(models []Classifier, X [][]float64) (votes [][]int, ones []int) {
+	votes = make([][]int, len(X))
+	ones = make([]int, len(X))
+	flat := make([]int, len(X)*len(models))
+	for i := range votes {
+		votes[i] = flat[i*len(models) : (i+1)*len(models) : (i+1)*len(models)]
+	}
+	for mi, m := range models {
+		labels := PredictBatch(m, X)
+		for i, lab := range labels {
+			votes[i][mi] = lab
+			ones[i] += lab
+		}
+	}
+	return votes, ones
+}
+
+// QuorumLabels reduces per-row attack-vote counts to raw ensemble
+// labels: 1 where at least quorum models voted attack.
+func QuorumLabels(ones []int, quorum int) []int {
+	out := make([]int, len(ones))
+	for i, n := range ones {
+		if n >= quorum {
+			out[i] = 1
+		}
+	}
+	return out
+}
