@@ -1,12 +1,13 @@
 # Developer entry points. `make check` is the gate every change must
-# pass: vet, build, the full test suite, the race pass, and a short
-# fuzz smoke over every wire-format parser.
+# pass: vet, build, the full test suite, the race pass, a short fuzz
+# smoke over every wire-format parser, and the chaos smoke (the
+# fault-injection suite under the race detector).
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-obs bench-shard bench-batch fuzz-smoke clean
+.PHONY: check vet build test race bench bench-obs bench-shard bench-batch fuzz-smoke chaos-smoke clean
 
-check: vet build test race fuzz-smoke
+check: vet build test race fuzz-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +36,17 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeReport$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/sflow/
 	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/trace/
+
+# chaos-smoke runs the fault-injection suite under the race detector:
+# the injector/wrapper unit tests plus every chaos scenario against
+# the live pipeline (supervised workers, store retries, quorum
+# degradation, shed/abandon accounting). Fault schedules are
+# seed-driven, so the run is deterministic per seed.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/fault/
+	$(GO) test -race -count=1 -run \
+		'TestChaos|TestWorkerPanic|TestQuorum|TestModelRecovers|TestStoreRetries|TestDrainOnStop|TestShardShed|TestHealthz|TestMalformed' \
+		./internal/core/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -40,6 +40,8 @@ func main() {
 	workers := flag.Int("workers", 0, "prediction worker goroutines for -live (0: one, like the paper's single predictor)")
 	predictBatch := flag.Int("predict-batch", 0, "scoring micro-batch size (0/1: the paper's record-at-a-time prediction; results are identical at any size)")
 	predictLinger := flag.Duration("predict-linger", 0, "how long a -live prediction worker waits to fill a micro-batch (0: score immediately)")
+	faultSpec := flag.String("fault-spec", "", "inject faults into the -live pipeline, e.g. \"drop=0.01,store.err=0.1,panic=0.02\" (see README: fault tolerance)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	verbose := flag.Bool("v", false, "print every decision")
 	flag.Parse()
 
@@ -61,8 +63,17 @@ func main() {
 		return
 	}
 	if *liveMode {
-		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, reg, *verbose)
+		injector, err := intddos.ParseFaultSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "intddos:", err)
+			os.Exit(1)
+		}
+		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, injector, reg, *verbose)
 		return
+	}
+	if *faultSpec != "" {
+		fmt.Fprintln(os.Stderr, "intddos: -fault-spec only applies to the -live pipeline")
+		os.Exit(1)
 	}
 	if *tracePath != "" {
 		runTrace(*tracePath, *bundlePath, *seed, *verbose)
@@ -97,7 +108,7 @@ func main() {
 // registry continuously scrapeable while doing so. A final metrics
 // summary — counters, queue gauges, per-stage latency percentiles —
 // is printed on exit.
-func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, reg *intddos.ObsRegistry, verbose bool) {
+func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, injector *intddos.FaultInjector, reg *intddos.ObsRegistry, verbose bool) {
 	capture, err := intddos.Collect(intddos.DataConfig{Scale: scale, Seed: seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -119,6 +130,7 @@ func runLive(scale string, seed int64, packets int, liveFor time.Duration, shard
 		Workers:         workers,
 		PredictBatch:    predictBatch,
 		PredictLinger:   predictLinger,
+		Fault:           injector,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -200,6 +212,13 @@ replay:
 
 	fmt.Printf("\n%d passes, %d reports, %d decisions, %d shed, %d evicted\n",
 		passes, live.Reports.Load(), len(live.Decisions()), live.Shed.Load(), live.Evictions.Load())
+	if injector != nil {
+		fmt.Printf("health: %s; abandoned: %v; faults fired: %s; tainted flows: %d\n",
+			live.Health(), live.AbandonedByReason(), injector.Summary(), injector.TaintCount())
+		for _, tr := range live.HealthTransitions() {
+			fmt.Println("  transition:", tr)
+		}
+	}
 	fmt.Println("\n# metrics snapshot")
 	fmt.Print(live.MetricsSnapshot().FormatSummary())
 }

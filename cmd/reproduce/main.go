@@ -29,6 +29,8 @@ func main() {
 	packets := flag.Int("packets", 2500, "packets per flow type in the live (Table VI) replays")
 	shards := flag.Int("shards", 0, "database shards for the live (Table VI) replays (0: the paper's single-lock store; 1 is observably identical to 0)")
 	predictBatch := flag.Int("predict-batch", 0, "scoring micro-batch size for the live (Table VI) replays (0/1: the paper's record-at-a-time prediction; results are identical at any size)")
+	faultSpec := flag.String("fault-spec", "", "fault schedule for the chaos artifact (e.g. \"drop=0.05,store.err=0.1,panic=0.02\"; empty: clean baseline)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the chaos artifact's fault schedule")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	flag.Parse()
 
@@ -142,6 +144,17 @@ func main() {
 		fail(err)
 		fmt.Println(intddos.FormatScaling(points, scfg))
 		writeCSV(*csvDir, "scaling.csv", func(w io.Writer) error { return intddos.WriteScalingCSV(w, points) })
+	}
+	if sel("chaos") && len(want) > 0 {
+		// Robustness artifact; produced on request. Replays the
+		// workload through the wall-clock runtime under the -fault-spec
+		// schedule and reports how gracefully the pipeline degraded.
+		res, err := intddos.RunChaos(intddos.ChaosConfig{
+			Scale: *scale, Seed: *seed, PacketsPerType: *packets,
+			FaultSpec: *faultSpec, FaultSeed: *faultSeed,
+		})
+		fail(err)
+		fmt.Println(intddos.FormatChaos(res))
 	}
 	if sel("table6") || sel("figure7") {
 		live, err := intddos.RunTableVI(intddos.LiveConfig{

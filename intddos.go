@@ -31,6 +31,7 @@ package intddos
 import (
 	"github.com/amlight/intddos/internal/core"
 	"github.com/amlight/intddos/internal/experiment"
+	"github.com/amlight/intddos/internal/fault"
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/mitigate"
 	"github.com/amlight/intddos/internal/ml"
@@ -104,6 +105,10 @@ type (
 	ROCRow = experiment.ROCRow
 	// MitigationResult summarizes one closed-loop mitigation replay.
 	MitigationResult = experiment.MitigationResult
+	// ChaosConfig parameterizes a fault-injected live replay.
+	ChaosConfig = experiment.ChaosConfig
+	// ChaosResult summarizes how the pipeline degraded under faults.
+	ChaosResult = experiment.ChaosResult
 )
 
 // ML layer types.
@@ -168,6 +173,22 @@ type (
 	Decision = core.Decision
 	// TypeResult is one Table VI row.
 	TypeResult = core.TypeResult
+	// HealthState is the live pipeline's aggregate condition
+	// (healthy, degraded, or shedding), reported on /healthz.
+	HealthState = core.HealthState
+	// FaultSpec is a parsed fault-injection schedule.
+	FaultSpec = fault.Spec
+	// FaultInjector decides, deterministically from a seed, when the
+	// faults of a FaultSpec fire; wire it into
+	// LiveRuntimeConfig.Fault to chaos-test the live pipeline.
+	FaultInjector = fault.Injector
+)
+
+// Pipeline health states, in increasing severity.
+const (
+	HealthHealthy  = core.HealthHealthy
+	HealthDegraded = core.HealthDegraded
+	HealthShedding = core.HealthShedding
 )
 
 // Extension modules: microburst detection over the same telemetry
@@ -249,6 +270,14 @@ func NewMechanism(tb *Testbed, cfg MechanismConfig) (*Mechanism, error) {
 // NewLiveRuntime builds the wall-clock concurrent runtime of the
 // mechanism, for driving with real (non-simulated) report feeds.
 func NewLiveRuntime(cfg LiveRuntimeConfig) (*Live, error) { return core.NewLive(cfg) }
+
+// ParseFaultSpec parses a fault schedule in the clause grammar
+// ("drop=0.01,store.stall=5ms@0.02,model.fail=GNB@0.5", ...) and
+// returns an injector seeded for deterministic replay. An empty spec
+// returns a nil injector, which injects nothing.
+func ParseFaultSpec(spec string, seed int64) (*FaultInjector, error) {
+	return fault.Parse(spec, seed)
+}
 
 // ListenReports opens a UDP INT-report collector on addr
 // ("127.0.0.1:0" picks a free port).
@@ -342,6 +371,11 @@ func RunMitigation(cfg LiveConfig) ([]MitigationResult, error) {
 	return experiment.RunMitigation(cfg)
 }
 
+// RunChaos trains the stage-2 ensemble and replays the workload's INT
+// reports through the wall-clock runtime under a deterministic fault
+// schedule, returning the degradation summary.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) { return experiment.RunChaos(cfg) }
+
 // FeatureAblation contrasts INT with and without queue-occupancy
 // features.
 func FeatureAblation(c *Capture, seed int64) (withQueue, withoutQueue EvalResult, err error) {
@@ -369,6 +403,7 @@ var (
 	FormatROC             = experiment.FormatROC
 	FormatMitigation      = experiment.FormatMitigation
 	FormatTableVMatrix    = experiment.FormatTableVMatrix
+	FormatChaos           = experiment.FormatChaos
 )
 
 // CSV exports for re-plotting outside Go.

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/obs"
+)
+
+// HealthState is the pipeline's aggregate condition, ordered by
+// severity. The live runtime walks healthy → degraded → shedding and
+// back as faults fire and clear; /healthz reports the current state
+// with detail.
+type HealthState int32
+
+const (
+	// HealthHealthy: full fidelity — every model voting, no recent
+	// faults, queues with headroom.
+	HealthHealthy HealthState = iota
+	// HealthDegraded: best-effort answers under partial failure — an
+	// ensemble member marked unhealthy (quorum degraded to
+	// majority-of-available), workers restarted after panics, or
+	// store operations retried. No records are being lost.
+	HealthDegraded
+	// HealthShedding: records are being lost — worker queues full
+	// (shed), a worker permanently down (restart budget exhausted),
+	// or store writes dropped after exhausting retries.
+	HealthShedding
+)
+
+// String returns the /healthz state name.
+func (s HealthState) String() string {
+	switch s {
+	case HealthDegraded:
+		return obs.StateDegraded
+	case HealthShedding:
+		return obs.StateShedding
+	default:
+		return obs.StateHealthy
+	}
+}
+
+// modelHealth is one ensemble member's failure-tracking state
+// machine: healthy until ModelFailThreshold consecutive scoring
+// failures, then unhealthy (no votes, quorum degrades) until a probe
+// after ModelProbeAfter succeeds. Shared by all prediction workers.
+type modelHealth struct {
+	name string
+
+	mu        sync.Mutex
+	consec    int       // consecutive failures
+	unhealthy bool      // currently out of the ensemble
+	since     time.Time // when marked unhealthy (probe timer)
+	failures  int64     // lifetime failures, for reporting
+}
+
+// available reports whether the model should be scored for the next
+// batch: healthy, or unhealthy but due for a recovery probe.
+func (mh *modelHealth) available(now time.Time, probeAfter time.Duration) bool {
+	mh.mu.Lock()
+	defer mh.mu.Unlock()
+	return !mh.unhealthy || now.Sub(mh.since) >= probeAfter
+}
+
+// markFailure records one failed scoring call, returning whether the
+// model just crossed into unhealthy. A failed probe re-arms the
+// cooldown.
+func (mh *modelHealth) markFailure(now time.Time, threshold int) (turnedUnhealthy bool) {
+	mh.mu.Lock()
+	defer mh.mu.Unlock()
+	mh.consec++
+	mh.failures++
+	if mh.unhealthy {
+		mh.since = now // failed probe: restart the cooldown
+		return false
+	}
+	if mh.consec >= threshold {
+		mh.unhealthy = true
+		mh.since = now
+		return true
+	}
+	return false
+}
+
+// markSuccess records one successful scoring call, returning whether
+// the model just recovered.
+func (mh *modelHealth) markSuccess() (recovered bool) {
+	mh.mu.Lock()
+	defer mh.mu.Unlock()
+	mh.consec = 0
+	if mh.unhealthy {
+		mh.unhealthy = false
+		return true
+	}
+	return false
+}
+
+// snapshot returns (unhealthy, lifetime failures) for reporting.
+func (mh *modelHealth) snapshot() (bool, int64) {
+	mh.mu.Lock()
+	defer mh.mu.Unlock()
+	return mh.unhealthy, mh.failures
+}
+
+// healthTracker is the pipeline-level state machine with its
+// transition log. Fault events raise the state immediately (a shed
+// record flips shedding the moment it happens); reassess lowers it
+// once conditions clear and the recency window expires.
+type healthTracker struct {
+	state atomic.Int32
+
+	lastDegraded atomic.Int64 // unix nanos of the last degraded-class event
+	lastShed     atomic.Int64 // unix nanos of the last shedding-class event
+
+	mu  sync.Mutex
+	log []string // recent transitions, oldest first, capped
+}
+
+const healthLogCap = 32
+
+// VoteAbsent marks a model that produced no vote for a record — it
+// was unhealthy or its scoring call failed — in Decision.Votes. The
+// quorum never counts absent votes.
+const VoteAbsent = -1
+
+// Health returns the pipeline's current aggregate state.
+func (l *Live) Health() HealthState { return HealthState(l.health.state.Load()) }
+
+// setHealthState moves the state machine, logging and counting the
+// transition when the state actually changes.
+func (l *Live) setHealthState(s HealthState, why string) {
+	prev := HealthState(l.health.state.Swap(int32(s)))
+	if prev == s {
+		return
+	}
+	l.met.healthTransitions.With(s.String()).Inc()
+	l.health.mu.Lock()
+	entry := fmt.Sprintf("%s %s -> %s (%s)", time.Now().UTC().Format(time.RFC3339), prev, s, why)
+	l.health.log = append(l.health.log, entry)
+	if len(l.health.log) > healthLogCap {
+		l.health.log = l.health.log[len(l.health.log)-healthLogCap:]
+	}
+	l.health.mu.Unlock()
+}
+
+// noteDegraded records a degraded-class fault event (model failure,
+// worker restart, store retry) and raises the state if it is below
+// degraded.
+func (l *Live) noteDegraded(why string) {
+	l.health.lastDegraded.Store(time.Now().UnixNano())
+	if l.Health() < HealthDegraded {
+		l.setHealthState(HealthDegraded, why)
+	}
+}
+
+// noteShedding records a shedding-class fault event (shed record,
+// dead worker, dropped store write) and raises the state to shedding.
+func (l *Live) noteShedding(why string) {
+	l.health.lastShed.Store(time.Now().UnixNano())
+	if l.Health() < HealthShedding {
+		l.setHealthState(HealthShedding, why)
+	}
+}
+
+// reassessHealth recomputes the state from current conditions,
+// lowering it when faults have cleared. Called from the shard pollers
+// once per tick, so recovery is observed within a poll interval of
+// the recency window expiring.
+func (l *Live) reassessHealth() {
+	now := time.Now().UnixNano()
+	recency := l.cfg.HealthRecency.Nanoseconds()
+	target := HealthHealthy
+	switch {
+	case l.workersDown.Load() > 0,
+		now-l.health.lastShed.Load() < recency,
+		l.queueOccupancy() >= 0.9:
+		target = HealthShedding
+	case l.unhealthyModels() > 0,
+		now-l.health.lastDegraded.Load() < recency:
+		target = HealthDegraded
+	}
+	// Only transitions change anything; steady state is one atomic
+	// load in setHealthState's Swap plus the comparisons above.
+	l.setHealthState(target, "reassess")
+}
+
+// queueOccupancy returns the fraction of total worker-queue capacity
+// in use.
+func (l *Live) queueOccupancy() float64 {
+	used, capacity := 0, 0
+	for _, ch := range l.workerChs {
+		used += len(ch)
+		capacity += cap(ch)
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return float64(used) / float64(capacity)
+}
+
+// unhealthyModels counts ensemble members currently out of the vote.
+func (l *Live) unhealthyModels() int {
+	n := 0
+	for _, mh := range l.modelHealth {
+		if bad, _ := mh.snapshot(); bad {
+			n++
+		}
+	}
+	return n
+}
+
+// healthReport renders the /healthz body: state, accounting,
+// per-model health, and the recent transition log.
+func (l *Live) healthReport() obs.Health {
+	st := l.Health()
+	detail := []string{
+		fmt.Sprintf("shards=%d workers=%d workers_down=%d worker_restarts=%d",
+			l.nShards, l.cfg.Workers, l.workersDown.Load(), l.WorkerRestarts.Load()),
+		fmt.Sprintf("polled=%d decided=%d shed=%d abandoned=%d store_retries=%d store_dropped=%d",
+			l.Polled.Load(), l.DecisionCount(), l.Shed.Load(), l.Abandoned.Load(),
+			l.StoreRetries.Load(), l.StoreDropped.Load()),
+		fmt.Sprintf("queue_occupancy=%.2f", l.queueOccupancy()),
+	}
+	for _, mh := range l.modelHealth {
+		bad, fails := mh.snapshot()
+		state := obs.StateHealthy
+		if bad {
+			state = "unhealthy"
+		}
+		detail = append(detail, fmt.Sprintf("model %s: %s (failures=%d)", mh.name, state, fails))
+	}
+	l.health.mu.Lock()
+	for _, entry := range l.health.log {
+		detail = append(detail, "transition: "+entry)
+	}
+	l.health.mu.Unlock()
+	return obs.Health{State: st.String(), Detail: detail}
+}
+
+// HealthTransitions returns the recent transition log (oldest first).
+func (l *Live) HealthTransitions() []string {
+	l.health.mu.Lock()
+	defer l.health.mu.Unlock()
+	out := make([]string, len(l.health.log))
+	copy(out, l.health.log)
+	return out
+}
+
+// scoreBatch runs the ensemble over the standardized batch with
+// per-model fault isolation: each member scores through
+// ml.TryPredictBatch (panic-contained, fallible path when wrapped);
+// a member that fails or is marked unhealthy contributes VoteAbsent
+// for every row and the member's health state machine advances.
+// navail is how many members actually voted. With every member
+// healthy the result is element-for-element identical to
+// ml.EnsembleVotes — the fault-free path changes nothing.
+func (l *Live) scoreBatch(X [][]float64) (votes [][]int, ones []int, navail int) {
+	models := l.cfg.Models
+	votes = make([][]int, len(X))
+	flat := make([]int, len(X)*len(models))
+	for i := range votes {
+		votes[i] = flat[i*len(models) : (i+1)*len(models) : (i+1)*len(models)]
+	}
+	ones = make([]int, len(X))
+	now := time.Now()
+	for mi, m := range models {
+		mh := l.modelHealth[mi]
+		if !mh.available(now, l.cfg.ModelProbeAfter) {
+			markAbsent(votes, mi)
+			continue
+		}
+		labels, err := ml.TryPredictBatch(m, X)
+		if err == nil && len(labels) != len(X) {
+			err = fmt.Errorf("core: model %s returned %d labels for %d rows", mh.name, len(labels), len(X))
+		}
+		if err != nil {
+			l.ModelFailures.Add(1)
+			l.met.modelFailures.With(mh.name).Inc()
+			if mh.markFailure(now, l.cfg.ModelFailThreshold) {
+				l.met.modelHealthy.With(mh.name).Set(0)
+			}
+			l.noteDegraded("model " + mh.name + " failed")
+			markAbsent(votes, mi)
+			continue
+		}
+		if mh.markSuccess() {
+			l.met.modelHealthy.With(mh.name).Set(1)
+			l.health.mu.Lock()
+			l.health.log = append(l.health.log, fmt.Sprintf("%s model %s recovered",
+				time.Now().UTC().Format(time.RFC3339), mh.name))
+			if len(l.health.log) > healthLogCap {
+				l.health.log = l.health.log[len(l.health.log)-healthLogCap:]
+			}
+			l.health.mu.Unlock()
+		}
+		navail++
+		for i, lab := range labels {
+			votes[i][mi] = lab
+			ones[i] += lab
+		}
+	}
+	return votes, ones, navail
+}
+
+// markAbsent fills one model's column with VoteAbsent.
+func markAbsent(votes [][]int, mi int) {
+	for i := range votes {
+		votes[i][mi] = VoteAbsent
+	}
+}
+
+// effectiveQuorum returns the attack-vote threshold for a batch
+// scored by navail of the configured members. At full strength it is
+// the configured quorum (the paper's 2-of-3); with members out it
+// degrades to majority-of-available — 2-of-2, 1-of-1 — so detection
+// keeps producing best-effort answers instead of silently requiring
+// votes that can no longer arrive.
+func (l *Live) effectiveQuorum(navail int) int {
+	if navail >= len(l.cfg.Models) {
+		return l.cfg.ModelQuorum
+	}
+	return navail/2 + 1
+}

@@ -2,10 +2,13 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/amlight/intddos/internal/fault"
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/ml"
 	"github.com/amlight/intddos/internal/netsim"
@@ -62,7 +65,9 @@ type LiveConfig struct {
 	PredictLinger time.Duration
 
 	// ModelQuorum and VoteWindow mirror the simulated mechanism
-	// (defaults 2-of-ensemble and 3).
+	// (defaults 2-of-ensemble and 3). When ensemble members are
+	// marked unhealthy the quorum degrades to majority-of-available;
+	// see effectiveQuorum.
 	ModelQuorum int
 	VoteWindow  int
 	// SkipNewRecords restricts prediction to record updates (§III-3
@@ -85,6 +90,52 @@ type LiveConfig struct {
 	// TraceSampleEvery routes 1-in-N flow records through the
 	// per-stage span tracer (default 64; negative disables tracing).
 	TraceSampleEvery int
+
+	// Fault injects a deterministic fault schedule into the pipeline:
+	// telemetry drop/corrupt/delay at ingestion, store stalls and
+	// transient errors (the store is wrapped automatically), worker
+	// panics, and per-model scoring failures. Nil injects nothing and
+	// costs one branch per event.
+	Fault *fault.Injector
+
+	// DrainOnStop makes Stop score every record still queued to the
+	// prediction workers instead of abandoning them. Off (the
+	// default, matching the paper's shutdown) queued records are
+	// counted in intddos_records_abandoned{reason="stop"} — observable
+	// either way, lost silently never.
+	DrainOnStop bool
+
+	// WorkerRestartBudget bounds how many times the supervisor
+	// restarts a panicking prediction worker before declaring it down
+	// (default 8; negative: unlimited). A down worker's queue is
+	// drained into intddos_records_abandoned{reason="worker_down"}
+	// and the pipeline reports shedding.
+	WorkerRestartBudget int
+	// WorkerRestartBackoff is the supervisor's initial restart delay,
+	// doubling per consecutive restart up to one second (default 10ms).
+	WorkerRestartBackoff time.Duration
+
+	// StoreRetries bounds retry attempts after a transient store
+	// error (default 3). Writes still failing after the budget are
+	// dropped and counted in intddos_store_dropped_total; polls
+	// simply retry at the next tick (the journal cursor is unchanged,
+	// so nothing is lost).
+	StoreRetries int
+	// StoreRetryBackoff is the initial delay between store retries,
+	// doubling per attempt (default 2ms).
+	StoreRetryBackoff time.Duration
+
+	// ModelFailThreshold is how many consecutive scoring failures
+	// mark an ensemble member unhealthy (default 3).
+	ModelFailThreshold int
+	// ModelProbeAfter is how long an unhealthy member sits out before
+	// a recovery probe re-includes it in a scoring attempt (default 1s).
+	ModelProbeAfter time.Duration
+
+	// HealthRecency is how long after the last fault event the
+	// pipeline keeps reporting the corresponding non-healthy state
+	// before reassessment may lower it (default 5s).
+	HealthRecency time.Duration
 }
 
 // liveMetrics bundles the runtime's obs instruments. All fields are
@@ -95,10 +146,24 @@ type liveMetrics struct {
 	predictions *obs.Counter
 	shed        *obs.Counter
 	polls       *obs.Counter
+	polledRecs  *obs.Counter
 	evictions   *obs.Counter
 
 	decisions *obs.CounterVec // by attack_type
 	misclass  *obs.CounterVec // by attack_type
+
+	// Robustness accounting: every record the pollers hand off is
+	// eventually a decision, a shed, or an abandonment with a reason —
+	// nothing vanishes silently.
+	abandoned         *obs.CounterVec // by reason: stop/panic/worker_down/no_model/malformed
+	workerRestarts    *obs.Counter
+	workerPanics      *obs.Counter
+	storeRetries      *obs.Counter
+	storeDropped      *obs.Counter
+	degradedBatches   *obs.Counter
+	modelFailures     *obs.CounterVec // by model
+	modelHealthy      *obs.GaugeVec   // by model, 1 healthy / 0 unhealthy
+	healthTransitions *obs.CounterVec // by state entered
 
 	predictLatency *obs.Histogram // end-to-end §III-2 prediction latency
 	batchSize      *obs.Histogram // records per micro-batch scoring call
@@ -117,22 +182,32 @@ type liveMetrics struct {
 func newLiveMetrics(reg *obs.Registry) liveMetrics {
 	stages := reg.HistogramVec("intddos_stage_seconds", "stage", nil)
 	return liveMetrics{
-		reports:        reg.Counter("intddos_reports_total"),
-		snapshots:      reg.Counter("intddos_snapshots_total"),
-		predictions:    reg.Counter("intddos_predictions_total"),
-		shed:           reg.Counter("intddos_shed_total"),
-		polls:          reg.Counter("intddos_polls_total"),
-		evictions:      reg.Counter("intddos_evictions_total"),
-		decisions:      reg.CounterVec("intddos_decisions_total", "attack_type"),
-		misclass:       reg.CounterVec("intddos_misclassified_total", "attack_type"),
-		predictLatency: reg.Histogram("intddos_predict_latency_seconds", nil),
-		batchSize:      reg.Histogram("intddos_predict_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
-		sampleLatency:  reg.Histogram("intddos_predict_sample_seconds", nil),
-		stageIngest:    stages.With("ingest"),
-		stageJournal:   stages.With("journal_wait"),
-		stageQueue:     stages.With("queue_wait"),
-		stagePredict:   stages.With("scale_predict"),
-		stageVote:      stages.With("vote"),
+		reports:           reg.Counter("intddos_reports_total"),
+		snapshots:         reg.Counter("intddos_snapshots_total"),
+		predictions:       reg.Counter("intddos_predictions_total"),
+		shed:              reg.Counter("intddos_shed_total"),
+		polls:             reg.Counter("intddos_polls_total"),
+		polledRecs:        reg.Counter("intddos_records_polled_total"),
+		evictions:         reg.Counter("intddos_evictions_total"),
+		decisions:         reg.CounterVec("intddos_decisions_total", "attack_type"),
+		misclass:          reg.CounterVec("intddos_misclassified_total", "attack_type"),
+		abandoned:         reg.CounterVec("intddos_records_abandoned", "reason"),
+		workerRestarts:    reg.Counter("intddos_worker_restarts_total"),
+		workerPanics:      reg.Counter("intddos_worker_panics_total"),
+		storeRetries:      reg.Counter("intddos_store_retries_total"),
+		storeDropped:      reg.Counter("intddos_store_dropped_total"),
+		degradedBatches:   reg.Counter("intddos_degraded_batches_total"),
+		modelFailures:     reg.CounterVec("intddos_model_failures_total", "model"),
+		modelHealthy:      reg.GaugeVec("intddos_model_healthy", "model"),
+		healthTransitions: reg.CounterVec("intddos_health_transitions_total", "state"),
+		predictLatency:    reg.Histogram("intddos_predict_latency_seconds", nil),
+		batchSize:         reg.Histogram("intddos_predict_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		sampleLatency:     reg.Histogram("intddos_predict_sample_seconds", nil),
+		stageIngest:       stages.With("ingest"),
+		stageJournal:      stages.With("journal_wait"),
+		stageQueue:        stages.With("queue_wait"),
+		stagePredict:      stages.With("scale_predict"),
+		stageVote:         stages.With("vote"),
 	}
 }
 
@@ -143,6 +218,14 @@ type queued struct {
 	rec        store.FlowRecord
 	enqueuedAt time.Time
 	tr         *obs.Trace
+}
+
+// workerBatch is the micro-batch a worker is currently scoring, with
+// how many of its records have been finished — the bookkeeping panic
+// recovery needs to account for every dequeued record exactly once.
+type workerBatch struct {
+	batch []queued
+	done  int
 }
 
 // liveShard is the per-shard mutable state of the runtime: the vote
@@ -168,6 +251,15 @@ type liveShard struct {
 // journal, one poller, and one worker — per-flow prediction order is
 // preserved at any worker count. With Shards=0 (the default) the
 // layout degenerates to the legacy single-lock pipeline.
+//
+// The runtime is supervised: prediction workers recover from panics
+// and are restarted with exponential backoff under a restart budget,
+// transient store errors are retried with backoff, unhealthy ensemble
+// members are voted around (quorum degrades to majority-of-available),
+// and every record the pollers hand off is accounted for — decided,
+// shed, or abandoned with a reason — even across panics and shutdown.
+// The aggregate condition (healthy/degraded/shedding) is reported on
+// /healthz.
 type Live struct {
 	cfg     LiveConfig
 	nShards int
@@ -175,16 +267,22 @@ type Live struct {
 	tables *flow.ShardedTable
 	shards []*liveShard
 
-	DB store.Store
+	DB  store.Store
+	fdb store.Fallible // non-nil when DB surfaces transient errors
 
 	workerChs []chan queued
 	quit      chan struct{}
-	wg        sync.WaitGroup
+	pollWg    sync.WaitGroup // pollers + sweeper (stop first)
+	workWg    sync.WaitGroup // worker supervisors (stop after channels close)
 	stop      sync.Once
 
 	reg    *obs.Registry
 	met    liveMetrics
 	tracer *obs.Tracer
+
+	health      healthTracker
+	modelHealth []*modelHealth
+	workersDown atomic.Int32
 
 	decMu     sync.Mutex
 	decisions []Decision
@@ -199,6 +297,14 @@ type Live struct {
 	Predictions atomic.Int64
 	Shed        atomic.Int64
 	Evictions   atomic.Int64
+
+	// Robustness accounting (atomics: read while running).
+	Polled         atomic.Int64 // records handed off by the pollers
+	Abandoned      atomic.Int64 // records abandoned, any reason
+	StoreRetries   atomic.Int64 // transient store errors retried
+	StoreDropped   atomic.Int64 // store writes dropped after retries
+	WorkerRestarts atomic.Int64 // supervisor restarts after panics
+	ModelFailures  atomic.Int64 // failed ensemble scoring calls
 }
 
 // NewLive validates cfg and builds the runtime.
@@ -242,9 +348,52 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	if cfg.SweepInterval <= 0 {
 		cfg.SweepInterval = cfg.FlowIdleTimeout
 	}
+	if cfg.WorkerRestartBudget == 0 {
+		cfg.WorkerRestartBudget = 8
+	}
+	if cfg.WorkerRestartBackoff <= 0 {
+		cfg.WorkerRestartBackoff = 10 * time.Millisecond
+	}
+	if cfg.StoreRetries <= 0 {
+		cfg.StoreRetries = 3
+	}
+	if cfg.StoreRetryBackoff <= 0 {
+		cfg.StoreRetryBackoff = 2 * time.Millisecond
+	}
+	if cfg.ModelFailThreshold <= 0 {
+		cfg.ModelFailThreshold = 3
+	}
+	if cfg.ModelProbeAfter <= 0 {
+		cfg.ModelProbeAfter = time.Second
+	}
+	if cfg.HealthRecency <= 0 {
+		cfg.HealthRecency = 5 * time.Second
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	// A model that reports its trained input width must agree with
+	// the scaler — a mismatched bundle would otherwise panic a worker
+	// at the first scoring call.
+	for _, m := range cfg.Models {
+		if w := ml.ExpectedFeatures(m); w > 0 && w != len(cfg.Scaler.Mean) {
+			return nil, fmt.Errorf("core: model %s expects %d features, scaler has %d",
+				m.Name(), w, len(cfg.Scaler.Mean))
+		}
+	}
+	// The ensemble is scored through each model's fallible path; with
+	// an injector configured the models are wrapped so scheduled
+	// scoring failures and latency can fire. The slice is copied —
+	// the caller's models are never mutated.
+	models := make([]ml.Classifier, len(cfg.Models))
+	copy(models, cfg.Models)
+	if cfg.Fault != nil {
+		for i, m := range models {
+			models[i] = fault.WrapModel(m, cfg.Fault)
+		}
+	}
+	cfg.Models = models
+
 	nShards := cfg.Shards
 	if nShards < 1 {
 		nShards = 1
@@ -255,6 +404,9 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	} else {
 		db = store.NewSharded(cfg.Shards)
 	}
+	if cfg.Fault != nil && cfg.Fault.Spec().HasStoreFaults() {
+		db = fault.WrapStore(db, cfg.Fault)
+	}
 	l := &Live{
 		cfg:     cfg,
 		nShards: nShards,
@@ -264,6 +416,7 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		quit:    make(chan struct{}),
 		reg:     cfg.Registry,
 	}
+	l.fdb, _ = db.(store.Fallible)
 	for i := range l.shards {
 		l.shards[i] = &liveShard{windows: make(map[flow.Key][]int)}
 	}
@@ -278,6 +431,20 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	l.tables.SetIdleTimeout(netsim.Time(cfg.FlowIdleTimeout))
 	l.DB.SetJournalNew(!cfg.SkipNewRecords)
 	l.met = newLiveMetrics(l.reg)
+	l.modelHealth = make([]*modelHealth, len(cfg.Models))
+	for i, m := range cfg.Models {
+		name := m.Name()
+		// Two members with one name would share fault targeting and
+		// health reporting; disambiguate by position.
+		for j := 0; j < i; j++ {
+			if l.modelHealth[j].name == name {
+				name = name + "#" + strconv.Itoa(i)
+				break
+			}
+		}
+		l.modelHealth[i] = &modelHealth{name: name}
+		l.met.modelHealthy.With(name).Set(1)
+	}
 	if cfg.TraceSampleEvery >= 0 {
 		l.tracer = l.reg.Tracer("intddos_pipeline", cfg.TraceSampleEvery, 64)
 	}
@@ -297,6 +464,16 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	})
 	l.reg.GaugeFunc("intddos_vote_windows", func() float64 { return float64(l.windowCount()) })
 	l.reg.GaugeFunc("intddos_pipeline_shards", func() float64 { return float64(l.nShards) })
+	l.reg.GaugeFunc("intddos_health_state", func() float64 { return float64(l.Health()) })
+	l.reg.GaugeFunc("intddos_workers_down", func() float64 { return float64(l.workersDown.Load()) })
+	if cfg.Fault != nil {
+		sites := l.reg.GaugeVec("intddos_faults_injected", "site")
+		for _, name := range fault.Sites() {
+			name := name
+			sites.WithFunc(name, func() float64 { return float64(cfg.Fault.SiteCount(name)) })
+		}
+	}
+	l.reg.SetHealth(l.healthReport)
 	l.DB.Instrument(l.reg)
 	return l, nil
 }
@@ -317,44 +494,100 @@ func (l *Live) Shards() int { return l.nShards }
 // now returns the wall clock in the repository's Time domain.
 func now() netsim.Time { return netsim.Time(time.Now().UnixNano()) }
 
-// Start launches the per-shard CentralServer pollers, the Prediction
-// workers, and (when a TTL is configured) the eviction sweeper.
+// Start launches the per-shard CentralServer pollers, the supervised
+// Prediction workers, and (when a TTL is configured) the eviction
+// sweeper.
 func (l *Live) Start() {
 	for s := 0; s < l.nShards; s++ {
-		l.wg.Add(1)
+		l.pollWg.Add(1)
 		go l.shardPoller(s)
 	}
 	for w := 0; w < l.cfg.Workers; w++ {
-		l.wg.Add(1)
-		go l.predictionWorker(w)
+		l.workWg.Add(1)
+		go l.superviseWorker(w)
 	}
 	if l.cfg.FlowIdleTimeout > 0 {
-		l.wg.Add(1)
+		l.pollWg.Add(1)
 		go l.sweeper()
 	}
 }
 
-// Stop terminates the pipeline and waits for the goroutines. Pending
-// queue items are abandoned, not drained: records already handed to a
-// prediction worker finish and are logged, records still queued are
-// dropped silently (they were never acknowledged anywhere). Stop is
-// idempotent — extra calls wait for the same shutdown and return.
+// Stop terminates the pipeline in two phases — pollers first, then
+// the worker channels are closed and the workers drain them — and
+// waits for every goroutine. What happens to records still queued is
+// policy: with DrainOnStop they are scored and logged like any other
+// record; without it they are counted in
+// intddos_records_abandoned{reason="stop"}. Either way nothing is
+// dropped silently. Stop is idempotent — extra and concurrent calls
+// wait for the same shutdown and return.
 func (l *Live) Stop() {
-	l.stop.Do(func() { close(l.quit) })
-	l.wg.Wait()
+	l.stop.Do(func() {
+		close(l.quit)
+		l.pollWg.Wait()
+		// Only the pollers write to the worker channels, so after
+		// they exit the channels can close; the workers run out their
+		// queues (scoring or accounting per DrainOnStop) and return.
+		for _, ch := range l.workerChs {
+			close(ch)
+		}
+		l.workWg.Wait()
+	})
+}
+
+// stopping reports whether Stop has been requested.
+func (l *Live) stopping() bool {
+	select {
+	case <-l.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleepQuit sleeps for d or until Stop, reporting whether the full
+// duration elapsed.
+func (l *Live) sleepQuit(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-l.quit:
+		return false
+	case <-timer.C:
+		return true
+	}
 }
 
 // HandleReport ingests one decoded INT report (INT Data Collection →
-// Data Processor). Safe for concurrent use.
+// Data Processor), applying the telemetry fault schedule when one is
+// configured. Safe for concurrent use.
 func (l *Live) HandleReport(r *telemetry.Report) {
 	l.Reports.Add(1)
 	l.met.reports.Inc()
-	l.Ingest(flow.FromINT(r, now()))
+	in := l.cfg.Fault
+	if in == nil {
+		l.Ingest(flow.FromINT(r, now()))
+		return
+	}
+	if in.CorruptReport(r) {
+		in.Taint(flow.FromINT(r, 0).Key.String())
+	}
+	pi := flow.FromINT(r, now())
+	if in.DropReport() {
+		in.Taint(pi.Key.String())
+		return
+	}
+	if d := in.ReportDelay(); d > 0 {
+		in.Taint(pi.Key.String())
+		time.Sleep(d)
+		pi.At = now()
+	}
+	l.Ingest(pi)
 }
 
 // Ingest folds a normalized observation into its flow-table stripe
-// and writes the snapshot to the database shard. Safe for concurrent
-// use; observations of flows on different shards never contend.
+// and writes the snapshot to the database shard, retrying transient
+// store errors with backoff. Safe for concurrent use; observations of
+// flows on different shards never contend.
 func (l *Live) Ingest(pi flow.PacketInfo) {
 	start := time.Now()
 	if pi.At == 0 {
@@ -371,10 +604,40 @@ func (l *Live) Ingest(pi flow.PacketInfo) {
 		feats = st.Features(nil, l.cfg.Features)
 		key, reg, last, updates = st.Key, st.RegisteredAt, st.LastAt, st.Updates
 	})
-	l.DB.UpsertFlow(key, feats, reg, last, updates, pi.Label, pi.AttackType)
+	l.upsertFlow(key, feats, reg, last, updates, pi.Label, pi.AttackType)
 	l.Snapshots.Add(1)
 	l.met.snapshots.Inc()
 	l.met.stageIngest.Since(start)
+}
+
+// upsertFlow writes one snapshot, retrying transient failures with
+// exponential backoff when the store surfaces them. A write still
+// failing after the retry budget is dropped — counted, tainted, and
+// raised to shedding, because a lost snapshot is a lost record.
+func (l *Live) upsertFlow(key flow.Key, feats []float64, reg, last netsim.Time, updates int, truth bool, attackType string) {
+	if l.fdb == nil {
+		l.DB.UpsertFlow(key, feats, reg, last, updates, truth, attackType)
+		return
+	}
+	backoff := l.cfg.StoreRetryBackoff
+	for attempt := 0; ; attempt++ {
+		_, err := l.fdb.TryUpsertFlow(key, feats, reg, last, updates, truth, attackType)
+		if err == nil {
+			return
+		}
+		l.StoreRetries.Add(1)
+		l.met.storeRetries.Inc()
+		l.noteDegraded("store upsert retry")
+		if attempt >= l.cfg.StoreRetries {
+			l.StoreDropped.Add(1)
+			l.met.storeDropped.Inc()
+			l.taintKey(key)
+			l.noteShedding("store write dropped")
+			return
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 // Decisions returns a copy of the decision log.
@@ -384,6 +647,35 @@ func (l *Live) Decisions() []Decision {
 	out := make([]Decision, len(l.decisions))
 	copy(out, l.decisions)
 	return out
+}
+
+// DecisionCount returns the decision log's length without copying.
+func (l *Live) DecisionCount() int {
+	l.decMu.Lock()
+	defer l.decMu.Unlock()
+	return len(l.decisions)
+}
+
+// AbandonedByReason returns the per-reason abandonment counts
+// (reasons: stop, panic, worker_down, no_model, malformed).
+func (l *Live) AbandonedByReason() map[string]int64 {
+	return l.met.abandoned.Values()
+}
+
+// abandon accounts n records lost for a reason.
+func (l *Live) abandon(n int64, reason string) {
+	if n <= 0 {
+		return
+	}
+	l.Abandoned.Add(n)
+	l.met.abandoned.With(reason).Add(n)
+}
+
+// taintKey marks a flow as fault-touched when an injector is wired.
+func (l *Live) taintKey(key flow.Key) {
+	if l.cfg.Fault != nil {
+		l.cfg.Fault.Taint(key.String())
+	}
 }
 
 // windowCount sums live vote windows across shards.
@@ -406,10 +698,10 @@ func (l *Live) workerFor(shard int) chan queued {
 
 // shardPoller is one shard's CentralServer: it polls the shard's
 // journal through a private cursor and feeds the shard's worker,
-// shedding when the worker queue is full. Pollers of different shards
-// share no locks.
+// shedding when the worker queue is full and retrying transient
+// store errors. Pollers of different shards share no locks.
 func (l *Live) shardPoller(shard int) {
-	defer l.wg.Done()
+	defer l.pollWg.Done()
 	ch := l.workerFor(shard)
 	ticker := time.NewTicker(l.cfg.PollInterval)
 	defer ticker.Stop()
@@ -419,12 +711,19 @@ func (l *Live) shardPoller(shard int) {
 		case <-l.quit:
 			return
 		case <-ticker.C:
-			recs, cur := l.DB.PollShard(shard, cursor, l.cfg.PollBatch)
-			cursor = cur
-			l.DB.TrimShard(shard, cur)
+			recs, cur, ok := l.pollOnce(shard, cursor)
 			l.met.polls.Inc()
+			if !ok {
+				// Transient poll failure: the cursor is unchanged, so
+				// the same entries come back at the next tick.
+				l.reassessHealth()
+				continue
+			}
+			cursor = cur
 			polled := time.Now()
 			for _, rec := range recs {
+				l.Polled.Add(1)
+				l.met.polledRecs.Inc()
 				// Journal wait: snapshot write → this poll.
 				updated := time.Unix(0, int64(rec.UpdatedAt))
 				l.met.stageJournal.ObserveDuration(polled.Sub(updated))
@@ -435,15 +734,45 @@ func (l *Live) shardPoller(shard int) {
 				default:
 					l.Shed.Add(1)
 					l.met.shed.Inc()
+					l.taintKey(rec.Key)
+					l.noteShedding("worker queue full")
 				}
 			}
+			l.reassessHealth()
 		}
+	}
+}
+
+// pollOnce polls one shard's journal, retrying transient store errors
+// with backoff inside the tick. On persistent failure it reports !ok
+// and the poller retries at the next tick — the cursor only advances
+// on success, so no journal entry is ever skipped.
+func (l *Live) pollOnce(shard int, cursor uint64) ([]store.FlowRecord, uint64, bool) {
+	if l.fdb == nil {
+		recs, cur := l.DB.PollShard(shard, cursor, l.cfg.PollBatch)
+		l.DB.TrimShard(shard, cur)
+		return recs, cur, true
+	}
+	backoff := l.cfg.StoreRetryBackoff
+	for attempt := 0; ; attempt++ {
+		recs, cur, err := l.fdb.TryPollShard(shard, cursor, l.cfg.PollBatch)
+		if err == nil {
+			l.DB.TrimShard(shard, cur)
+			return recs, cur, true
+		}
+		l.StoreRetries.Add(1)
+		l.met.storeRetries.Inc()
+		l.noteDegraded("store poll retry")
+		if attempt >= l.cfg.StoreRetries || !l.sleepQuit(backoff) {
+			return nil, cursor, false
+		}
+		backoff *= 2
 	}
 }
 
 // sweeper periodically evicts flows idle past FlowIdleTimeout.
 func (l *Live) sweeper() {
-	defer l.wg.Done()
+	defer l.pollWg.Done()
 	ticker := time.NewTicker(l.cfg.SweepInterval)
 	defer ticker.Stop()
 	for {
@@ -503,73 +832,186 @@ type batchScratch struct {
 	scaled [][]float64
 }
 
-// predictionWorker standardizes snapshots, runs the ensemble, and
-// aggregates decisions for the shards assigned to it. Each wakeup
-// drains the worker's channel into a micro-batch of up to
-// cfg.PredictBatch records and scores them through the scaler and
-// ensemble batch paths in one amortized call; results are row-for-row
-// identical to record-at-a-time scoring, and PredictBatch=1
-// degenerates to exactly that.
-func (l *Live) predictionWorker(w int) {
-	defer l.wg.Done()
-	ch := l.workerChs[w]
-	maxBatch := l.cfg.PredictBatch
-	batch := make([]queued, 0, maxBatch)
-	scratch := &batchScratch{}
+// superviseWorker owns one prediction worker slot: it runs the worker
+// and, when the worker dies to a panic, restarts it with exponential
+// backoff under the restart budget. A worker that exhausts the budget
+// is declared down — its queue is drained into
+// intddos_records_abandoned{reason="worker_down"} so shutdown
+// accounting still closes, and the pipeline reports shedding.
+func (l *Live) superviseWorker(w int) {
+	defer l.workWg.Done()
+	const maxBackoff = time.Second
+	backoff := l.cfg.WorkerRestartBackoff
+	restarts := 0
 	for {
-		select {
-		case <-l.quit:
+		if l.runWorker(w) {
+			return // clean exit: channel closed at Stop
+		}
+		l.met.workerPanics.Inc()
+		if l.cfg.WorkerRestartBudget >= 0 && restarts >= l.cfg.WorkerRestartBudget {
+			l.workersDown.Add(1)
+			l.noteShedding(fmt.Sprintf("worker %d restart budget exhausted", w))
+			l.abandonRemaining(w)
 			return
-		case q := <-ch:
-			batch = append(batch[:0], q)
-			// Backlog already queued joins the batch without blocking.
-		drain:
-			for len(batch) < maxBatch {
-				select {
-				case q := <-ch:
-					batch = append(batch, q)
-				default:
-					break drain
-				}
-			}
-			// An unfilled batch may linger briefly for stragglers. On
-			// quit we still score what was dequeued — those records
-			// were taken off the channel and would otherwise vanish.
-			if l.cfg.PredictLinger > 0 && len(batch) < maxBatch {
-				timer := time.NewTimer(l.cfg.PredictLinger)
-			linger:
-				for len(batch) < maxBatch {
-					select {
-					case <-l.quit:
-						break linger
-					case q := <-ch:
-						batch = append(batch, q)
-					case <-timer.C:
-						break linger
-					}
-				}
-				timer.Stop()
-			}
-			l.predictBatch(batch, scratch)
+		}
+		restarts++
+		l.WorkerRestarts.Add(1)
+		l.met.workerRestarts.Inc()
+		l.noteDegraded(fmt.Sprintf("worker %d restarted", w))
+		l.sleepQuit(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
 		}
 	}
 }
 
-// predictBatch scores one micro-batch — standardization, ensemble
-// votes, quorum — and finishes every record in arrival order, so the
-// per-flow decision sequence a single worker produces is independent
-// of how records were grouped into batches.
-func (l *Live) predictBatch(batch []queued, s *batchScratch) {
+// abandonRemaining consumes a down worker's queue until Stop closes
+// it, accounting every record. Consuming (instead of leaving the
+// queue to fill) keeps the shard pollers running, so flows of other
+// shards mapped to healthy workers are unaffected.
+func (l *Live) abandonRemaining(w int) {
+	for q := range l.workerChs[w] {
+		l.abandon(1, "worker_down")
+		l.taintKey(q.rec.Key)
+	}
+}
+
+// runWorker is one prediction worker run: it drains the worker's
+// channel into micro-batches and scores them until the channel closes
+// (clean=true) or a panic escapes a batch (clean=false, after
+// accounting the batch's unfinished records). Panics inside a model
+// are already contained by the scoring path; what reaches here is an
+// injected worker fault or a genuine bug in the voting/logging path —
+// either way the supervisor decides whether to restart.
+func (l *Live) runWorker(w int) (clean bool) {
+	ch := l.workerChs[w]
+	maxBatch := l.cfg.PredictBatch
+	scratch := &batchScratch{}
+	var cur workerBatch
+	cur.batch = make([]queued, 0, maxBatch)
+	defer func() {
+		if r := recover(); r != nil {
+			clean = false
+			rest := cur.batch[cur.done:]
+			l.abandon(int64(len(rest)), "panic")
+			for _, q := range rest {
+				l.taintKey(q.rec.Key)
+			}
+		}
+	}()
+	for {
+		q, ok := <-ch
+		if !ok {
+			return true
+		}
+		if l.stopping() && !l.cfg.DrainOnStop {
+			l.abandon(1, "stop")
+			continue
+		}
+		cur.batch = append(cur.batch[:0], q)
+		cur.done = 0
+		closed := l.fillBatch(&cur, ch, maxBatch)
+		if l.cfg.Fault.WorkerPanicNow() {
+			panic(fault.InjectedPanic{Site: fault.SiteWorkerPanic})
+		}
+		l.predictBatch(&cur, scratch)
+		cur.batch = cur.batch[:0]
+		cur.done = 0
+		if closed {
+			return true
+		}
+	}
+}
+
+// fillBatch tops up the current micro-batch from backlog already
+// queued (never blocking) and then, if configured, lingers briefly
+// for stragglers. Reports whether the channel closed while filling —
+// the batch in hand is still scored.
+func (l *Live) fillBatch(cur *workerBatch, ch chan queued, maxBatch int) (closed bool) {
+drain:
+	for len(cur.batch) < maxBatch {
+		select {
+		case q, ok := <-ch:
+			if !ok {
+				return true
+			}
+			cur.batch = append(cur.batch, q)
+		default:
+			break drain
+		}
+	}
+	if l.cfg.PredictLinger > 0 && len(cur.batch) < maxBatch {
+		timer := time.NewTimer(l.cfg.PredictLinger)
+	linger:
+		for len(cur.batch) < maxBatch {
+			select {
+			case <-l.quit:
+				break linger
+			case q, ok := <-ch:
+				if !ok {
+					timer.Stop()
+					return true
+				}
+				cur.batch = append(cur.batch, q)
+			case <-timer.C:
+				break linger
+			}
+		}
+		timer.Stop()
+	}
+	return false
+}
+
+// predictBatch scores one micro-batch — standardization, fault-
+// isolated ensemble votes, effective quorum — and finishes every
+// record in arrival order, so the per-flow decision sequence a single
+// worker produces is independent of how records were grouped into
+// batches. Records that cannot be scored (malformed snapshot, no
+// model available) are abandoned with a reason, never lost silently.
+func (l *Live) predictBatch(b *workerBatch, s *batchScratch) {
+	// Shape guard: a snapshot whose width disagrees with the scaler
+	// would panic inside a kernel; abandon it instead.
+	want := len(l.cfg.Scaler.Mean)
+	kept := b.batch[:0]
+	for _, q := range b.batch {
+		if len(q.rec.Features) != want {
+			l.abandon(1, "malformed")
+			l.taintKey(q.rec.Key)
+			continue
+		}
+		kept = append(kept, q)
+	}
+	b.batch = kept
+	if len(b.batch) == 0 {
+		return
+	}
 	dequeued := time.Now()
 	s.rows = s.rows[:0]
-	for _, q := range batch {
+	for _, q := range b.batch {
 		l.met.stageQueue.ObserveDuration(dequeued.Sub(q.enqueuedAt))
 		q.tr.StageAt("queue_wait", q.enqueuedAt, dequeued)
 		s.rows = append(s.rows, q.rec.Features)
 	}
 	s.scaled = l.cfg.Scaler.TransformBatch(s.scaled, s.rows)
-	votes, ones := ml.EnsembleVotes(l.cfg.Models, s.scaled)
-	n := len(batch)
+	votes, ones, navail := l.scoreBatch(s.scaled)
+	if navail == 0 {
+		// Every ensemble member is out: no best-effort answer exists.
+		l.abandon(int64(len(b.batch)), "no_model")
+		for _, q := range b.batch {
+			l.taintKey(q.rec.Key)
+		}
+		b.done = len(b.batch)
+		return
+	}
+	quorum := l.effectiveQuorum(navail)
+	if navail < len(l.cfg.Models) {
+		// Degraded vote: decisions still flow, at reduced fidelity.
+		l.met.degradedBatches.Inc()
+		for _, q := range b.batch {
+			l.taintKey(q.rec.Key)
+		}
+	}
+	n := len(b.batch)
 	l.Predictions.Add(int64(n))
 	l.met.predictions.Add(int64(n))
 	predicted := time.Now()
@@ -578,15 +1020,16 @@ func (l *Live) predictBatch(batch []queued, s *batchScratch) {
 	// observed.
 	perSample := predicted.Sub(dequeued) / time.Duration(n)
 	l.met.batchSize.Observe(float64(n))
-	for i := range batch {
+	for i := range b.batch {
 		l.met.stagePredict.Observe(perSample.Seconds())
 		l.met.sampleLatency.Observe(perSample.Seconds())
-		batch[i].tr.StageAt("scale_predict", dequeued, predicted)
+		b.batch[i].tr.StageAt("scale_predict", dequeued, predicted)
 		raw := 0
-		if ones[i] >= l.cfg.ModelQuorum {
+		if ones[i] >= quorum {
 			raw = 1
 		}
-		l.finish(batch[i], raw, votes[i], predicted)
+		l.finish(b.batch[i], raw, votes[i], predicted)
+		b.done++
 	}
 }
 

@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/amlight/intddos/internal/core"
+	"github.com/amlight/intddos/internal/fault"
+	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/ml/bayes"
+	"github.com/amlight/intddos/internal/ml/forest"
+	"github.com/amlight/intddos/internal/ml/knn"
+	"github.com/amlight/intddos/internal/ml/neural"
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/telemetry"
+	"github.com/amlight/intddos/internal/testbed"
+	"github.com/amlight/intddos/internal/traffic"
+)
+
+// Every ensemble member reports its trained input width, so the live
+// runtime can reject a model/scaler bundle whose shapes disagree at
+// construction instead of panicking a worker at the first batch.
+var (
+	_ ml.FeatureCounter = (*forest.Forest)(nil)
+	_ ml.FeatureCounter = (*bayes.GaussianNB)(nil)
+	_ ml.FeatureCounter = (*knn.KNN)(nil)
+	_ ml.FeatureCounter = (*neural.Network)(nil)
+)
+
+// ChaosConfig parameterizes a chaos replay: the Table VI training
+// setup, driven through the wall-clock runtime under a deterministic
+// fault schedule.
+type ChaosConfig struct {
+	Scale string
+	Seed  int64
+	// PacketsPerType bounds the replay (default 1000 INT reports per
+	// flow type).
+	PacketsPerType int
+	// FaultSpec is the schedule, in the fault clause grammar
+	// ("drop=0.01,store.err=0.1,panic=0.02", ...).
+	FaultSpec string
+	// FaultSeed seeds the schedule for deterministic replay.
+	FaultSeed int64
+	// Shards/Workers size the pipeline (defaults 4 and 2).
+	Shards  int
+	Workers int
+	// DrainOnStop selects the shutdown policy under test.
+	DrainOnStop bool
+}
+
+// ChaosResult summarizes how the live pipeline degraded — and what it
+// still delivered — under an injected fault schedule.
+type ChaosResult struct {
+	Ensemble []string
+
+	Reports, Snapshots, Polled int64
+	Decided, Shed, Abandoned   int64
+	AbandonedByReason          map[string]int64
+
+	StoreRetries, StoreDropped    int64
+	WorkerRestarts, ModelFailures int64
+	Health                        string
+	Transitions                   []string
+	FaultSummary                  string
+	TaintedFlows                  int
+	// AccountingClosed is the chaos invariant: every polled record
+	// ended as a decision, a shed, or a reasoned abandonment.
+	AccountingClosed bool
+}
+
+// RunChaos trains the stage-2 ensemble, replays the mixed workload's
+// INT reports through the wall-clock runtime under the given fault
+// schedule, and reports the degradation summary. With an empty
+// FaultSpec it is a clean run (useful as the comparison baseline).
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	if cfg.PacketsPerType <= 0 {
+		cfg.PacketsPerType = 1000
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	injector, err := fault.Parse(cfg.FaultSpec, cfg.FaultSeed)
+	if err != nil {
+		return nil, err
+	}
+
+	lcfg := LiveConfig{Scale: cfg.Scale, Seed: cfg.Seed, PacketsPerType: cfg.PacketsPerType}
+	lcfg.fillDefaults()
+	w := traffic.Build(traffic.ConfigForScale(cfg.Scale, cfg.Seed))
+	models, scaler, names, _, err := trainStageTwo(lcfg, w)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialize the sink's INT reports once; the live loop replays
+	// them at wall-clock pace.
+	maxReports := (len(traffic.AttackTypes) + 1) * cfg.PacketsPerType
+	var reports []*telemetry.Report
+	tb := testbed.New(testbed.Config{})
+	tb.Collector.OnReport = func(r *telemetry.Report, _ netsim.Time) {
+		if len(reports) < maxReports {
+			reports = append(reports, r)
+		}
+	}
+	rp := tb.Replayer(w.Records)
+	rp.MaxPackets = maxReports
+	rp.Start()
+	tb.Run()
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("chaos: no INT reports collected")
+	}
+
+	live, err := core.NewLive(core.LiveConfig{
+		Models:               models,
+		Scaler:               scaler,
+		Shards:               cfg.Shards,
+		Workers:              cfg.Workers,
+		Fault:                injector,
+		DrainOnStop:          cfg.DrainOnStop,
+		WorkerRestartBackoff: time.Millisecond,
+		StoreRetryBackoff:    200 * time.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	live.Start()
+	for i, r := range reports {
+		live.HandleReport(r)
+		if i%128 == 127 {
+			time.Sleep(time.Millisecond) // pace so pollers keep up
+		}
+	}
+	// Settle: every snapshot polled or dropped, every polled record
+	// resolved — bounded, because chaos runs must not hang.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if live.Polled.Load()+live.StoreDropped.Load() >= live.Snapshots.Load() &&
+			live.Polled.Load() == int64(live.DecisionCount())+live.Shed.Load()+live.Abandoned.Load() {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	live.Stop()
+
+	res := &ChaosResult{
+		Ensemble:          names,
+		Reports:           live.Reports.Load(),
+		Snapshots:         live.Snapshots.Load(),
+		Polled:            live.Polled.Load(),
+		Decided:           int64(live.DecisionCount()),
+		Shed:              live.Shed.Load(),
+		Abandoned:         live.Abandoned.Load(),
+		AbandonedByReason: live.AbandonedByReason(),
+		StoreRetries:      live.StoreRetries.Load(),
+		StoreDropped:      live.StoreDropped.Load(),
+		WorkerRestarts:    live.WorkerRestarts.Load(),
+		ModelFailures:     live.ModelFailures.Load(),
+		Health:            live.Health().String(),
+		Transitions:       live.HealthTransitions(),
+		FaultSummary:      injector.Summary(),
+		TaintedFlows:      injector.TaintCount(),
+	}
+	res.AccountingClosed = res.Polled == res.Decided+res.Shed+res.Abandoned
+	return res, nil
+}
+
+// FormatChaos renders a chaos run's degradation summary.
+func FormatChaos(r *ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CHAOS RUN: ensemble %s\n", strings.Join(r.Ensemble, "+"))
+	fmt.Fprintf(&b, "  reports=%d snapshots=%d polled=%d\n", r.Reports, r.Snapshots, r.Polled)
+	fmt.Fprintf(&b, "  decided=%d shed=%d abandoned=%d", r.Decided, r.Shed, r.Abandoned)
+	if len(r.AbandonedByReason) > 0 {
+		reasons := make([]string, 0, len(r.AbandonedByReason))
+		for reason := range r.AbandonedByReason {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		b.WriteString(" (")
+		for i, reason := range reasons {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%d", reason, r.AbandonedByReason[reason])
+		}
+		b.WriteString(")")
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  store: retries=%d dropped=%d; workers: restarts=%d; models: failures=%d\n",
+		r.StoreRetries, r.StoreDropped, r.WorkerRestarts, r.ModelFailures)
+	fmt.Fprintf(&b, "  faults fired: %s; tainted flows: %d\n", r.FaultSummary, r.TaintedFlows)
+	fmt.Fprintf(&b, "  final health: %s\n", r.Health)
+	for _, tr := range r.Transitions {
+		fmt.Fprintf(&b, "    transition: %s\n", tr)
+	}
+	if r.AccountingClosed {
+		b.WriteString("  accounting: CLOSED (polled == decided + shed + abandoned)\n")
+	} else {
+		fmt.Fprintf(&b, "  accounting: LEAK (%d polled != %d decided + %d shed + %d abandoned)\n",
+			r.Polled, r.Decided, r.Shed, r.Abandoned)
+	}
+	return b.String()
+}

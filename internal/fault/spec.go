@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec is a parsed fault schedule: which fault sites fire and how
+// often. The zero value injects nothing. Specs are written in a small
+// clause grammar (see ParseSpec) so a schedule fits in one CLI flag
+// and one test constant.
+type Spec struct {
+	// Drop is the probability an incoming telemetry report is dropped
+	// before ingestion.
+	Drop float64
+	// Corrupt is the probability a report's payload fields are
+	// scrambled before ingestion.
+	Corrupt float64
+	// Delay/DelayP: with probability DelayP, ingestion of a report is
+	// delayed by up to Delay.
+	Delay  time.Duration
+	DelayP float64
+
+	// StoreErr is the probability a store write or poll fails with a
+	// transient error (surfaced only on the store.Fallible paths).
+	StoreErr float64
+	// StoreStall/StoreStallP: with probability StoreStallP, a store
+	// operation stalls for StoreStall before proceeding.
+	StoreStall  time.Duration
+	StoreStallP float64
+
+	// WorkerPanic is the probability a prediction worker panics at the
+	// start of a scoring micro-batch.
+	WorkerPanic float64
+
+	// ModelFail maps a model name (or "*" for every model) to the
+	// probability one of its batch scoring calls fails.
+	ModelFail map[string]float64
+
+	// PredictLatency/PredictLatencyP: with probability
+	// PredictLatencyP, a model scoring call is delayed by up to
+	// PredictLatency.
+	PredictLatency  time.Duration
+	PredictLatencyP float64
+}
+
+// Zero reports whether the spec injects nothing.
+func (s Spec) Zero() bool {
+	return s.Drop == 0 && s.Corrupt == 0 && s.DelayP == 0 &&
+		s.StoreErr == 0 && s.StoreStallP == 0 && s.WorkerPanic == 0 &&
+		len(s.ModelFail) == 0 && s.PredictLatencyP == 0
+}
+
+// HasStoreFaults reports whether the spec touches the store layer,
+// i.e. whether a pipeline needs its store wrapped.
+func (s Spec) HasStoreFaults() bool { return s.StoreErr > 0 || s.StoreStallP > 0 }
+
+// HasModelFaults reports whether the spec touches model scoring.
+func (s Spec) HasModelFaults() bool { return len(s.ModelFail) > 0 || s.PredictLatencyP > 0 }
+
+// ParseSpec parses a fault schedule written in the clause grammar
+//
+//	spec      := clause ("," clause)*
+//	clause    := "drop=" P | "corrupt=" P | "delay=" DUR "@" P
+//	           | "store.err=" P | "store.stall=" DUR "@" P
+//	           | "panic=" P
+//	           | "model.fail=" NAME "@" P
+//	           | "latency=" DUR "@" P
+//	P         := probability in [0,1]
+//	DUR       := Go duration ("2ms", "150us", ...)
+//	NAME      := model name as reported by Classifier.Name, or "*"
+//
+// for example "drop=0.01,store.stall=5ms@0.02,model.fail=GNB@0.5".
+// Clauses may also be separated by semicolons or spaces. An empty
+// string parses to the zero (inject-nothing) spec.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ',' || r == ';' || r == ' ' || r == '\t' || r == '\n'
+	})
+	for _, f := range fields {
+		name, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("fault: clause %q: want name=value", f)
+		}
+		switch name {
+		case "drop":
+			p, err := parseProb(val)
+			if err != nil {
+				return Spec{}, clauseErr(f, err)
+			}
+			spec.Drop = p
+		case "corrupt":
+			p, err := parseProb(val)
+			if err != nil {
+				return Spec{}, clauseErr(f, err)
+			}
+			spec.Corrupt = p
+		case "delay":
+			d, p, err := parseDurProb(val)
+			if err != nil {
+				return Spec{}, clauseErr(f, err)
+			}
+			spec.Delay, spec.DelayP = d, p
+		case "store.err":
+			p, err := parseProb(val)
+			if err != nil {
+				return Spec{}, clauseErr(f, err)
+			}
+			spec.StoreErr = p
+		case "store.stall":
+			d, p, err := parseDurProb(val)
+			if err != nil {
+				return Spec{}, clauseErr(f, err)
+			}
+			spec.StoreStall, spec.StoreStallP = d, p
+		case "panic":
+			p, err := parseProb(val)
+			if err != nil {
+				return Spec{}, clauseErr(f, err)
+			}
+			spec.WorkerPanic = p
+		case "model.fail":
+			target, pstr, ok := strings.Cut(val, "@")
+			if !ok || target == "" {
+				return Spec{}, fmt.Errorf("fault: clause %q: want model.fail=NAME@P", f)
+			}
+			p, err := parseProb(pstr)
+			if err != nil {
+				return Spec{}, clauseErr(f, err)
+			}
+			if spec.ModelFail == nil {
+				spec.ModelFail = make(map[string]float64)
+			}
+			spec.ModelFail[target] = p
+		case "latency":
+			d, p, err := parseDurProb(val)
+			if err != nil {
+				return Spec{}, clauseErr(f, err)
+			}
+			spec.PredictLatency, spec.PredictLatencyP = d, p
+		default:
+			return Spec{}, fmt.Errorf("fault: unknown clause %q", name)
+		}
+	}
+	return spec, nil
+}
+
+func clauseErr(clause string, err error) error {
+	return fmt.Errorf("fault: clause %q: %w", clause, err)
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}
+
+func parseDurProb(s string) (time.Duration, float64, error) {
+	dstr, pstr, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("want DUR@P, got %q", s)
+	}
+	d, err := time.ParseDuration(dstr)
+	if err != nil {
+		return 0, 0, err
+	}
+	if d < 0 {
+		return 0, 0, fmt.Errorf("negative duration %v", d)
+	}
+	p, err := parseProb(pstr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return d, p, nil
+}
+
+// String renders the spec back in the clause grammar; ParseSpec
+// round-trips it.
+func (s Spec) String() string {
+	var parts []string
+	add := func(format string, args ...any) { parts = append(parts, fmt.Sprintf(format, args...)) }
+	if s.Drop > 0 {
+		add("drop=%v", s.Drop)
+	}
+	if s.Corrupt > 0 {
+		add("corrupt=%v", s.Corrupt)
+	}
+	if s.DelayP > 0 {
+		add("delay=%v@%v", s.Delay, s.DelayP)
+	}
+	if s.StoreErr > 0 {
+		add("store.err=%v", s.StoreErr)
+	}
+	if s.StoreStallP > 0 {
+		add("store.stall=%v@%v", s.StoreStall, s.StoreStallP)
+	}
+	if s.WorkerPanic > 0 {
+		add("panic=%v", s.WorkerPanic)
+	}
+	names := make([]string, 0, len(s.ModelFail))
+	for name := range s.ModelFail {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		add("model.fail=%s@%v", name, s.ModelFail[name])
+	}
+	if s.PredictLatencyP > 0 {
+		add("latency=%v@%v", s.PredictLatency, s.PredictLatencyP)
+	}
+	return strings.Join(parts, ",")
+}

@@ -32,6 +32,10 @@ func New() *GaussianNB { return &GaussianNB{VarSmoothing: 1e-9} }
 // Name implements ml.Classifier.
 func (g *GaussianNB) Name() string { return "GNB" }
 
+// Features returns the trained input width (0 before Fit), letting
+// pipelines validate feature-vector shape before scoring.
+func (g *GaussianNB) Features() int { return len(g.mean[0]) }
+
 // Fit estimates per-class feature means and variances.
 func (g *GaussianNB) Fit(X [][]float64, y []int) error {
 	if len(X) == 0 {

@@ -163,3 +163,51 @@ func SequentialPredict(c Classifier, X [][]float64) []int {
 	}
 	return out
 }
+
+// FallibleBatchClassifier is the optional error-surfacing side of a
+// classifier: a batch scoring path that can fail transiently instead
+// of panicking or silently mislabeling — the contract fault-injected
+// and remote models implement. Consumers (the live ensemble) treat an
+// error as "this model produced no votes for this batch", mark the
+// model's health, and degrade the quorum rather than the pipeline.
+type FallibleBatchClassifier interface {
+	Classifier
+	// TryPredictBatch labels every row of X or fails the whole batch.
+	// On success the labels are row-for-row identical to PredictBatch.
+	TryPredictBatch(X [][]float64) ([]int, error)
+}
+
+// TryPredictBatch scores X through the model's fallible path when it
+// has one, and otherwise through PredictBatch with panic containment:
+// a panicking model surfaces as an error instead of killing the
+// calling goroutine. This is the scoring entry point for callers that
+// must survive a misbehaving ensemble member.
+func TryPredictBatch(c Classifier, X [][]float64) (labels []int, err error) {
+	if fc, ok := c.(FallibleBatchClassifier); ok {
+		return fc.TryPredictBatch(X)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			labels, err = nil, fmt.Errorf("ml: model %s panicked: %v", c.Name(), r)
+		}
+	}()
+	return PredictBatch(c, X), nil
+}
+
+// FeatureCounter is implemented by trained models that know their
+// input width. Pipelines use it to reject a model/scaler/feature-set
+// mismatch at construction instead of panicking a worker at the first
+// scoring call.
+type FeatureCounter interface {
+	// Features returns the trained input width, 0 before training.
+	Features() int
+}
+
+// ExpectedFeatures returns the model's trained input width, or 0 when
+// the model does not report one.
+func ExpectedFeatures(c Classifier) int {
+	if fc, ok := c.(FeatureCounter); ok {
+		return fc.Features()
+	}
+	return 0
+}

@@ -40,6 +40,10 @@ type Forest struct {
 	features int
 }
 
+// Features returns the trained input width (0 before Fit), letting
+// pipelines validate feature-vector shape before scoring.
+func (f *Forest) Features() int { return f.features }
+
 // New constructs an untrained forest; zero-valued config fields take
 // their defaults.
 func New(cfg Config) *Forest {

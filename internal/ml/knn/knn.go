@@ -35,6 +35,15 @@ func New(k int) *KNN {
 // Name implements ml.Classifier.
 func (k *KNN) Name() string { return "KNN" }
 
+// Features returns the trained input width (0 before Fit), letting
+// pipelines validate feature-vector shape before scoring.
+func (k *KNN) Features() int {
+	if len(k.X) == 0 {
+		return 0
+	}
+	return len(k.X[0])
+}
+
 // Fit memorizes the training set.
 func (k *KNN) Fit(X [][]float64, y []int) error {
 	if len(X) == 0 {

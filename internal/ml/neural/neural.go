@@ -86,6 +86,15 @@ func New(cfg Config) *Network {
 // Name implements ml.Classifier.
 func (n *Network) Name() string { return n.cfg.DisplayName }
 
+// Features returns the trained input width (0 before Fit), letting
+// pipelines validate feature-vector shape before scoring.
+func (n *Network) Features() int {
+	if len(n.layers) == 0 {
+		return 0
+	}
+	return n.layers[0].in
+}
+
 // init builds layers with He-initialized weights.
 func (n *Network) init(features int, rng *rand.Rand) {
 	sizes := append([]int{features}, n.cfg.Hidden...)

@@ -12,7 +12,9 @@ import (
 // Handler returns the registry's HTTP surface:
 //
 //	/metrics      Prometheus text exposition format
-//	/healthz      liveness probe ("ok")
+//	/healthz      pipeline health: healthy/degraded + detail (200),
+//	              shedding + detail (503), or "ok" when no health
+//	              callback is wired (SetHealth)
 //	/traces       recent sampled pipeline traces, one per line
 //	/debug/pprof  the standard Go profiling endpoints
 //	/             an index of the above
@@ -24,7 +26,21 @@ func (r *Registry) Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		h, ok := r.Health()
+		if !ok {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		// Degraded still serves best-effort answers, so it stays 200
+		// for liveness probes; shedding is losing records and returns
+		// 503 so orchestrators can react.
+		if h.State == StateShedding {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, h.State)
+		for _, d := range h.Detail {
+			fmt.Fprintln(w, d)
+		}
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

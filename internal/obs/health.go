@@ -1,0 +1,43 @@
+package obs
+
+// Health is a pipeline's self-reported liveness: one of the states
+// "healthy" (full fidelity), "degraded" (best-effort answers under
+// partial failure — an unhealthy ensemble member, recent worker
+// restarts, store retries), or "shedding" (load or failures are
+// costing records — queues full, a worker permanently down). Detail
+// lines carry whatever the pipeline wants operators to see: per-model
+// health, accounting counters, recent state transitions.
+type Health struct {
+	State  string
+	Detail []string
+}
+
+// Health state names.
+const (
+	StateHealthy  = "healthy"
+	StateDegraded = "degraded"
+	StateShedding = "shedding"
+)
+
+// SetHealth installs the callback /healthz reports. The callback runs
+// on the scrape goroutine and must be safe to call concurrently with
+// the pipeline. The last registration wins (a registry serves one
+// pipeline; re-wiring on restart is allowed). A registry without a
+// health callback reports plain "ok" for backward compatibility.
+func (r *Registry) SetHealth(fn func() Health) {
+	r.mu.Lock()
+	r.healthFn = fn
+	r.mu.Unlock()
+}
+
+// Health returns the current health report and whether a callback is
+// installed.
+func (r *Registry) Health() (Health, bool) {
+	r.mu.Lock()
+	fn := r.healthFn
+	r.mu.Unlock()
+	if fn == nil {
+		return Health{}, false
+	}
+	return fn(), true
+}

@@ -232,6 +232,7 @@ type Registry struct {
 	histVecs    map[string]*HistogramVec
 	tracers     map[string]*Tracer
 	kinds       map[string]string
+	healthFn    func() Health
 }
 
 // NewRegistry returns an empty registry.

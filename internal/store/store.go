@@ -96,6 +96,23 @@ type Store interface {
 	Instrument(reg *obs.Registry)
 }
 
+// Fallible is the optional error-surfacing side of a Store: writes
+// and polls that can fail transiently — fault-injected stores today,
+// network- or disk-backed stores tomorrow. The in-memory DB and
+// ShardedDB never fail and do not implement it; consumers type-assert
+// and fall back to the infallible methods. Callers of the Try paths
+// are expected to retry with backoff and to account for writes they
+// ultimately drop.
+type Fallible interface {
+	// TryUpsertFlow is UpsertFlow with a transient-failure path. On
+	// error the write did not happen and may be retried.
+	TryUpsertFlow(key flow.Key, features []float64, registeredAt, updatedAt netsim.Time, updates int, truth bool, attackType string) (created bool, err error)
+	// TryPollShard is PollShard with a transient-failure path. On
+	// error no journal entries were consumed; the cursor is unchanged
+	// and the poll may be retried.
+	TryPollShard(shard int, cursor uint64, max int) ([]FlowRecord, uint64, error)
+}
+
 // journalEntry marks one update available to pollers.
 type journalEntry struct {
 	seq uint64

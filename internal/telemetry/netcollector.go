@@ -27,12 +27,23 @@ type NetCollector struct {
 	// MaxDatagram bounds the receive buffer (default 64 KiB).
 	MaxDatagram int
 
+	// ReadRetries bounds how many consecutive non-timeout read errors
+	// the loop tolerates, with exponential backoff between attempts,
+	// before giving up on the socket (default 5; negative: none). A
+	// transient kernel error (ECONNREFUSED from a previous send, a
+	// momentary buffer condition) no longer kills the collector.
+	ReadRetries int
+	// ReadRetryBackoff is the initial delay after a failed read,
+	// doubling per consecutive failure (default 10ms).
+	ReadRetryBackoff time.Duration
+
 	quit chan struct{}
 	wg   sync.WaitGroup
 
 	// Stats (atomics: safe to read while running).
 	Received     atomic.Int64
 	DecodeErrors atomic.Int64
+	ReadErrors   atomic.Int64
 }
 
 // ListenReports opens a UDP socket on addr ("127.0.0.1:0" picks a
@@ -47,9 +58,11 @@ func ListenReports(addr string) (*NetCollector, error) {
 		return nil, err
 	}
 	return &NetCollector{
-		conn:        conn,
-		MaxDatagram: 64 << 10,
-		quit:        make(chan struct{}),
+		conn:             conn,
+		MaxDatagram:      64 << 10,
+		ReadRetries:      5,
+		ReadRetryBackoff: 10 * time.Millisecond,
+		quit:             make(chan struct{}),
 	}, nil
 }
 
@@ -66,6 +79,9 @@ func (c *NetCollector) Instrument(reg *obs.Registry) {
 	reg.CounterFunc("intddos_telemetry_report_decode_errors_total", func() float64 {
 		return float64(c.DecodeErrors.Load())
 	})
+	reg.CounterFunc("intddos_collector_read_errors", func() float64 {
+		return float64(c.ReadErrors.Load())
+	})
 }
 
 // Start launches the receive loop.
@@ -74,10 +90,18 @@ func (c *NetCollector) Start() {
 	go c.loop()
 }
 
-// loop receives and decodes datagrams until Close.
+// loop receives and decodes datagrams until Close. Timeouts are the
+// idle path (the read deadline exists to observe quit); other read
+// errors are counted and retried with exponential backoff up to
+// ReadRetries consecutive failures before the loop gives up.
 func (c *NetCollector) loop() {
 	defer c.wg.Done()
 	buf := make([]byte, c.MaxDatagram)
+	consecErrs := 0
+	backoff := c.ReadRetryBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
 	for {
 		// A read deadline lets the loop observe quit promptly.
 		c.conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
@@ -92,8 +116,22 @@ func (c *NetCollector) loop() {
 			if errors.As(err, &ne) && ne.Timeout() {
 				continue
 			}
-			return
+			c.ReadErrors.Add(1)
+			if consecErrs >= c.ReadRetries {
+				return
+			}
+			consecErrs++
+			d := backoff << (consecErrs - 1)
+			timer := time.NewTimer(d)
+			select {
+			case <-c.quit:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			continue
 		}
+		consecErrs = 0
 		rep, derr := DecodeReport(buf[:n])
 		if derr != nil {
 			c.DecodeErrors.Add(1)

@@ -92,6 +92,34 @@ func TestNetCollectorCountsGarbage(t *testing.T) {
 	}
 }
 
+func TestNetCollectorRetriesTransientReadErrors(t *testing.T) {
+	col, err := ListenReports("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.ReadRetries = 2
+	col.ReadRetryBackoff = time.Millisecond
+	col.Start()
+	// Yank the socket out from under the loop: every subsequent read
+	// fails immediately with a non-timeout error, so the loop burns
+	// its whole retry budget and then gives up.
+	col.conn.Close()
+	want := int64(col.ReadRetries) + 1 // initial failure + retries
+	if !waitCount(t, 3*time.Second, col.ReadErrors.Load, want) {
+		t.Fatalf("read errors = %d, want >= %d", col.ReadErrors.Load(), want)
+	}
+	done := make(chan struct{})
+	go func() { col.wg.Wait(); close(done) }()
+	select {
+	case <-done: // loop exited after exhausting the budget
+	case <-time.After(3 * time.Second):
+		t.Fatal("receive loop still running after retry budget exhausted")
+	}
+	if got := col.ReadErrors.Load(); got != want {
+		t.Errorf("read errors = %d after exit, want exactly %d", got, want)
+	}
+}
+
 func TestNetCollectorCloseUnblocks(t *testing.T) {
 	col, err := ListenReports("127.0.0.1:0")
 	if err != nil {
