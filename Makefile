@@ -1,13 +1,15 @@
 # Developer entry points. `make check` is the gate every change must
 # pass: vet, build, the full test suite, the race pass, a short fuzz
-# smoke over every wire-format parser, and the chaos smoke (the
-# fault-injection suite under the race detector).
+# smoke over every wire-format parser, the chaos smoke (the
+# fault-injection suite under the race detector), and the recovery
+# smoke (kill -9 a checkpointing live pipeline, restart, verify
+# restore and closed accounting).
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-obs bench-shard bench-batch fuzz-smoke chaos-smoke clean
+.PHONY: check vet build test race bench bench-obs bench-shard bench-batch bench-checkpoint fuzz-smoke chaos-smoke recovery-smoke clean
 
-check: vet build test race fuzz-smoke chaos-smoke
+check: vet build test race fuzz-smoke chaos-smoke recovery-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,8 +47,14 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) test -race -count=1 ./internal/fault/
 	$(GO) test -race -count=1 -run \
-		'TestChaos|TestWorkerPanic|TestQuorum|TestModelRecovers|TestStoreRetries|TestDrainOnStop|TestShardShed|TestHealthz|TestMalformed' \
+		'TestChaos|TestWorkerPanic|TestQuorum|TestModelRecovers|TestStoreRetries|TestDrainOnStop|TestShardShed|TestHealthz|TestMalformed|TestKillRestore|TestRestoreRejects|TestPeriodicCheckpointer|TestSweepBounds' \
 		./internal/core/
+
+# recovery-smoke kills a checkpointing live pipeline with SIGKILL and
+# verifies a restart restores from the surviving checkpoint and closes
+# its accounting (scripts/recovery_smoke.sh).
+recovery-smoke:
+	bash scripts/recovery_smoke.sh
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
@@ -75,6 +83,14 @@ bench-batch:
 		-benchtime 2000x .
 	@echo wrote $(CURDIR)/BENCH_batch.json
 
+# bench-checkpoint measures checkpoint write (barrier + export +
+# encode + atomic rename) and cold-boot restore at 10k/100k/1M
+# resident flows and writes the sweep to BENCH_checkpoint.json.
+bench-checkpoint:
+	BENCH_CHECKPOINT_OUT=$(CURDIR)/BENCH_checkpoint.json $(GO) test -run '^$$' \
+		-bench BenchmarkCheckpoint -benchtime 1x -timeout 30m .
+	@echo wrote $(CURDIR)/BENCH_checkpoint.json
+
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_batch.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_batch.json BENCH_checkpoint.json
 	$(GO) clean ./...

@@ -8,6 +8,7 @@ package intddos
 import (
 	"encoding/json"
 	"fmt"
+	"net/netip"
 	"os"
 	"sync"
 	"testing"
@@ -817,6 +818,146 @@ func writeShardBench(b *testing.B, results []shardBenchResult) {
 		Results []shardBenchResult `json:"results"`
 	}{
 		Bench:   "BenchmarkShardScaling",
+		When:    time.Now().UTC().Format(time.RFC3339),
+		Results: results,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint benchmark: snapshot capture/encode/write and restore cost
+// as the live pipeline's durable state grows.
+
+type ckptBenchResult struct {
+	Flows         int     `json:"flows"`
+	Bytes         int     `json:"bytes"`
+	WriteNsPerOp  float64 `json:"write_ns_per_op"`
+	WriteMBPerSec float64 `json:"write_mb_per_sec"`
+	RestoreNs     float64 `json:"restore_ns"`
+	RestoredFlows int     `json:"restored_flows"`
+}
+
+var (
+	ckptBenchMu      sync.Mutex
+	ckptBenchResults []ckptBenchResult
+)
+
+// BenchmarkCheckpoint measures WriteCheckpoint (barrier + export +
+// encode + atomic write) and the cold-boot restore path at 10k, 100k,
+// and 1M resident flows. The journal is drained first, so the
+// snapshot reflects a steady-state pipeline (tables + store + windows)
+// rather than a backlog. Results are also written as JSON when
+// BENCH_CHECKPOINT_OUT names a file (`make bench-checkpoint`).
+func BenchmarkCheckpoint(b *testing.B) {
+	c := benchSetup(b)
+	train, _ := c.INT.Split(0.1, 42)
+	model, scaler, err := FitModel(StageTwoModels()[1], train.Subsample(10000, 42), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nFlows := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("flows-%d", nFlows), func(b *testing.B) {
+			dir := b.TempDir()
+			mkCfg := func() LiveRuntimeConfig {
+				return LiveRuntimeConfig{
+					Models: []Classifier{model}, Scaler: scaler,
+					Shards: 4, Workers: 2,
+					CheckpointDir: dir, CheckpointKeep: 1,
+				}
+			}
+			live, err := NewLiveRuntime(mkCfg())
+			if err != nil {
+				b.Fatal(err)
+			}
+			pi := flow.PacketInfo{
+				Key:    flow.Key{Dst: traffic.ServerAddr, DstPort: 80, Proto: netsim.TCP},
+				Length: 777, HasTelemetry: true,
+			}
+			for i := 0; i < nFlows; i++ {
+				pi.Key.Src = netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+				pi.Key.SrcPort = uint16(i%32768 + 1024)
+				live.Ingest(pi)
+			}
+			// Drain the journal: a running pipeline's pollers trim it
+			// continuously, so steady state is an empty tail.
+			for s := 0; s < 4; s++ {
+				_, cur := live.DB.PollShard(s, 0, 0)
+				live.DB.TrimShard(s, cur)
+			}
+
+			var size int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, n, err := live.WriteCheckpoint()
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = n
+			}
+			b.StopTimer()
+			writeNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+
+			restoreStart := time.Now()
+			restoredLive, err := NewLiveRuntime(mkCfg())
+			if err != nil {
+				b.Fatal(err)
+			}
+			restoreNs := float64(time.Since(restoreStart).Nanoseconds())
+			sum := restoredLive.Restore()
+			if sum == nil || sum.Flows != nFlows {
+				b.Fatalf("restore came back with %+v, want %d flows", sum, nFlows)
+			}
+
+			res := ckptBenchResult{
+				Flows:         nFlows,
+				Bytes:         size,
+				WriteNsPerOp:  writeNs,
+				WriteMBPerSec: float64(size) / (writeNs / 1e9) / (1 << 20),
+				RestoreNs:     restoreNs,
+				RestoredFlows: sum.Flows,
+			}
+			b.ReportMetric(float64(size), "bytes")
+			b.ReportMetric(res.WriteMBPerSec, "MB/s")
+			b.ReportMetric(restoreNs/1e6, "restore-ms")
+
+			ckptBenchMu.Lock()
+			replaced := false
+			for i := range ckptBenchResults {
+				if ckptBenchResults[i].Flows == res.Flows {
+					ckptBenchResults[i] = res
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				ckptBenchResults = append(ckptBenchResults, res)
+			}
+			writeCkptBench(b, ckptBenchResults)
+			ckptBenchMu.Unlock()
+		})
+	}
+}
+
+// writeCkptBench rewrites the accumulated checkpoint sweep as JSON
+// when BENCH_CHECKPOINT_OUT names a file (caller holds ckptBenchMu).
+func writeCkptBench(b *testing.B, results []ckptBenchResult) {
+	path := os.Getenv("BENCH_CHECKPOINT_OUT")
+	if path == "" {
+		return
+	}
+	out := struct {
+		Bench   string            `json:"bench"`
+		When    string            `json:"when"`
+		Results []ckptBenchResult `json:"results"`
+	}{
+		Bench:   "BenchmarkCheckpoint",
 		When:    time.Now().UTC().Format(time.RFC3339),
 		Results: results,
 	}

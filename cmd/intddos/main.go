@@ -6,7 +6,7 @@
 // Usage:
 //
 //	intddos [-scale small] [-seed 42] [-packets 2500] [-trace file.amtr] [-v]
-//	intddos -live [-obs-addr :9090] [-live-for 1m]
+//	intddos -live [-obs-addr :9090] [-live-for 1m] [-checkpoint-dir dir]
 //
 // With -trace the replayed traffic comes from a capture written by
 // datagen instead of a generated workload. With -live the pipeline
@@ -42,6 +42,8 @@ func main() {
 	predictLinger := flag.Duration("predict-linger", 0, "how long a -live prediction worker waits to fill a micro-batch (0: score immediately)")
 	faultSpec := flag.String("fault-spec", "", "inject faults into the -live pipeline, e.g. \"drop=0.01,store.err=0.1,panic=0.02\" (see README: fault tolerance)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+	checkpointDir := flag.String("checkpoint-dir", "", "make -live crash-recoverable: resume from the newest checkpoint in this directory and snapshot into it")
+	checkpointEvery := flag.Duration("checkpoint-every", 10*time.Second, "periodic checkpoint interval for -live (0: only the final snapshot on exit)")
 	verbose := flag.Bool("v", false, "print every decision")
 	flag.Parse()
 
@@ -68,11 +70,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "intddos:", err)
 			os.Exit(1)
 		}
-		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, injector, reg, *verbose)
+		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, injector, *checkpointDir, *checkpointEvery, reg, *verbose)
 		return
 	}
 	if *faultSpec != "" {
 		fmt.Fprintln(os.Stderr, "intddos: -fault-spec only applies to the -live pipeline")
+		os.Exit(1)
+	}
+	if *checkpointDir != "" {
+		fmt.Fprintln(os.Stderr, "intddos: -checkpoint-dir only applies to the -live pipeline")
 		os.Exit(1)
 	}
 	if *tracePath != "" {
@@ -108,7 +114,7 @@ func main() {
 // registry continuously scrapeable while doing so. A final metrics
 // summary — counters, queue gauges, per-stage latency percentiles —
 // is printed on exit.
-func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, injector *intddos.FaultInjector, reg *intddos.ObsRegistry, verbose bool) {
+func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, injector *intddos.FaultInjector, checkpointDir string, checkpointEvery time.Duration, reg *intddos.ObsRegistry, verbose bool) {
 	capture, err := intddos.Collect(intddos.DataConfig{Scale: scale, Seed: seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -131,10 +137,16 @@ func runLive(scale string, seed int64, packets int, liveFor time.Duration, shard
 		PredictBatch:    predictBatch,
 		PredictLinger:   predictLinger,
 		Fault:           injector,
+		CheckpointDir:   checkpointDir,
+		CheckpointEvery: checkpointEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
 		os.Exit(1)
+	}
+	if r := live.Restore(); r != nil {
+		fmt.Printf("restored from %s: seq=%d flows=%d store_flows=%d journal_pending=%d windows=%d predictions=%d\n",
+			r.Path, r.Seq, r.Flows, r.StoreFlows, r.JournalPending, r.Windows, r.Predictions)
 	}
 	if verbose {
 		live.OnDecision = func(d intddos.Decision) {
@@ -208,10 +220,24 @@ replay:
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+	if checkpointDir != "" {
+		// Final snapshot: a clean shutdown leaves the directory exactly
+		// where a restart should pick up.
+		if path, n, err := live.WriteCheckpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "intddos: final checkpoint:", err)
+		} else {
+			fmt.Printf("final checkpoint: %s (%d bytes)\n", path, n)
+		}
+	}
 	live.Stop()
 
 	fmt.Printf("\n%d passes, %d reports, %d decisions, %d shed, %d evicted\n",
 		passes, live.Reports.Load(), len(live.Decisions()), live.Shed.Load(), live.Evictions.Load())
+	if polled, decided, shed, abandoned := live.Polled.Load(), int64(live.DecisionCount()), live.Shed.Load(), live.Abandoned.Load(); polled == decided+shed+abandoned {
+		fmt.Printf("accounting: CLOSED (polled=%d == decided=%d + shed=%d + abandoned=%d)\n", polled, decided, shed, abandoned)
+	} else {
+		fmt.Printf("accounting: LEAK (polled=%d != decided=%d + shed=%d + abandoned=%d)\n", polled, decided, shed, abandoned)
+	}
 	if injector != nil {
 		fmt.Printf("health: %s; abandoned: %v; faults fired: %s; tainted flows: %d\n",
 			live.Health(), live.AbandonedByReason(), injector.Summary(), injector.TaintCount())

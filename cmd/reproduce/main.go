@@ -31,6 +31,8 @@ func main() {
 	predictBatch := flag.Int("predict-batch", 0, "scoring micro-batch size for the live (Table VI) replays (0/1: the paper's record-at-a-time prediction; results are identical at any size)")
 	faultSpec := flag.String("fault-spec", "", "fault schedule for the chaos artifact (e.g. \"drop=0.05,store.err=0.1,panic=0.02\"; empty: clean baseline)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the chaos artifact's fault schedule")
+	checkpointDir := flag.String("checkpoint-dir", "", "resume the chaos artifact from (and snapshot into) this checkpoint directory")
+	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval for the chaos artifact (0: one snapshot at the end of the run)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	flag.Parse()
 
@@ -152,6 +154,7 @@ func main() {
 		res, err := intddos.RunChaos(intddos.ChaosConfig{
 			Scale: *scale, Seed: *seed, PacketsPerType: *packets,
 			FaultSpec: *faultSpec, FaultSeed: *faultSeed,
+			CheckpointDir: *checkpointDir, CheckpointEvery: *checkpointEvery,
 		})
 		fail(err)
 		fmt.Println(intddos.FormatChaos(res))

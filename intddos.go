@@ -171,6 +171,9 @@ type (
 	LiveRuntimeConfig = core.LiveConfig
 	// Decision is one final smoothed classification.
 	Decision = core.Decision
+	// RestoreSummary describes the checkpoint a live runtime resumed
+	// from (see Live.Restore and LiveRuntimeConfig.CheckpointDir).
+	RestoreSummary = core.RestoreSummary
 	// TypeResult is one Table VI row.
 	TypeResult = core.TypeResult
 	// HealthState is the live pipeline's aggregate condition

@@ -1,0 +1,71 @@
+// Package checkpoint persists the live pipeline's durable state —
+// per-shard flow tables and store shards (records, journal tails,
+// sequence counters), per-flow vote windows, and the global
+// prediction log — as crash-consistent snapshot files.
+//
+// A snapshot is written atomically: encoded into a temp file in the
+// destination directory, fsync'd, renamed into place, and the
+// directory fsync'd, so a crash mid-write leaves either the previous
+// checkpoint or the new one, never a torn file. The on-disk format is
+// versioned and every section carries a CRC; torn, truncated, or
+// foreign files are rejected loudly instead of loading partial state
+// (AMON-style partitioned persistence, arXiv:1509.00268, applied to
+// the paper's one-database design).
+//
+// Encoding is canonical — flows, records, and windows are sorted by
+// their wire-encoded key — so snapshot→restore→snapshot is
+// byte-identical, which is what the format's property tests pin.
+package checkpoint
+
+import (
+	"github.com/amlight/intddos/internal/flow"
+	"github.com/amlight/intddos/internal/store"
+)
+
+// Version is the current on-disk format version. Decoders reject
+// anything newer: a downgraded binary must not half-read a future
+// layout.
+const Version = 1
+
+// Snapshot is one checkpoint: everything the live pipeline needs to
+// resume where a crashed process left off.
+type Snapshot struct {
+	// Shards is the shard count the snapshot was taken at. Restore
+	// into a pipeline with a different count must fail — keys would
+	// hash onto different stripes.
+	Shards int
+	// Fingerprint identifies the model/scaler bundle. A checkpoint
+	// restored under different models would splice incomparable votes
+	// into the same windows.
+	Fingerprint uint64
+	// FeatureWidth is the feature-vector length models were scoring.
+	FeatureWidth int
+	// Seq increments per checkpoint written by a process; it names the
+	// file and orders candidates in Latest.
+	Seq uint64
+	// TakenAtUnixNano is the wall-clock write time, for operators.
+	TakenAtUnixNano int64
+
+	// ShardStates holds per-shard durable state, indexed by shard.
+	ShardStates []ShardState
+	// Windows holds the per-flow model vote windows.
+	Windows []Window
+	// Predictions is the global prediction log in append order.
+	Predictions []store.PredictionRecord
+}
+
+// ShardState is one shard's durable state: the flow table's full
+// records (including the unexported Welford and wrap-tracking terms —
+// without them restored flows would diverge from their pre-crash
+// feature streams) and the store shard's records, journal tail, and
+// sequence counter.
+type ShardState struct {
+	Table []flow.StateSnapshot
+	Store store.ShardExport
+}
+
+// Window is one flow's ensemble vote window.
+type Window struct {
+	Key   flow.Key
+	Votes []int
+}

@@ -1,0 +1,272 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/amlight/intddos/internal/flow"
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/store"
+)
+
+// randSnapshot builds a populated snapshot from a seeded source so
+// the property tests are deterministic per seed.
+func randSnapshot(seed int64) *Snapshot {
+	rng := rand.New(rand.NewSource(seed))
+	randKey := func() flow.Key {
+		if rng.Intn(4) == 0 {
+			var a, b [16]byte
+			rng.Read(a[:])
+			rng.Read(b[:])
+			return flow.Key{
+				Src: netip.AddrFrom16(a), Dst: netip.AddrFrom16(b),
+				SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+				Proto: netsim.Proto(rng.Intn(256)),
+			}
+		}
+		var a, b [4]byte
+		rng.Read(a[:])
+		rng.Read(b[:])
+		return flow.Key{
+			Src: netip.AddrFrom4(a), Dst: netip.AddrFrom4(b),
+			SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+			Proto: netsim.Proto(rng.Intn(256)),
+		}
+	}
+	randStats := func() flow.StatsSnapshot {
+		return flow.StatsSnapshot{
+			N: rng.Intn(1000), Last: rng.NormFloat64(), Sum: rng.NormFloat64() * 1e6,
+			Mean: rng.NormFloat64(), M2: rng.ExpFloat64(),
+		}
+	}
+	attack := []string{"", "synflood", "udpflood", "tcpscan"}
+	randRec := func() store.FlowRecord {
+		feats := make([]float64, rng.Intn(16))
+		for i := range feats {
+			feats[i] = rng.NormFloat64()
+		}
+		return store.FlowRecord{
+			Key: randKey(), Features: feats,
+			RegisteredAt: netsim.Time(rng.Int63()), UpdatedAt: netsim.Time(rng.Int63()),
+			Updates: rng.Intn(1e6), Version: rng.Uint64(),
+			Truth: rng.Intn(2) == 0, AttackType: attack[rng.Intn(len(attack))],
+		}
+	}
+
+	shards := 1 + rng.Intn(4)
+	snap := &Snapshot{
+		Shards:          shards,
+		Fingerprint:     rng.Uint64(),
+		FeatureWidth:    rng.Intn(32),
+		Seq:             rng.Uint64(),
+		TakenAtUnixNano: rng.Int63(),
+		ShardStates:     make([]ShardState, shards),
+	}
+	for i := range snap.ShardStates {
+		sh := &snap.ShardStates[i]
+		for n := rng.Intn(20); n > 0; n-- {
+			sh.Table = append(sh.Table, flow.StateSnapshot{
+				Key: randKey(), RegisteredAt: netsim.Time(rng.Int63()), LastAt: netsim.Time(rng.Int63()),
+				Updates: rng.Intn(1e6), Size: randStats(), IAT: randStats(), Queue: randStats(), HopLat: randStats(),
+				LastIngress: netsim.Timestamp32(rng.Uint32()), HaveIngress: rng.Intn(2) == 0,
+				HasTelemetry: rng.Intn(2) == 0, AttackObs: rng.Intn(1000),
+				LastTruth: rng.Intn(2) == 0, AttackType: attack[rng.Intn(len(attack))],
+			})
+		}
+		for n := rng.Intn(20); n > 0; n-- {
+			sh.Store.Flows = append(sh.Store.Flows, randRec())
+		}
+		for n := rng.Intn(10); n > 0; n-- {
+			sh.Store.Journal = append(sh.Store.Journal, store.JournalEntry{Seq: rng.Uint64(), Rec: randRec()})
+		}
+		sh.Store.Seq = rng.Uint64()
+	}
+	for n := rng.Intn(15); n > 0; n-- {
+		votes := make([]int, rng.Intn(8))
+		for i := range votes {
+			votes[i] = rng.Intn(2)
+		}
+		snap.Windows = append(snap.Windows, Window{Key: randKey(), Votes: votes})
+	}
+	for n := rng.Intn(25); n > 0; n-- {
+		votes := make([]int, 1+rng.Intn(5))
+		for i := range votes {
+			votes[i] = rng.Intn(2)
+		}
+		snap.Predictions = append(snap.Predictions, store.PredictionRecord{
+			Key: randKey(), Label: rng.Intn(2), At: netsim.Time(rng.Int63()),
+			Latency: netsim.Time(rng.Int63()), Votes: votes,
+			Truth: rng.Intn(2) == 0, AttackType: attack[rng.Intn(len(attack))],
+		})
+	}
+	return snap
+}
+
+// TestRoundTripByteIdentical is the format's core property:
+// snapshot → encode → decode → encode produces identical bytes, and
+// the decoded snapshot carries identical content.
+func TestRoundTripByteIdentical(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		snap := randSnapshot(seed)
+		enc1 := Encode(snap)
+		dec, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		enc2 := Encode(dec)
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("seed %d: re-encode not byte-identical (%d vs %d bytes)", seed, len(enc1), len(enc2))
+		}
+		// Content survives, modulo the canonical sort Encode applies.
+		dec2, err := Decode(enc2)
+		if err != nil {
+			t.Fatalf("seed %d: second decode: %v", seed, err)
+		}
+		if !reflect.DeepEqual(dec, dec2) {
+			t.Fatalf("seed %d: content diverged across round-trips", seed)
+		}
+		if dec.Shards != snap.Shards || dec.Fingerprint != snap.Fingerprint ||
+			dec.Seq != snap.Seq || dec.FeatureWidth != snap.FeatureWidth ||
+			len(dec.Predictions) != len(snap.Predictions) ||
+			len(dec.Windows) != len(snap.Windows) {
+			t.Fatalf("seed %d: header/content lost", seed)
+		}
+		// Predictions keep append order verbatim.
+		if !reflect.DeepEqual(normalizePreds(dec.Predictions), normalizePreds(snap.Predictions)) {
+			t.Fatalf("seed %d: prediction log reordered or altered", seed)
+		}
+	}
+}
+
+// normalizePreds maps nil and empty vote slices to a comparable form
+// (the wire format cannot distinguish them).
+func normalizePreds(ps []store.PredictionRecord) []store.PredictionRecord {
+	out := append([]store.PredictionRecord(nil), ps...)
+	for i := range out {
+		if len(out[i].Votes) == 0 {
+			out[i].Votes = nil
+		}
+	}
+	return out
+}
+
+// TestDecodeRejectsCorruption flips, truncates, and forges bytes and
+// demands a loud error every time — never a partial load.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	snap := randSnapshot(7)
+	enc := Encode(snap)
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), enc...)
+		bad[0] = 'X'
+		if _, err := Decode(bad); err == nil {
+			t.Fatal("accepted bad magic")
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		bad := append([]byte(nil), enc...)
+		binary.BigEndian.PutUint16(bad[4:6], Version+1)
+		if _, err := Decode(bad); err == nil {
+			t.Fatal("accepted a future format version")
+		}
+	})
+	t.Run("bad CRC", func(t *testing.T) {
+		// Flip one payload byte in every section region; CRC must
+		// catch each.
+		for off := 16; off < len(enc); off += 97 {
+			bad := append([]byte(nil), enc...)
+			bad[off] ^= 0xFF
+			if _, err := Decode(bad); err == nil {
+				t.Fatalf("accepted a flipped byte at offset %d", off)
+			}
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for n := 0; n < len(enc)-1; n += 13 {
+			if _, err := Decode(enc[:n]); err == nil {
+				t.Fatalf("accepted truncation to %d of %d bytes", n, len(enc))
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		if _, err := Decode(append(append([]byte(nil), enc...), 0xAB)); err == nil {
+			t.Fatal("accepted trailing bytes")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Decode(nil); err == nil {
+			t.Fatal("accepted empty input")
+		}
+	})
+}
+
+func TestWriteLatestPrune(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpts")
+
+	// Latest on a missing dir is a clean first-boot miss.
+	if _, _, ok, err := Latest(dir); ok || err != nil {
+		t.Fatalf("missing dir: ok=%v err=%v", ok, err)
+	}
+
+	var wrote []*Snapshot
+	for seq := uint64(1); seq <= 4; seq++ {
+		snap := randSnapshot(int64(seq))
+		snap.Seq = seq
+		path, n, err := WriteDir(dir, snap)
+		if err != nil || n == 0 {
+			t.Fatalf("write seq %d: n=%d err=%v", seq, n, err)
+		}
+		if filepath.Base(path) != FileName(seq) {
+			t.Fatalf("wrote %s, want %s", path, FileName(seq))
+		}
+		wrote = append(wrote, snap)
+	}
+
+	got, path, ok, err := Latest(dir)
+	if !ok || err != nil {
+		t.Fatalf("latest: ok=%v err=%v", ok, err)
+	}
+	if got.Seq != 4 || filepath.Base(path) != FileName(4) {
+		t.Fatalf("latest picked seq %d (%s), want 4", got.Seq, path)
+	}
+	if !bytes.Equal(Encode(got), Encode(wrote[3])) {
+		t.Fatal("loaded snapshot differs from written")
+	}
+
+	// Corrupt the newest: Latest must fall back to seq 3.
+	if err := os.WriteFile(filepath.Join(dir, FileName(4)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok, err = Latest(dir)
+	if !ok || err != nil || got.Seq != 3 {
+		t.Fatalf("fallback: ok=%v err=%v seq=%v", ok, err, got)
+	}
+
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left []string
+	for _, e := range names {
+		left = append(left, e.Name())
+	}
+	if len(left) != 2 || left[0] != FileName(3) || left[1] != FileName(4) {
+		t.Fatalf("prune left %v", left)
+	}
+
+	// Every file corrupt → explicit error, not a silent empty start.
+	baddir := t.TempDir()
+	os.WriteFile(filepath.Join(baddir, FileName(1)), []byte("nope"), 0o644)
+	if _, _, ok, err := Latest(baddir); ok || err == nil {
+		t.Fatalf("all-corrupt dir: ok=%v err=%v", ok, err)
+	}
+}

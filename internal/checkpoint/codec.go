@@ -1,0 +1,533 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"net/netip"
+	"sort"
+
+	"github.com/amlight/intddos/internal/flow"
+	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/store"
+)
+
+// Wire layout:
+//
+//	magic "AMCK" | version u16 | sections...
+//
+// where each section is
+//
+//	id u8 | payloadLen u64 | payload | crc32(payload) u32
+//
+// Exactly one meta section (first), then one shard section per shard
+// in index order, one windows section, one predictions section, and
+// nothing after — extra bytes, duplicate or missing sections, unknown
+// ids, and CRC mismatches all fail decode.
+const (
+	secMeta        = 1
+	secShard       = 2
+	secWindows     = 3
+	secPredictions = 4
+)
+
+var magic = [4]byte{'A', 'M', 'C', 'K'}
+
+// keyWireLen is the fixed wire size of a flow.Key: address-form byte,
+// 16-byte source and destination, ports, protocol.
+const keyWireLen = 1 + 16 + 16 + 2 + 2 + 1
+
+// --- primitive writer/reader ---
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *writer) boolb(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail("checkpoint: truncated at offset %d (want %d more bytes, have %d)", r.off, n, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) boolb() bool  { return r.u8() != 0 }
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil {
+		return ""
+	}
+	return string(r.take(n))
+}
+
+// count reads a u32 element count and sanity-bounds it against the
+// remaining payload so a corrupt length cannot drive a giant
+// allocation before the truncation check fires.
+func (r *reader) count(minElemSize int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if minElemSize > 0 && n > (len(r.buf)-r.off)/minElemSize {
+		r.fail("checkpoint: element count %d exceeds remaining payload", n)
+		return 0
+	}
+	return n
+}
+
+// --- flow.Key ---
+
+// addrForm encodes an address's representation so decode rebuilds the
+// exact same netip.Addr value: 0 = zero/invalid, 4 = IPv4, 6 = IPv6.
+func addrForm(a netip.Addr) uint8 {
+	switch {
+	case !a.IsValid():
+		return 0
+	case a.Is4():
+		return 4
+	default:
+		return 6
+	}
+}
+
+func restoreAddr(form uint8, b [16]byte, r *reader) netip.Addr {
+	switch form {
+	case 0:
+		return netip.Addr{}
+	case 4:
+		return netip.AddrFrom4([4]byte(b[12:16]))
+	case 6:
+		return netip.AddrFrom16(b)
+	default:
+		r.fail("checkpoint: unknown address form %d", form)
+		return netip.Addr{}
+	}
+}
+
+func putKey(w *writer, k flow.Key) {
+	w.u8(addrForm(k.Src)<<4 | addrForm(k.Dst))
+	src, dst := k.Src.As16(), k.Dst.As16()
+	w.buf = append(w.buf, src[:]...)
+	w.buf = append(w.buf, dst[:]...)
+	w.u16(k.SrcPort)
+	w.u16(k.DstPort)
+	w.u8(uint8(k.Proto))
+}
+
+func getKey(r *reader) flow.Key {
+	form := r.u8()
+	var src, dst [16]byte
+	copy(src[:], r.take(16))
+	copy(dst[:], r.take(16))
+	k := flow.Key{SrcPort: r.u16(), DstPort: r.u16(), Proto: netsim.Proto(r.u8())}
+	if r.err != nil {
+		return flow.Key{}
+	}
+	k.Src = restoreAddr(form>>4, src, r)
+	k.Dst = restoreAddr(form&0xF, dst, r)
+	return k
+}
+
+// wireKey returns the canonical sort key: a key's exact wire bytes.
+func wireKey(k flow.Key) [keyWireLen]byte {
+	var w writer
+	putKey(&w, k)
+	var out [keyWireLen]byte
+	copy(out[:], w.buf)
+	return out
+}
+
+// --- records ---
+
+func putStats(w *writer, s flow.StatsSnapshot) {
+	w.u64(uint64(s.N))
+	w.f64(s.Last)
+	w.f64(s.Sum)
+	w.f64(s.Mean)
+	w.f64(s.M2)
+}
+
+func getStats(r *reader) flow.StatsSnapshot {
+	return flow.StatsSnapshot{
+		N: int(r.u64()), Last: r.f64(), Sum: r.f64(), Mean: r.f64(), M2: r.f64(),
+	}
+}
+
+func putState(w *writer, s flow.StateSnapshot) {
+	putKey(w, s.Key)
+	w.i64(int64(s.RegisteredAt))
+	w.i64(int64(s.LastAt))
+	w.u64(uint64(s.Updates))
+	putStats(w, s.Size)
+	putStats(w, s.IAT)
+	putStats(w, s.Queue)
+	putStats(w, s.HopLat)
+	w.u32(uint32(s.LastIngress))
+	w.boolb(s.HaveIngress)
+	w.boolb(s.HasTelemetry)
+	w.u64(uint64(s.AttackObs))
+	w.boolb(s.LastTruth)
+	w.str(s.AttackType)
+}
+
+func getState(r *reader) flow.StateSnapshot {
+	return flow.StateSnapshot{
+		Key:          getKey(r),
+		RegisteredAt: netsim.Time(r.i64()),
+		LastAt:       netsim.Time(r.i64()),
+		Updates:      int(r.u64()),
+		Size:         getStats(r),
+		IAT:          getStats(r),
+		Queue:        getStats(r),
+		HopLat:       getStats(r),
+		LastIngress:  netsim.Timestamp32(r.u32()),
+		HaveIngress:  r.boolb(),
+		HasTelemetry: r.boolb(),
+		AttackObs:    int(r.u64()),
+		LastTruth:    r.boolb(),
+		AttackType:   r.str(),
+	}
+}
+
+func putFlowRecord(w *writer, rec store.FlowRecord) {
+	putKey(w, rec.Key)
+	w.u32(uint32(len(rec.Features)))
+	for _, f := range rec.Features {
+		w.f64(f)
+	}
+	w.i64(int64(rec.RegisteredAt))
+	w.i64(int64(rec.UpdatedAt))
+	w.u64(uint64(rec.Updates))
+	w.u64(rec.Version)
+	w.boolb(rec.Truth)
+	w.str(rec.AttackType)
+}
+
+func getFlowRecord(r *reader) store.FlowRecord {
+	rec := store.FlowRecord{Key: getKey(r)}
+	n := r.count(8)
+	if n > 0 {
+		rec.Features = make([]float64, n)
+		for i := range rec.Features {
+			rec.Features[i] = r.f64()
+		}
+	}
+	rec.RegisteredAt = netsim.Time(r.i64())
+	rec.UpdatedAt = netsim.Time(r.i64())
+	rec.Updates = int(r.u64())
+	rec.Version = r.u64()
+	rec.Truth = r.boolb()
+	rec.AttackType = r.str()
+	return rec
+}
+
+func putPrediction(w *writer, p store.PredictionRecord) {
+	putKey(w, p.Key)
+	w.i64(int64(p.Label))
+	w.i64(int64(p.At))
+	w.i64(int64(p.Latency))
+	w.u32(uint32(len(p.Votes)))
+	for _, v := range p.Votes {
+		w.i64(int64(v))
+	}
+	w.boolb(p.Truth)
+	w.str(p.AttackType)
+}
+
+func getPrediction(r *reader) store.PredictionRecord {
+	p := store.PredictionRecord{
+		Key:     getKey(r),
+		Label:   int(r.i64()),
+		At:      netsim.Time(r.i64()),
+		Latency: netsim.Time(r.i64()),
+	}
+	n := r.count(8)
+	if n > 0 {
+		p.Votes = make([]int, n)
+		for i := range p.Votes {
+			p.Votes[i] = int(r.i64())
+		}
+	}
+	p.Truth = r.boolb()
+	p.AttackType = r.str()
+	return p
+}
+
+// --- sections ---
+
+func appendSection(dst []byte, id uint8, payload []byte) []byte {
+	dst = append(dst, id)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// Encode serializes the snapshot into the canonical wire form: flows,
+// records, and windows sorted by wire key, so equal snapshots encode
+// to equal bytes regardless of map iteration order.
+func Encode(s *Snapshot) []byte {
+	out := append([]byte(nil), magic[:]...)
+	out = binary.BigEndian.AppendUint16(out, Version)
+
+	var meta writer
+	meta.u32(uint32(s.Shards))
+	meta.u64(s.Fingerprint)
+	meta.u32(uint32(s.FeatureWidth))
+	meta.u64(s.Seq)
+	meta.i64(s.TakenAtUnixNano)
+	out = appendSection(out, secMeta, meta.buf)
+
+	for i, sh := range s.ShardStates {
+		var w writer
+		w.u32(uint32(i))
+
+		table := append([]flow.StateSnapshot(nil), sh.Table...)
+		sort.Slice(table, func(a, b int) bool {
+			ka, kb := wireKey(table[a].Key), wireKey(table[b].Key)
+			return bytes.Compare(ka[:], kb[:]) < 0
+		})
+		w.u32(uint32(len(table)))
+		for _, st := range table {
+			putState(&w, st)
+		}
+
+		flows := append([]store.FlowRecord(nil), sh.Store.Flows...)
+		sort.Slice(flows, func(a, b int) bool {
+			ka, kb := wireKey(flows[a].Key), wireKey(flows[b].Key)
+			return bytes.Compare(ka[:], kb[:]) < 0
+		})
+		w.u32(uint32(len(flows)))
+		for _, rec := range flows {
+			putFlowRecord(&w, rec)
+		}
+
+		// The journal is a feed: append order is meaning, keep it.
+		w.u32(uint32(len(sh.Store.Journal)))
+		for _, e := range sh.Store.Journal {
+			w.u64(e.Seq)
+			putFlowRecord(&w, e.Rec)
+		}
+		w.u64(sh.Store.Seq)
+		out = appendSection(out, secShard, w.buf)
+	}
+
+	var ww writer
+	windows := append([]Window(nil), s.Windows...)
+	sort.Slice(windows, func(a, b int) bool {
+		ka, kb := wireKey(windows[a].Key), wireKey(windows[b].Key)
+		return bytes.Compare(ka[:], kb[:]) < 0
+	})
+	ww.u32(uint32(len(windows)))
+	for _, win := range windows {
+		putKey(&ww, win.Key)
+		ww.u32(uint32(len(win.Votes)))
+		for _, v := range win.Votes {
+			ww.i64(int64(v))
+		}
+	}
+	out = appendSection(out, secWindows, ww.buf)
+
+	var pw writer
+	pw.u32(uint32(len(s.Predictions)))
+	for _, p := range s.Predictions {
+		putPrediction(&pw, p)
+	}
+	out = appendSection(out, secPredictions, pw.buf)
+	return out
+}
+
+// Decode parses a snapshot, rejecting anything malformed: wrong
+// magic, future version, CRC mismatch, truncation, unknown or
+// out-of-order sections, or trailing bytes. A rejected file loads no
+// state at all.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic)+2 {
+		return nil, fmt.Errorf("checkpoint: file too short (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:4], magic[:]) {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", data[:4])
+	}
+	ver := binary.BigEndian.Uint16(data[4:6])
+	if ver == 0 || ver > Version {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d (this binary reads ≤ %d)", ver, Version)
+	}
+
+	snap := &Snapshot{}
+	off := 6
+	sawMeta, sawWindows, sawPreds := false, false, false
+	shardsSeen := 0
+	for off < len(data) {
+		if off+1+8 > len(data) {
+			return nil, fmt.Errorf("checkpoint: truncated section header at offset %d", off)
+		}
+		id := data[off]
+		plen := binary.BigEndian.Uint64(data[off+1 : off+9])
+		off += 9
+		if plen > uint64(len(data)-off) {
+			return nil, fmt.Errorf("checkpoint: section %d truncated (claims %d bytes, %d remain)", id, plen, len(data)-off)
+		}
+		payload := data[off : off+int(plen)]
+		off += int(plen)
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("checkpoint: section %d missing CRC", id)
+		}
+		want := binary.BigEndian.Uint32(data[off : off+4])
+		off += 4
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, fmt.Errorf("checkpoint: section %d CRC mismatch (got %08x, want %08x)", id, got, want)
+		}
+
+		r := &reader{buf: payload}
+		switch id {
+		case secMeta:
+			if sawMeta {
+				return nil, fmt.Errorf("checkpoint: duplicate meta section")
+			}
+			sawMeta = true
+			snap.Shards = int(r.u32())
+			snap.Fingerprint = r.u64()
+			snap.FeatureWidth = int(r.u32())
+			snap.Seq = r.u64()
+			snap.TakenAtUnixNano = r.i64()
+			if r.err == nil && (snap.Shards < 1 || snap.Shards > 1<<20) {
+				return nil, fmt.Errorf("checkpoint: implausible shard count %d", snap.Shards)
+			}
+			snap.ShardStates = make([]ShardState, snap.Shards)
+		case secShard:
+			if !sawMeta {
+				return nil, fmt.Errorf("checkpoint: shard section before meta")
+			}
+			idx := int(r.u32())
+			if r.err == nil && (idx != shardsSeen || idx >= snap.Shards) {
+				return nil, fmt.Errorf("checkpoint: shard section %d out of order (expected %d of %d)", idx, shardsSeen, snap.Shards)
+			}
+			var sh ShardState
+			n := r.count(keyWireLen)
+			for i := 0; i < n && r.err == nil; i++ {
+				sh.Table = append(sh.Table, getState(r))
+			}
+			n = r.count(keyWireLen)
+			for i := 0; i < n && r.err == nil; i++ {
+				sh.Store.Flows = append(sh.Store.Flows, getFlowRecord(r))
+			}
+			n = r.count(keyWireLen + 8)
+			for i := 0; i < n && r.err == nil; i++ {
+				seq := r.u64()
+				sh.Store.Journal = append(sh.Store.Journal, store.JournalEntry{Seq: seq, Rec: getFlowRecord(r)})
+			}
+			sh.Store.Seq = r.u64()
+			if r.err == nil {
+				snap.ShardStates[idx] = sh
+				shardsSeen++
+			}
+		case secWindows:
+			if sawWindows {
+				return nil, fmt.Errorf("checkpoint: duplicate windows section")
+			}
+			sawWindows = true
+			n := r.count(keyWireLen)
+			for i := 0; i < n && r.err == nil; i++ {
+				win := Window{Key: getKey(r)}
+				nv := r.count(8)
+				for j := 0; j < nv && r.err == nil; j++ {
+					win.Votes = append(win.Votes, int(r.i64()))
+				}
+				snap.Windows = append(snap.Windows, win)
+			}
+		case secPredictions:
+			if sawPreds {
+				return nil, fmt.Errorf("checkpoint: duplicate predictions section")
+			}
+			sawPreds = true
+			n := r.count(keyWireLen)
+			for i := 0; i < n && r.err == nil; i++ {
+				snap.Predictions = append(snap.Predictions, getPrediction(r))
+			}
+		default:
+			return nil, fmt.Errorf("checkpoint: unknown section id %d", id)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.off != len(payload) {
+			return nil, fmt.Errorf("checkpoint: section %d has %d trailing payload bytes", id, len(payload)-r.off)
+		}
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("checkpoint: no meta section")
+	}
+	if shardsSeen != snap.Shards {
+		return nil, fmt.Errorf("checkpoint: %d shard sections for %d shards", shardsSeen, snap.Shards)
+	}
+	if !sawWindows || !sawPreds {
+		return nil, fmt.Errorf("checkpoint: missing windows or predictions section")
+	}
+	return snap, nil
+}

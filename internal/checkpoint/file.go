@@ -1,0 +1,153 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FileName returns the canonical file name for a checkpoint sequence
+// number. Zero-padded so lexical order is sequence order.
+func FileName(seq uint64) string {
+	return fmt.Sprintf("ckpt-%016d.amck", seq)
+}
+
+// Write encodes snap and writes it to path atomically: temp file in
+// the same directory, fsync, rename, directory fsync. A crash at any
+// point leaves either no file or a complete one. Returns the encoded
+// size.
+func Write(path string, snap *Snapshot) (int, error) {
+	data := Encode(snap)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		cleanup()
+		return 0, fmt.Errorf("checkpoint: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return 0, fmt.Errorf("checkpoint: fsync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("checkpoint: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("checkpoint: rename into place: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Sync the directory so the rename itself is durable; best
+		// effort on filesystems that reject directory fsync.
+		d.Sync()
+		d.Close()
+	}
+	return len(data), nil
+}
+
+// WriteDir writes snap into dir (created if absent) under its
+// canonical sequence-numbered name and returns the path and encoded
+// size.
+func WriteDir(dir string, snap *Snapshot) (string, int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, fmt.Errorf("checkpoint: mkdir %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, FileName(snap.Seq))
+	n, err := Write(path, snap)
+	return path, n, err
+}
+
+// Load reads and decodes one checkpoint file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	snap, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// Latest loads the newest valid checkpoint in dir, skipping files
+// that fail to decode (a torn write that predates atomic renames, a
+// foreign file) and falling back to the next-newest. It returns the
+// snapshot and its path; ok is false when dir holds no valid
+// checkpoint (including when dir does not exist — a first boot).
+func Latest(dir string) (snap *Snapshot, path string, ok bool, err error) {
+	names, err := candidates(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "", false, nil
+		}
+		return nil, "", false, err
+	}
+	var lastErr error
+	for i := len(names) - 1; i >= 0; i-- {
+		p := filepath.Join(dir, names[i])
+		s, err := Load(p)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return s, p, true, nil
+	}
+	if lastErr != nil {
+		return nil, "", false, fmt.Errorf("checkpoint: no valid checkpoint in %s (newest failure: %w)", dir, lastErr)
+	}
+	return nil, "", false, nil
+}
+
+// Prune removes all but the newest keep checkpoint files in dir.
+func Prune(dir string, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	names, err := candidates(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if len(names) <= keep {
+		return nil
+	}
+	for _, name := range names[:len(names)-keep] {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("checkpoint: prune %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// candidates lists checkpoint file names in dir in ascending sequence
+// order (the zero-padded names make lexical order sequence order).
+func candidates(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".amck") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"github.com/amlight/intddos/internal/checkpoint"
+	"github.com/amlight/intddos/internal/flow"
+	"github.com/amlight/intddos/internal/ml"
+)
+
+// RestoreSummary describes the checkpoint NewLive resumed from.
+type RestoreSummary struct {
+	// Path and Seq identify the checkpoint file loaded.
+	Path string
+	Seq  uint64
+	// TakenAtUnixNano is when the crashed process wrote it.
+	TakenAtUnixNano int64
+
+	// Flows counts flow-table records restored; StoreFlows database
+	// records; JournalPending journal entries written before the crash
+	// but not yet polled — the pollers pick them up on the first tick,
+	// so every pre-crash record ends decided, shed, abandoned, or
+	// restored-pending, never silently gone.
+	Flows          int
+	StoreFlows     int
+	JournalPending int
+	// Windows counts restored vote windows: flows already voted keep
+	// their history, so the first post-restore decision continues the
+	// window instead of re-starting it (no double-predictions).
+	Windows int
+	// Predictions is the restored prediction-log length.
+	Predictions int
+}
+
+// Restore returns what NewLive loaded from CheckpointDir, or nil on a
+// fresh boot.
+func (l *Live) Restore() *RestoreSummary { return l.restored }
+
+// bundleFingerprint hashes the model/scaler/feature bundle a pipeline
+// runs: model names in ensemble order, feature IDs, and the exact
+// bits of the scaler's parameters. A checkpoint carries the
+// fingerprint of the bundle that produced its votes; restoring under
+// a different bundle would splice incomparable votes into the same
+// windows, so the restore path refuses on mismatch.
+func bundleFingerprint(models []ml.Classifier, scaler *ml.StandardScaler, features flow.FeatureSet) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (56 - 8*i))
+		}
+		h.Write(buf[:])
+	}
+	for _, m := range models {
+		h.Write([]byte(m.Name()))
+		h.Write([]byte{0})
+	}
+	for _, f := range features {
+		w64(uint64(f))
+	}
+	for _, v := range scaler.Mean {
+		w64(math.Float64bits(v))
+	}
+	for _, v := range scaler.Std {
+		w64(math.Float64bits(v))
+	}
+	return h.Sum64()
+}
+
+// restoreLatest loads the newest valid checkpoint in dir into the
+// freshly built (not yet started) pipeline. A missing or empty dir is
+// a clean first boot; a dir holding only corrupt files, or a snapshot
+// from an incompatible pipeline (different shard count, model/scaler
+// bundle, or feature width), is a hard error — resuming with wrong
+// state would be worse than not resuming.
+func (l *Live) restoreLatest(dir string) error {
+	snap, path, ok, err := checkpoint.Latest(dir)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	if snap.Shards != l.nShards {
+		return fmt.Errorf("core: checkpoint %s was taken at %d shards, pipeline has %d — restore with matching -shards",
+			path, snap.Shards, l.nShards)
+	}
+	if snap.Fingerprint != l.fingerprint {
+		return fmt.Errorf("core: checkpoint %s was taken under a different model/scaler bundle (fingerprint %016x, pipeline %016x)",
+			path, snap.Fingerprint, l.fingerprint)
+	}
+	if want := len(l.cfg.Scaler.Mean); snap.FeatureWidth != want {
+		return fmt.Errorf("core: checkpoint %s has feature width %d, pipeline expects %d",
+			path, snap.FeatureWidth, want)
+	}
+	sum := &RestoreSummary{Path: path, Seq: snap.Seq, TakenAtUnixNano: snap.TakenAtUnixNano}
+	for s := range snap.ShardStates {
+		sh := &snap.ShardStates[s]
+		if err := l.tables.RestoreShard(s, sh.Table); err != nil {
+			return fmt.Errorf("core: restore %s: %w", path, err)
+		}
+		if err := l.ckptStore.ImportShard(s, sh.Store); err != nil {
+			return fmt.Errorf("core: restore %s: %w", path, err)
+		}
+		sum.Flows += len(sh.Table)
+		sum.StoreFlows += len(sh.Store.Flows)
+		sum.JournalPending += len(sh.Store.Journal)
+	}
+	for _, w := range snap.Windows {
+		shard := w.Key.Shard(l.nShards)
+		l.shards[shard].windows[w.Key] = append([]int(nil), w.Votes...)
+	}
+	sum.Windows = len(snap.Windows)
+	l.ckptStore.ImportPredictions(snap.Predictions)
+	sum.Predictions = len(snap.Predictions)
+	l.ckptSeq.Store(snap.Seq)
+	l.restored = sum
+	l.met.restores.Inc()
+	l.met.restoredRecs.With("flows").Add(int64(sum.Flows))
+	l.met.restoredRecs.With("store_flows").Add(int64(sum.StoreFlows))
+	l.met.restoredRecs.With("journal_pending").Add(int64(sum.JournalPending))
+	l.met.restoredRecs.With("windows").Add(int64(sum.Windows))
+	l.met.restoredRecs.With("predictions").Add(int64(sum.Predictions))
+	return nil
+}
+
+// ErrBarrierTimeout reports that the checkpoint barrier could not
+// quiesce the pipeline: records handed to the workers did not finish
+// within CheckpointBarrierTimeout (a stalled or permanently down
+// worker). The checkpoint is skipped — a snapshot with in-flight
+// records would restore them nowhere.
+var ErrBarrierTimeout = errors.New("core: checkpoint barrier timed out waiting for in-flight records")
+
+// settleInflight waits until every record the pollers handed off is
+// accounted — decided, shed, or abandoned. Callers hold the ckptMu
+// write lock, so pollers, ingest, and the sweeper are parked and the
+// counts can only converge.
+func (l *Live) settleInflight() error {
+	deadline := time.Now().Add(l.cfg.CheckpointBarrierTimeout)
+	for {
+		if l.Polled.Load() == l.completed.Load()+l.Shed.Load()+l.Abandoned.Load() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w (polled=%d completed=%d shed=%d abandoned=%d)",
+				ErrBarrierTimeout, l.Polled.Load(), l.completed.Load(), l.Shed.Load(), l.Abandoned.Load())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// CaptureCheckpoint quiesces the pipeline and captures a consistent
+// snapshot of its durable state: it blocks new ingest, polling, and
+// sweeps (a write lock the hot paths hold for reads per operation),
+// waits for in-flight records to finish, then exports every shard's
+// flow table and store state, the vote windows, and the prediction
+// log. The freeze lasts for the export only; encoding and disk IO
+// happen after the lock is released.
+func (l *Live) CaptureCheckpoint() (*checkpoint.Snapshot, error) {
+	if l.ckptStore == nil {
+		return nil, errors.New("core: store does not support checkpointing")
+	}
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	if err := l.settleInflight(); err != nil {
+		return nil, err
+	}
+	snap := &checkpoint.Snapshot{
+		Shards:          l.nShards,
+		Fingerprint:     l.fingerprint,
+		FeatureWidth:    len(l.cfg.Scaler.Mean),
+		Seq:             l.ckptSeq.Add(1),
+		TakenAtUnixNano: time.Now().UnixNano(),
+		ShardStates:     make([]checkpoint.ShardState, l.nShards),
+	}
+	for s := 0; s < l.nShards; s++ {
+		snap.ShardStates[s] = checkpoint.ShardState{
+			Table: l.tables.ExportShard(s),
+			Store: l.ckptStore.ExportShard(s),
+		}
+	}
+	for _, sh := range l.shards {
+		sh.mu.Lock()
+		for k, w := range sh.windows {
+			snap.Windows = append(snap.Windows, checkpoint.Window{Key: k, Votes: append([]int(nil), w...)})
+		}
+		sh.mu.Unlock()
+	}
+	snap.Predictions = l.rawDB.Predictions()
+	return snap, nil
+}
+
+// WriteCheckpoint captures a snapshot and writes it atomically into
+// CheckpointDir, pruning old files down to CheckpointKeep. Returns
+// the file path and encoded size. Failures (including a barrier that
+// cannot quiesce) are counted in intddos_checkpoint_failures_total
+// and surfaced; the previous checkpoint on disk is untouched either
+// way.
+func (l *Live) WriteCheckpoint() (string, int, error) {
+	if l.cfg.CheckpointDir == "" {
+		return "", 0, errors.New("core: no CheckpointDir configured")
+	}
+	start := time.Now()
+	snap, err := l.CaptureCheckpoint()
+	if err != nil {
+		l.met.ckptFailures.Inc()
+		return "", 0, err
+	}
+	path, n, err := checkpoint.WriteDir(l.cfg.CheckpointDir, snap)
+	if err != nil {
+		l.met.ckptFailures.Inc()
+		return "", 0, err
+	}
+	l.Checkpoints.Add(1)
+	l.met.ckpts.Inc()
+	l.met.ckptBytes.Add(int64(n))
+	l.met.ckptDuration.Since(start)
+	l.met.ckptLastSuccess.Set(float64(time.Now().Unix()))
+	if err := checkpoint.Prune(l.cfg.CheckpointDir, l.cfg.CheckpointKeep); err != nil {
+		// The new checkpoint is durable; failing retention is a
+		// disk-hygiene problem, not a lost snapshot.
+		l.met.ckptFailures.Inc()
+	}
+	return path, n, nil
+}
+
+// checkpointer writes a checkpoint every CheckpointEvery until Stop.
+func (l *Live) checkpointer() {
+	defer l.pollWg.Done()
+	ticker := time.NewTicker(l.cfg.CheckpointEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.quit:
+			return
+		case <-ticker.C:
+			// Errors are counted and reported via metrics/healthz; the
+			// next tick retries.
+			l.WriteCheckpoint()
+		}
+	}
+}

@@ -224,6 +224,14 @@ func (l *Live) healthReport() obs.Health {
 			l.StoreRetries.Load(), l.StoreDropped.Load()),
 		fmt.Sprintf("queue_occupancy=%.2f", l.queueOccupancy()),
 	}
+	if l.cfg.CheckpointDir != "" {
+		line := fmt.Sprintf("checkpoints=%d failures=%d last_success_unix=%.0f",
+			l.Checkpoints.Load(), l.met.ckptFailures.Value(), l.met.ckptLastSuccess.Value())
+		if r := l.restored; r != nil {
+			line += fmt.Sprintf(" restored_seq=%d restored_flows=%d restored_pending=%d", r.Seq, r.Flows, r.JournalPending)
+		}
+		detail = append(detail, line)
+	}
 	for _, mh := range l.modelHealth {
 		bad, fails := mh.snapshot()
 		state := obs.StateHealthy

@@ -83,6 +83,22 @@ type LiveConfig struct {
 	// FlowIdleTimeout).
 	SweepInterval time.Duration
 
+	// CheckpointDir enables crash-consistent checkpointing: snapshots
+	// of the pipeline's durable state (flow tables, store shards with
+	// journal tails, vote windows, prediction log) are written
+	// atomically into this directory, and NewLive restores from the
+	// newest valid one at boot. Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the periodic checkpoint interval. Zero writes
+	// no periodic checkpoints — WriteCheckpoint can still be called
+	// explicitly (shutdown, signal handler, tests).
+	CheckpointEvery time.Duration
+	// CheckpointKeep is how many checkpoint files to retain (default 3).
+	CheckpointKeep int
+	// CheckpointBarrierTimeout bounds how long a checkpoint waits for
+	// in-flight records to finish before giving up (default 5s).
+	CheckpointBarrierTimeout time.Duration
+
 	// Registry receives the runtime's metrics, stage histograms, and
 	// decision tracer; nil builds a private registry, readable via
 	// Obs(). A registry should be scoped to one pipeline instance.
@@ -169,6 +185,15 @@ type liveMetrics struct {
 	batchSize      *obs.Histogram // records per micro-batch scoring call
 	sampleLatency  *obs.Histogram // per-sample share of the batch scoring call
 
+	// Checkpoint/restore instruments.
+	ckpts           *obs.Counter
+	ckptFailures    *obs.Counter
+	ckptBytes       *obs.Counter
+	ckptDuration    *obs.Histogram
+	ckptLastSuccess *obs.Gauge
+	restores        *obs.Counter
+	restoredRecs    *obs.CounterVec // by kind: flows/store_flows/journal_pending/windows/predictions
+
 	// Per-stage latency histograms (children of intddos_stage_seconds
 	// cached so the hot path skips the vec lookup).
 	stageIngest  *obs.Histogram
@@ -203,6 +228,13 @@ func newLiveMetrics(reg *obs.Registry) liveMetrics {
 		predictLatency:    reg.Histogram("intddos_predict_latency_seconds", nil),
 		batchSize:         reg.Histogram("intddos_predict_batch_size", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 		sampleLatency:     reg.Histogram("intddos_predict_sample_seconds", nil),
+		ckpts:             reg.Counter("intddos_checkpoints_total"),
+		ckptFailures:      reg.Counter("intddos_checkpoint_failures_total"),
+		ckptBytes:         reg.Counter("intddos_checkpoint_bytes_total"),
+		ckptDuration:      reg.Histogram("intddos_checkpoint_duration_seconds", nil),
+		ckptLastSuccess:   reg.Gauge("intddos_checkpoint_last_success_unixtime"),
+		restores:          reg.Counter("intddos_restores_total"),
+		restoredRecs:      reg.CounterVec("intddos_restored_records_total", "kind"),
 		stageIngest:       stages.With("ingest"),
 		stageJournal:      stages.With("journal_wait"),
 		stageQueue:        stages.With("queue_wait"),
@@ -270,6 +302,20 @@ type Live struct {
 	DB  store.Store
 	fdb store.Fallible // non-nil when DB surfaces transient errors
 
+	// Checkpointing. ckptMu is the capture barrier: ingest, the shard
+	// pollers, and the sweeper hold it for read per operation; a
+	// checkpoint takes the write side, waits for in-flight records to
+	// settle, and exports a consistent cut. rawDB/ckptStore reference
+	// the concrete store beneath any fault wrapper — a checkpoint must
+	// read real state, not a fault-shaped view of it.
+	ckptMu      sync.RWMutex
+	ckptStore   store.Checkpointable
+	rawDB       store.Store
+	ckptSeq     atomic.Uint64
+	fingerprint uint64
+	restored    *RestoreSummary
+	completed   atomic.Int64 // records fully finished (decision + prediction logged)
+
 	workerChs []chan queued
 	quit      chan struct{}
 	pollWg    sync.WaitGroup // pollers + sweeper (stop first)
@@ -305,6 +351,7 @@ type Live struct {
 	StoreDropped   atomic.Int64 // store writes dropped after retries
 	WorkerRestarts atomic.Int64 // supervisor restarts after panics
 	ModelFailures  atomic.Int64 // failed ensemble scoring calls
+	Checkpoints    atomic.Int64 // checkpoints successfully written
 }
 
 // NewLive validates cfg and builds the runtime.
@@ -369,6 +416,12 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	if cfg.HealthRecency <= 0 {
 		cfg.HealthRecency = 5 * time.Second
 	}
+	if cfg.CheckpointKeep <= 0 {
+		cfg.CheckpointKeep = 3
+	}
+	if cfg.CheckpointBarrierTimeout <= 0 {
+		cfg.CheckpointBarrierTimeout = 5 * time.Second
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
@@ -381,6 +434,10 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 				m.Name(), w, len(cfg.Scaler.Mean))
 		}
 	}
+	// The bundle fingerprint is computed over the caller's models
+	// before fault wrapping (WrapModel preserves Name(), but the
+	// fingerprint should describe the bundle, not the harness).
+	fingerprint := bundleFingerprint(cfg.Models, cfg.Scaler, cfg.Features)
 	// The ensemble is scored through each model's fallible path; with
 	// an injector configured the models are wrapped so scheduled
 	// scoring failures and latency can fire. The slice is copied —
@@ -404,17 +461,24 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	} else {
 		db = store.NewSharded(cfg.Shards)
 	}
+	// Capture the concrete store before any fault wrapping: the
+	// checkpoint path exports and imports the real state directly.
+	rawDB := db
+	ckptStore, _ := db.(store.Checkpointable)
 	if cfg.Fault != nil && cfg.Fault.Spec().HasStoreFaults() {
 		db = fault.WrapStore(db, cfg.Fault)
 	}
 	l := &Live{
-		cfg:     cfg,
-		nShards: nShards,
-		tables:  flow.NewShardedTable(nShards),
-		shards:  make([]*liveShard, nShards),
-		DB:      db,
-		quit:    make(chan struct{}),
-		reg:     cfg.Registry,
+		cfg:         cfg,
+		nShards:     nShards,
+		tables:      flow.NewShardedTable(nShards),
+		shards:      make([]*liveShard, nShards),
+		DB:          db,
+		rawDB:       rawDB,
+		ckptStore:   ckptStore,
+		fingerprint: fingerprint,
+		quit:        make(chan struct{}),
+		reg:         cfg.Registry,
 	}
 	l.fdb, _ = db.(store.Fallible)
 	for i := range l.shards {
@@ -429,6 +493,11 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		l.workerChs[i] = make(chan queued, perWorkerCap)
 	}
 	l.tables.SetIdleTimeout(netsim.Time(cfg.FlowIdleTimeout))
+	// Downstream state keyed by flow dies with the table entry: the
+	// eviction hook deletes the database record and the vote window the
+	// moment Sweep removes a flow, so idle eviction bounds memory in
+	// every layer (previously swept flows leaked store records).
+	l.tables.SetOnEvict(l.onEvict)
 	l.DB.SetJournalNew(!cfg.SkipNewRecords)
 	l.met = newLiveMetrics(l.reg)
 	l.modelHealth = make([]*modelHealth, len(cfg.Models))
@@ -475,6 +544,14 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	}
 	l.reg.SetHealth(l.healthReport)
 	l.DB.Instrument(l.reg)
+	if cfg.CheckpointDir != "" {
+		if ckptStore == nil {
+			return nil, errors.New("core: CheckpointDir set but store does not support checkpointing")
+		}
+		if err := l.restoreLatest(cfg.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
 	return l, nil
 }
 
@@ -509,6 +586,10 @@ func (l *Live) Start() {
 	if l.cfg.FlowIdleTimeout > 0 {
 		l.pollWg.Add(1)
 		go l.sweeper()
+	}
+	if l.cfg.CheckpointDir != "" && l.cfg.CheckpointEvery > 0 {
+		l.pollWg.Add(1)
+		go l.checkpointer()
 	}
 }
 
@@ -589,6 +670,10 @@ func (l *Live) HandleReport(r *telemetry.Report) {
 // store errors with backoff. Safe for concurrent use; observations of
 // flows on different shards never contend.
 func (l *Live) Ingest(pi flow.PacketInfo) {
+	// Checkpoint barrier: a capture in progress parks ingest until the
+	// consistent cut is taken.
+	l.ckptMu.RLock()
+	defer l.ckptMu.RUnlock()
 	start := time.Now()
 	if pi.At == 0 {
 		pi.At = now()
@@ -711,11 +796,16 @@ func (l *Live) shardPoller(shard int) {
 		case <-l.quit:
 			return
 		case <-ticker.C:
+			// Checkpoint barrier: while a capture is in progress no new
+			// records are polled or handed off, so in-flight work can
+			// only drain.
+			l.ckptMu.RLock()
 			recs, cur, ok := l.pollOnce(shard, cursor)
 			l.met.polls.Inc()
 			if !ok {
 				// Transient poll failure: the cursor is unchanged, so
 				// the same entries come back at the next tick.
+				l.ckptMu.RUnlock()
 				l.reassessHealth()
 				continue
 			}
@@ -738,6 +828,7 @@ func (l *Live) shardPoller(shard int) {
 					l.noteShedding("worker queue full")
 				}
 			}
+			l.ckptMu.RUnlock()
 			l.reassessHealth()
 		}
 	}
@@ -785,39 +876,49 @@ func (l *Live) sweeper() {
 	}
 }
 
-// sweep evicts flows idle past FlowIdleTimeout: their vote windows,
-// flow-table state, and database records. Shards are swept one at a
-// time so the rest of the pipeline keeps running.
+// onEvict is the flow table's eviction hook: when Sweep removes a
+// flow, its database record and vote window go with it — exact,
+// single-pass eviction instead of the old two-pass scan, which left
+// store rows behind for flows created between the scan and the sweep
+// and let the store grow without bound under spoofed-source floods.
+// Runs under the evicting table shard's lock; it takes only the store
+// and window locks (table → store, table → window — no path takes
+// those locks and then the table's, so the order is acyclic).
+func (l *Live) onEvict(key flow.Key) {
+	l.DB.DeleteFlow(key)
+	sh := l.shards[key.Shard(l.nShards)]
+	sh.mu.Lock()
+	delete(sh.windows, key)
+	sh.mu.Unlock()
+}
+
+// sweep evicts flows idle past FlowIdleTimeout. The table sweep fires
+// onEvict per eviction, which removes the database record and vote
+// window in the same pass; a safety pass then clears orphaned windows
+// (a late decision can re-create a window after its flow was swept).
 func (l *Live) sweep() {
-	cutoff := now()
-	timeout := netsim.Time(l.cfg.FlowIdleTimeout)
-	var stale []flow.Key
-	l.tables.Range(func(st *flow.State) bool {
-		if cutoff-st.LastAt > timeout {
-			stale = append(stale, st.Key)
-		}
-		return true
-	})
-	evicted := l.tables.Sweep(cutoff)
-	for _, key := range stale {
-		l.DB.DeleteFlow(key)
-	}
-	// Windows die with their table entry, or when their flow record
-	// is gone entirely (a late decision can re-create a window after
-	// its flow was swept).
+	// Checkpoint barrier: sweeps mutate all three stores at once and
+	// must not interleave with a capture.
+	l.ckptMu.RLock()
+	defer l.ckptMu.RUnlock()
+	evicted := l.tables.Sweep(now())
+	// Orphan pass: collect keys under the window lock, probe the table
+	// without holding it (the eviction hook locks window under table;
+	// nesting the other way here would deadlock).
 	for _, sh := range l.shards {
 		sh.mu.Lock()
+		keys := make([]flow.Key, 0, len(sh.windows))
 		for key := range sh.windows {
-			alive := l.tables.Get(key, func(st *flow.State) {
-				if cutoff-st.LastAt > timeout {
-					delete(sh.windows, key)
-				}
-			})
-			if !alive {
-				delete(sh.windows, key)
-			}
+			keys = append(keys, key)
 		}
 		sh.mu.Unlock()
+		for _, key := range keys {
+			if !l.tables.Get(key, nil) {
+				sh.mu.Lock()
+				delete(sh.windows, key)
+				sh.mu.Unlock()
+			}
+		}
 	}
 	l.Evictions.Add(int64(evicted))
 	l.met.evictions.Add(int64(evicted))
@@ -1090,4 +1191,9 @@ func (l *Live) finish(q queued, raw int, votes []int, predicted time.Time) {
 	if cb != nil {
 		cb(d)
 	}
+	// Completion mark for the checkpoint barrier: the record's window
+	// vote, decision, and prediction are all durable-state-visible, so
+	// a capture that observes this count sees everything the record
+	// produced.
+	l.completed.Add(1)
 }

@@ -195,6 +195,14 @@ func New(eng *netsim.Engine, cfg Config) (*Mechanism, error) {
 		windows: make(map[flow.Key][]int),
 	}
 	m.Table.IdleTimeout = cfg.FlowIdleTimeout
+	// Eviction is single-pass: when Sweep removes a flow, its database
+	// record and vote window go with it (the old two-pass scan left
+	// store rows behind for flows observed between the scan and the
+	// sweep). The simulation is single-threaded, so no locking.
+	m.Table.OnEvict = func(k flow.Key) {
+		m.DB.DeleteFlow(k)
+		delete(m.windows, k)
+	}
 	m.DB.SetJournalNew(!cfg.SkipNewRecords)
 	return m, nil
 }
@@ -344,24 +352,17 @@ func (m *Mechanism) completeService() {
 	}
 }
 
-// sweepTick evicts idle flows from the table, their vote windows, and
-// their database records.
+// sweepTick evicts idle flows from the table; the eviction hook
+// removes their vote windows and database records in the same pass. A
+// safety pass clears windows whose flow is gone entirely (a late
+// decision can re-create one after its flow was swept).
 func (m *Mechanism) sweepTick() {
-	now := m.eng.Now()
-	timeout := m.cfg.FlowIdleTimeout
+	m.Table.Sweep(m.eng.Now())
 	for key := range m.windows {
-		st := m.Table.Get(key)
-		if st == nil || now-st.LastAt > timeout {
+		if m.Table.Get(key) == nil {
 			delete(m.windows, key)
 		}
 	}
-	m.Table.Range(func(st *flow.State) bool {
-		if now-st.LastAt > timeout {
-			m.DB.DeleteFlow(st.Key)
-		}
-		return true
-	})
-	m.Table.Sweep(now)
 	m.eng.After(m.cfg.SweepInterval, m.sweepTick)
 }
 

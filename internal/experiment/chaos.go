@@ -48,6 +48,12 @@ type ChaosConfig struct {
 	Workers int
 	// DrainOnStop selects the shutdown policy under test.
 	DrainOnStop bool
+	// CheckpointDir, when set, makes the run crash-recoverable: the
+	// pipeline resumes from the newest checkpoint in the directory and
+	// snapshots into it every CheckpointEvery (plus once on Stop when
+	// periodic checkpointing is off).
+	CheckpointDir   string
+	CheckpointEvery time.Duration
 }
 
 // ChaosResult summarizes how the live pipeline degraded — and what it
@@ -65,6 +71,10 @@ type ChaosResult struct {
 	Transitions                   []string
 	FaultSummary                  string
 	TaintedFlows                  int
+	// Checkpoints counts snapshots written; Restored describes the
+	// checkpoint the run resumed from (nil on a fresh boot).
+	Checkpoints int64
+	Restored    *core.RestoreSummary
 	// AccountingClosed is the chaos invariant: every polled record
 	// ended as a decision, a shed, or a reasoned abandonment.
 	AccountingClosed bool
@@ -124,6 +134,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		DrainOnStop:          cfg.DrainOnStop,
 		WorkerRestartBackoff: time.Millisecond,
 		StoreRetryBackoff:    200 * time.Microsecond,
+		CheckpointDir:        cfg.CheckpointDir,
+		CheckpointEvery:      cfg.CheckpointEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -136,14 +148,24 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		}
 	}
 	// Settle: every snapshot polled or dropped, every polled record
-	// resolved — bounded, because chaos runs must not hang.
+	// resolved — bounded, because chaos runs must not hang. A restored
+	// run additionally drains the pre-crash journal backlog, which the
+	// Snapshots bound does not see.
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
 		if live.Polled.Load()+live.StoreDropped.Load() >= live.Snapshots.Load() &&
+			(live.Restore() == nil || live.DB.JournalLen() == 0) &&
 			live.Polled.Load() == int64(live.DecisionCount())+live.Shed.Load()+live.Abandoned.Load() {
 			break
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+	if cfg.CheckpointDir != "" && cfg.CheckpointEvery <= 0 {
+		// No periodic checkpointer: take the final snapshot explicitly
+		// so a follow-up run resumes from the end of this one.
+		if _, _, err := live.WriteCheckpoint(); err != nil {
+			return nil, err
+		}
 	}
 	live.Stop()
 
@@ -164,6 +186,8 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		Transitions:       live.HealthTransitions(),
 		FaultSummary:      injector.Summary(),
 		TaintedFlows:      injector.TaintCount(),
+		Checkpoints:       live.Checkpoints.Load(),
+		Restored:          live.Restore(),
 	}
 	res.AccountingClosed = res.Polled == res.Decided+res.Shed+res.Abandoned
 	return res, nil
@@ -194,6 +218,13 @@ func FormatChaos(r *ChaosResult) string {
 	fmt.Fprintf(&b, "  store: retries=%d dropped=%d; workers: restarts=%d; models: failures=%d\n",
 		r.StoreRetries, r.StoreDropped, r.WorkerRestarts, r.ModelFailures)
 	fmt.Fprintf(&b, "  faults fired: %s; tainted flows: %d\n", r.FaultSummary, r.TaintedFlows)
+	if rs := r.Restored; rs != nil {
+		fmt.Fprintf(&b, "  restored: seq=%d flows=%d store_flows=%d journal_pending=%d windows=%d predictions=%d\n",
+			rs.Seq, rs.Flows, rs.StoreFlows, rs.JournalPending, rs.Windows, rs.Predictions)
+	}
+	if r.Checkpoints > 0 {
+		fmt.Fprintf(&b, "  checkpoints written: %d\n", r.Checkpoints)
+	}
 	fmt.Fprintf(&b, "  final health: %s\n", r.Health)
 	for _, tr := range r.Transitions {
 		fmt.Fprintf(&b, "    transition: %s\n", tr)

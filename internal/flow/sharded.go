@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"fmt"
 	"sync"
 
 	"github.com/amlight/intddos/internal/netsim"
@@ -49,6 +50,57 @@ func (t *ShardedTable) SetIdleTimeout(d netsim.Time) {
 		t.shards[i].table.IdleTimeout = d
 		t.shards[i].mu.Unlock()
 	}
+}
+
+// SetOnEvict installs fn as every shard's eviction hook. fn runs
+// under the evicting shard's lock and must not call back into the
+// table.
+func (t *ShardedTable) SetOnEvict(fn func(Key)) {
+	for i := range t.shards {
+		t.shards[i].mu.Lock()
+		t.shards[i].table.OnEvict = fn
+		t.shards[i].mu.Unlock()
+	}
+}
+
+// ExportShard snapshots every record on one shard for checkpointing.
+// Out-of-range shards yield nil.
+func (t *ShardedTable) ExportShard(shard int) []StateSnapshot {
+	if shard < 0 || shard >= len(t.shards) {
+		return nil
+	}
+	s := &t.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StateSnapshot, 0, s.table.Len())
+	s.table.Range(func(st *State) bool {
+		out = append(out, st.Snapshot())
+		return true
+	})
+	return out
+}
+
+// RestoreShard inserts restored records into one shard. Records whose
+// key does not hash onto the shard are rejected — a snapshot taken at
+// a different shard count must fail loud, not scatter flows onto the
+// wrong stripes.
+func (t *ShardedTable) RestoreShard(shard int, states []StateSnapshot) error {
+	if shard < 0 || shard >= len(t.shards) {
+		return fmt.Errorf("flow: restore shard %d out of range (have %d)", shard, len(t.shards))
+	}
+	for _, sn := range states {
+		if got := sn.Key.Shard(len(t.shards)); got != shard {
+			return fmt.Errorf("flow: restored record %s hashes to shard %d, not %d (snapshot from a different shard count?)",
+				sn.Key, got, shard)
+		}
+	}
+	s := &t.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sn := range states {
+		s.table.Insert(RestoreState(sn))
+	}
+	return nil
 }
 
 // Observe folds one observation into its flow's shard and reports

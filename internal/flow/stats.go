@@ -43,6 +43,27 @@ func (s *Stats) Sum() float64 { return s.sum }
 // Mean returns the running mean, or 0 before any observation.
 func (s *Stats) Mean() float64 { return s.mean }
 
+// StatsSnapshot is the exported, serializable view of a Stats
+// accumulator — every term of Welford's recurrence, so a restored
+// series continues bit-identically from where the original left off.
+type StatsSnapshot struct {
+	N    int
+	Last float64
+	Sum  float64
+	Mean float64
+	M2   float64
+}
+
+// Snapshot exports the accumulator's full state.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{N: s.n, Last: s.last, Sum: s.sum, Mean: s.mean, M2: s.m2}
+}
+
+// RestoreStats rebuilds an accumulator from a snapshot.
+func RestoreStats(sn StatsSnapshot) Stats {
+	return Stats{n: sn.N, last: sn.Last, sum: sn.Sum, mean: sn.Mean, m2: sn.M2}
+}
+
 // Var returns the population variance, or 0 with fewer than two
 // observations.
 func (s *Stats) Var() float64 {

@@ -40,6 +40,70 @@ type State struct {
 	AttackType string
 }
 
+// StateSnapshot is the exported, serializable view of a flow record:
+// every field — including the unexported wrap-tracking state — so a
+// restored record produces bit-identical features for all subsequent
+// observations. It is the unit the checkpoint subsystem persists.
+type StateSnapshot struct {
+	Key          Key
+	RegisteredAt netsim.Time
+	LastAt       netsim.Time
+	Updates      int
+
+	Size   StatsSnapshot
+	IAT    StatsSnapshot
+	Queue  StatsSnapshot
+	HopLat StatsSnapshot
+
+	LastIngress  netsim.Timestamp32
+	HaveIngress  bool
+	HasTelemetry bool
+
+	AttackObs  int
+	LastTruth  bool
+	AttackType string
+}
+
+// Snapshot exports the record's full state.
+func (st *State) Snapshot() StateSnapshot {
+	return StateSnapshot{
+		Key:          st.Key,
+		RegisteredAt: st.RegisteredAt,
+		LastAt:       st.LastAt,
+		Updates:      st.Updates,
+		Size:         st.Size.Snapshot(),
+		IAT:          st.IAT.Snapshot(),
+		Queue:        st.Queue.Snapshot(),
+		HopLat:       st.HopLat.Snapshot(),
+		LastIngress:  st.lastIngress,
+		HaveIngress:  st.haveIngress,
+		HasTelemetry: st.hasTelemetry,
+		AttackObs:    st.AttackObs,
+		LastTruth:    st.LastTruth,
+		AttackType:   st.AttackType,
+	}
+}
+
+// RestoreState rebuilds a flow record from a snapshot.
+func RestoreState(sn StateSnapshot) *State {
+	return &State{
+		Key:          sn.Key,
+		RegisteredAt: sn.RegisteredAt,
+		LastAt:       sn.LastAt,
+		Updates:      sn.Updates,
+		Size:         RestoreStats(sn.Size),
+		IAT:          RestoreStats(sn.IAT),
+		Queue:        RestoreStats(sn.Queue),
+		HopLat:       RestoreStats(sn.HopLat),
+		lastIngress:  sn.LastIngress,
+		haveIngress:  sn.HaveIngress,
+		hasTelemetry: sn.HasTelemetry,
+		AttackObs:    sn.AttackObs,
+		LastTruth:    sn.LastTruth,
+		AttackType:   sn.AttackType,
+	}
+}
+
 // NaiveIAT switches inter-arrival computation to the unsigned naive
 // subtraction for the wraparound ablation benchmark; the default is
 // wrap-aware. Package-level because it parameterizes an experiment,
@@ -161,6 +225,12 @@ type Table struct {
 	// new entries).
 	OnNew    func(*State)
 	OnUpdate func(*State)
+	// OnEvict fires for every record Sweep removes, after the record
+	// has left the table. It is the hook downstream state keyed by the
+	// same flow — database rows, vote windows — uses to die with the
+	// table entry, so idle eviction bounds memory everywhere at once
+	// instead of only here.
+	OnEvict func(Key)
 
 	// Stats
 	Created int
@@ -200,7 +270,8 @@ func (t *Table) Observe(pi PacketInfo) (*State, bool) {
 }
 
 // Sweep evicts records idle at now for longer than IdleTimeout and
-// returns how many were removed.
+// returns how many were removed. OnEvict, when set, fires once per
+// removed record.
 func (t *Table) Sweep(now netsim.Time) int {
 	if t.IdleTimeout <= 0 {
 		return 0
@@ -210,10 +281,23 @@ func (t *Table) Sweep(now netsim.Time) int {
 		if now-st.LastAt > t.IdleTimeout {
 			delete(t.flows, k)
 			n++
+			if t.OnEvict != nil {
+				t.OnEvict(k)
+			}
 		}
 	}
 	t.Evicted += n
 	return n
+}
+
+// Insert adds a restored record to the table without firing OnNew —
+// the restore path's counterpart to Observe. An existing record for
+// the same key is replaced.
+func (t *Table) Insert(st *State) {
+	if _, ok := t.flows[st.Key]; !ok {
+		t.Created++
+	}
+	t.flows[st.Key] = st
 }
 
 // Range calls fn for every live record; returning false stops early.

@@ -3,6 +3,7 @@ package flow
 import (
 	"math"
 	"net/netip"
+	"sync"
 	"testing"
 
 	"github.com/amlight/intddos/internal/netsim"
@@ -334,5 +335,148 @@ func TestFeatureNames(t *testing.T) {
 	names := INTFeatures().Names()
 	if len(names) != 15 || names[0] != "Protocol" {
 		t.Errorf("names = %v", names)
+	}
+}
+
+func TestSweepFiresOnEvict(t *testing.T) {
+	tbl := NewTable()
+	tbl.IdleTimeout = 100
+	evicted := map[Key]int{}
+	tbl.OnEvict = func(k Key) { evicted[k]++ }
+
+	idle, live := tcpKey(2000), tcpKey(2001)
+	tbl.Observe(intObs(idle, 100, 100, 500, 2))
+	tbl.Observe(intObs(live, 900, 900, 500, 2))
+
+	if n := tbl.Sweep(1000); n != 1 {
+		t.Fatalf("swept %d, want 1", n)
+	}
+	if evicted[idle] != 1 || evicted[live] != 0 {
+		t.Errorf("OnEvict fired %v, want exactly once for the idle flow", evicted)
+	}
+	if tbl.Get(idle) != nil || tbl.Get(live) == nil {
+		t.Error("wrong record evicted")
+	}
+	// The hook observes the record already gone from the table.
+	tbl.OnEvict = func(k Key) {
+		if tbl.Get(k) != nil {
+			t.Errorf("OnEvict saw %s still in the table", k)
+		}
+	}
+	if n := tbl.Sweep(5000); n != 1 {
+		t.Fatalf("second sweep removed %d, want 1", n)
+	}
+}
+
+// TestStateSnapshotRoundTrip proves a restored record continues
+// bit-identically: after the same follow-up observations, every
+// feature of the restored record equals the original's — including
+// the std/IAT terms that depend on the unexported Welford and
+// wrap-tracking state.
+func TestStateSnapshotRoundTrip(t *testing.T) {
+	k := tcpKey(3000)
+	orig := NewTable()
+	orig.Observe(intObs(k, 100, 1000, 500, 2))
+	orig.Observe(intObs(k, 200, 3500, 700, 6))
+
+	sn := orig.Get(k).Snapshot()
+	rest := NewTable()
+	rest.Insert(RestoreState(sn))
+	if rest.Created != 1 || rest.Len() != 1 {
+		t.Fatalf("insert accounting: created=%d len=%d", rest.Created, rest.Len())
+	}
+
+	// Continue both copies with identical observations — including one
+	// whose 32-bit ingress stamp wraps, exercising lastIngress.
+	follow := []PacketInfo{
+		intObs(k, 300, 7000, 900, 3),
+		intObs(k, 400, netsim.Time(1)<<32+500, 400, 8),
+	}
+	for _, pi := range follow {
+		orig.Observe(pi)
+		rest.Observe(pi)
+	}
+	set := INTFeatures()
+	a := orig.Get(k).Features(nil, set)
+	b := rest.Get(k).Features(nil, set)
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Errorf("feature %s diverged after restore: %v vs %v", set[i], a[i], b[i])
+		}
+	}
+	if sn2 := rest.Get(k).Snapshot(); len(follow) > 0 {
+		_ = sn2 // restored record remains snapshot-able
+	}
+}
+
+func TestShardedTableExportRestore(t *testing.T) {
+	const shards = 4
+	src := NewShardedTable(shards)
+	var keys []Key
+	for i := 0; i < 32; i++ {
+		k := tcpKey(uint16(4000 + i))
+		keys = append(keys, k)
+		src.Observe(intObs(k, 100, 1000, 500, 2))
+		src.Observe(intObs(k, 200, 2500, 700, 4))
+	}
+
+	dst := NewShardedTable(shards)
+	for i := 0; i < shards; i++ {
+		if err := dst.RestoreShard(i, src.ExportShard(i)); err != nil {
+			t.Fatalf("restore shard %d: %v", i, err)
+		}
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("restored %d flows, want %d", dst.Len(), src.Len())
+	}
+	set := INTFeatures()
+	for _, k := range keys {
+		var a, b []float64
+		src.Get(k, func(st *State) { a = st.Features(nil, set) })
+		if !dst.Get(k, func(st *State) { b = st.Features(nil, set) }) {
+			t.Fatalf("flow %s missing after restore", k)
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Errorf("%s feature %s diverged: %v vs %v", k, set[i], a[i], b[i])
+			}
+		}
+	}
+
+	// Wrong-shard and out-of-range restores fail loud.
+	if err := dst.RestoreShard(0, src.ExportShard(1)); err == nil && src.ExportShard(1) != nil && len(src.ExportShard(1)) > 0 {
+		t.Error("cross-shard restore accepted")
+	}
+	if err := dst.RestoreShard(shards, nil); err == nil {
+		t.Error("out-of-range restore accepted")
+	}
+	if src.ExportShard(-1) != nil || src.ExportShard(shards) != nil {
+		t.Error("out-of-range export returned data")
+	}
+}
+
+func TestShardedTableSetOnEvict(t *testing.T) {
+	tbl := NewShardedTable(4)
+	tbl.SetIdleTimeout(100)
+	var mu sync.Mutex
+	evicted := map[Key]int{}
+	tbl.SetOnEvict(func(k Key) {
+		mu.Lock()
+		evicted[k]++
+		mu.Unlock()
+	})
+	for i := 0; i < 16; i++ {
+		tbl.Observe(intObs(tcpKey(uint16(5000+i)), 100, 1000, 500, 2))
+	}
+	if n := tbl.Sweep(1000); n != 16 {
+		t.Fatalf("swept %d, want 16", n)
+	}
+	if len(evicted) != 16 {
+		t.Errorf("OnEvict fired for %d flows, want 16", len(evicted))
+	}
+	for k, n := range evicted {
+		if n != 1 {
+			t.Errorf("OnEvict fired %d times for %s", n, k)
+		}
 	}
 }

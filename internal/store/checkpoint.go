@@ -1,0 +1,131 @@
+package store
+
+import (
+	"fmt"
+
+	"github.com/amlight/intddos/internal/flow"
+)
+
+// JournalEntry is one exported journal row: the dense per-shard
+// sequence number plus the record snapshot taken at write time. It is
+// the unit the checkpoint subsystem persists so a restored store
+// resumes polling exactly where the crashed process left off.
+type JournalEntry struct {
+	Seq uint64
+	Rec FlowRecord
+}
+
+// ShardExport is one shard's complete durable state: live flow
+// records, the unconsumed journal tail, and the shard's sequence
+// counter. Everything is deep-copied — mutating an export never
+// touches the store.
+type ShardExport struct {
+	Flows   []FlowRecord
+	Journal []JournalEntry
+	Seq     uint64
+}
+
+// Checkpointable is the optional export/import surface of a store.
+// The in-memory DB and ShardedDB implement it; fault-injection
+// wrappers deliberately do not (a checkpoint must read the real
+// state, not a fault-shaped view), so consumers capture the concrete
+// store before wrapping.
+type Checkpointable interface {
+	// ExportShard deep-copies one shard's durable state.
+	// Out-of-range shards yield a zero export.
+	ExportShard(shard int) ShardExport
+	// ImportShard loads an export into one shard, replacing its
+	// state. It fails when the shard index is out of range — the
+	// checkpointed shard count must match the store's.
+	ImportShard(shard int, ex ShardExport) error
+	// ImportPredictions replaces the prediction log with a restored
+	// history.
+	ImportPredictions(preds []PredictionRecord)
+}
+
+// cloneRecord deep-copies a flow record (Features is the only
+// reference field).
+func cloneRecord(rec FlowRecord) FlowRecord {
+	snap := rec
+	snap.Features = append([]float64(nil), rec.Features...)
+	return snap
+}
+
+// ExportShard deep-copies the DB's durable state (the legacy DB is
+// its own single shard).
+func (db *DB) ExportShard(shard int) ShardExport {
+	if shard != 0 {
+		return ShardExport{}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ex := ShardExport{
+		Flows:   make([]FlowRecord, 0, len(db.flows)),
+		Journal: make([]JournalEntry, 0, len(db.journal)),
+		Seq:     db.seq,
+	}
+	for _, rec := range db.flows {
+		ex.Flows = append(ex.Flows, cloneRecord(*rec))
+	}
+	for _, e := range db.journal {
+		ex.Journal = append(ex.Journal, JournalEntry{Seq: e.seq, Rec: cloneRecord(e.rec)})
+	}
+	return ex
+}
+
+// ImportShard replaces the DB's durable state with an export.
+func (db *DB) ImportShard(shard int, ex ShardExport) error {
+	if shard != 0 {
+		return fmt.Errorf("store: import shard %d out of range (DB has exactly one)", shard)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.flows = make(map[flow.Key]*FlowRecord, len(ex.Flows))
+	for _, rec := range ex.Flows {
+		snap := cloneRecord(rec)
+		db.flows[rec.Key] = &snap
+	}
+	db.journal = make([]journalEntry, 0, len(ex.Journal))
+	for _, e := range ex.Journal {
+		db.journal = append(db.journal, journalEntry{seq: e.Seq, rec: cloneRecord(e.Rec)})
+	}
+	db.seq = ex.Seq
+	return nil
+}
+
+// ImportPredictions replaces the prediction log with a restored
+// history.
+func (db *DB) ImportPredictions(preds []PredictionRecord) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.preds = append(db.preds[:0:0], preds...)
+}
+
+// ExportShard deep-copies one shard's durable state.
+func (s *ShardedDB) ExportShard(shard int) ShardExport {
+	if shard < 0 || shard >= len(s.shards) {
+		return ShardExport{}
+	}
+	return s.shards[shard].ExportShard(0)
+}
+
+// ImportShard loads an export into one shard.
+func (s *ShardedDB) ImportShard(shard int, ex ShardExport) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("store: import shard %d out of range (have %d)", shard, len(s.shards))
+	}
+	return s.shards[shard].ImportShard(0, ex)
+}
+
+// ImportPredictions replaces the global prediction log with a
+// restored history.
+func (s *ShardedDB) ImportPredictions(preds []PredictionRecord) {
+	s.predMu.Lock()
+	defer s.predMu.Unlock()
+	s.preds = append(s.preds[:0:0], preds...)
+}
+
+var (
+	_ Checkpointable = (*DB)(nil)
+	_ Checkpointable = (*ShardedDB)(nil)
+)

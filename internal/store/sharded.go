@@ -76,13 +76,24 @@ func (s *ShardedDB) DeleteFlow(key flow.Key) { s.shardFor(key).DeleteFlow(key) }
 // PollShard returns up to max journal entries after cursor on one
 // shard and the new cursor. Each shard has independent, dense
 // sequence numbers; a cursor is only meaningful for the shard it came
-// from.
+// from. An out-of-range shard — a stale index from a checkpoint taken
+// at a different -shards value — yields no entries and an unchanged
+// cursor instead of panicking.
 func (s *ShardedDB) PollShard(shard int, cursor uint64, max int) ([]FlowRecord, uint64) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, cursor
+	}
 	return s.shards[shard].PollUpdates(cursor, max)
 }
 
-// TrimShard drops one shard's journal entries at or before cursor.
-func (s *ShardedDB) TrimShard(shard int, cursor uint64) { s.shards[shard].TrimJournal(cursor) }
+// TrimShard drops one shard's journal entries at or before cursor;
+// out-of-range shards are a no-op.
+func (s *ShardedDB) TrimShard(shard int, cursor uint64) {
+	if shard < 0 || shard >= len(s.shards) {
+		return
+	}
+	s.shards[shard].TrimJournal(cursor)
+}
 
 // JournalLen sums unconsumed journal entries across shards.
 func (s *ShardedDB) JournalLen() int {

@@ -133,11 +133,31 @@ func TestShardedImbalanceEmpty(t *testing.T) {
 	}
 }
 
-func TestDBPollShardPanicsOutOfRange(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on shard 1 of a 1-shard DB")
+func TestPollShardOutOfRangeIsEmpty(t *testing.T) {
+	// A stale shard index — e.g. a cursor restored from a checkpoint
+	// taken at a different -shards value — must fail cleanly, not
+	// panic the poller.
+	db := New()
+	db.UpsertFlow(key(1), []float64{1}, 0, 0, 1, false, "")
+	for _, sh := range []int{-1, 1, 7} {
+		if recs, cur := db.PollShard(sh, 42, 10); recs != nil || cur != 42 {
+			t.Errorf("DB.PollShard(%d) = %v, %d; want empty, cursor unchanged", sh, recs, cur)
 		}
-	}()
-	New().PollShard(1, 0, 10)
+		db.TrimShard(sh, 99) // must not panic or trim shard 0
+	}
+	if db.JournalLen() != 1 {
+		t.Error("out-of-range trim touched the real journal")
+	}
+
+	s := NewSharded(4)
+	s.UpsertFlow(key(2), []float64{1}, 0, 0, 1, false, "")
+	for _, sh := range []int{-1, 4, 100} {
+		if recs, cur := s.PollShard(sh, 7, 10); recs != nil || cur != 7 {
+			t.Errorf("ShardedDB.PollShard(%d) = %v, %d; want empty, cursor unchanged", sh, recs, cur)
+		}
+		s.TrimShard(sh, 99)
+	}
+	if s.JournalLen() != 1 {
+		t.Error("out-of-range trim touched a real journal")
+	}
 }

@@ -293,19 +293,24 @@ func (db *DB) DeleteFlow(key flow.Key) {
 // Shards returns 1: the legacy database is a single journal stripe.
 func (db *DB) Shards() int { return 1 }
 
-// PollShard is PollUpdates on the store's only stripe (shard must be
-// 0), giving DB the same per-shard polling surface as ShardedDB.
+// PollShard is PollUpdates on the store's only stripe, giving DB the
+// same per-shard polling surface as ShardedDB. A shard other than 0 —
+// e.g. a cursor restored from a checkpoint taken at a different shard
+// count — yields no entries and leaves the cursor unchanged rather
+// than panicking: the poller observes an empty feed and the restore
+// path reports the mismatch.
 func (db *DB) PollShard(shard int, cursor uint64, max int) ([]FlowRecord, uint64) {
 	if shard != 0 {
-		panic("store: DB has exactly one shard")
+		return nil, cursor
 	}
 	return db.PollUpdates(cursor, max)
 }
 
-// TrimShard is TrimJournal on the store's only stripe.
+// TrimShard is TrimJournal on the store's only stripe; out-of-range
+// shards are a no-op for the same reason PollShard returns empty.
 func (db *DB) TrimShard(shard int, cursor uint64) {
 	if shard != 0 {
-		panic("store: DB has exactly one shard")
+		return
 	}
 	db.TrimJournal(cursor)
 }

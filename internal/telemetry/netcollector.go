@@ -34,8 +34,10 @@ type NetCollector struct {
 	// momentary buffer condition) no longer kills the collector.
 	ReadRetries int
 	// ReadRetryBackoff is the initial delay after a failed read,
-	// doubling per consecutive failure (default 10ms).
+	// doubling per consecutive failure (default 10ms) up to
+	// ReadRetryMax (default 1s).
 	ReadRetryBackoff time.Duration
+	ReadRetryMax     time.Duration
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -98,14 +100,17 @@ func (c *NetCollector) loop() {
 	defer c.wg.Done()
 	buf := make([]byte, c.MaxDatagram)
 	consecErrs := 0
-	backoff := c.ReadRetryBackoff
-	if backoff <= 0 {
-		backoff = 10 * time.Millisecond
-	}
 	for {
-		// A read deadline lets the loop observe quit promptly.
-		c.conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
-		n, _, err := c.conn.ReadFromUDP(buf)
+		// A read deadline lets the loop observe quit promptly. A
+		// deadline that cannot be set means the socket is broken — and
+		// without one the read below could block forever — so the
+		// failure joins the read-error/retry path instead of being
+		// ignored.
+		err := c.conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		var n int
+		if err == nil {
+			n, _, err = c.conn.ReadFromUDP(buf)
+		}
 		select {
 		case <-c.quit:
 			return
@@ -121,8 +126,7 @@ func (c *NetCollector) loop() {
 				return
 			}
 			consecErrs++
-			d := backoff << (consecErrs - 1)
-			timer := time.NewTimer(d)
+			timer := time.NewTimer(retryDelay(c.ReadRetryBackoff, c.ReadRetryMax, consecErrs))
 			select {
 			case <-c.quit:
 				timer.Stop()
@@ -142,6 +146,32 @@ func (c *NetCollector) loop() {
 			c.OnReport(rep, netsim.Time(time.Now().UnixNano()))
 		}
 	}
+}
+
+// retryDelay returns the backoff before the n-th consecutive retry
+// (n ≥ 1): base doubled per prior failure, clamped to max. Doubling by
+// repeated shift-by-one with the clamp inside the loop keeps a large
+// retry budget (ReadRetries of 64 or more) from shifting the duration
+// past 63 bits — `base << 63` is zero or negative, which would turn
+// the backoff into a hot spin exactly when the socket is sickest.
+func retryDelay(base, max time.Duration, n int) time.Duration {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if base >= max {
+		return max
+	}
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d <<= 1
+	}
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d
 }
 
 // Close stops the receive loop and releases the socket.

@@ -120,6 +120,96 @@ func TestNetCollectorRetriesTransientReadErrors(t *testing.T) {
 	}
 }
 
+func TestRetryDelayCappedAtLargeBudget(t *testing.T) {
+	base, max := time.Millisecond, time.Second
+	prev := time.Duration(0)
+	for n := 1; n <= 200; n++ {
+		d := retryDelay(base, max, n)
+		if d <= 0 || d > max {
+			t.Fatalf("retryDelay(%v, %v, %d) = %v, out of (0, %v]", base, max, n, d, max)
+		}
+		if d < prev {
+			t.Fatalf("retryDelay not monotone at n=%d: %v < %v", n, d, prev)
+		}
+		prev = d
+	}
+	// The regime the old `base << (n-1)` overflowed in: a retry budget
+	// of 64+ must still produce a real wait, not zero or negative.
+	for _, n := range []int{63, 64, 65, 100} {
+		if d := retryDelay(base, max, n); d != max {
+			t.Errorf("retryDelay(.., %d) = %v, want capped at %v", n, d, max)
+		}
+	}
+	if d := retryDelay(0, 0, 1); d != 10*time.Millisecond {
+		t.Errorf("defaulted base = %v, want 10ms", d)
+	}
+	if d := retryDelay(2*time.Second, time.Second, 1); d != time.Second {
+		t.Errorf("base above max = %v, want clamped to max", d)
+	}
+}
+
+func TestNetCollectorSurvivesLargeRetryBudget(t *testing.T) {
+	col, err := ListenReports("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget past 64 drives the backoff exponent beyond the width of
+	// time.Duration; with the shift uncapped this loop would spin with
+	// zero (or negative) delays instead of backing off.
+	col.ReadRetries = 80
+	col.ReadRetryBackoff = time.Microsecond
+	col.ReadRetryMax = 200 * time.Microsecond
+	col.Start()
+	col.conn.Close()
+	want := int64(col.ReadRetries) + 1
+	if !waitCount(t, 10*time.Second, col.ReadErrors.Load, want) {
+		t.Fatalf("read errors = %d, want %d", col.ReadErrors.Load(), want)
+	}
+	done := make(chan struct{})
+	go func() { col.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("receive loop still running after exhausting a 80-retry budget")
+	}
+	if got := col.ReadErrors.Load(); got != want {
+		t.Errorf("read errors = %d after exit, want exactly %d", got, want)
+	}
+}
+
+// TestDecodeReportDoesNotAliasBuffer pins the receive-path contract
+// the collector relies on: NetCollector.loop reuses one receive
+// buffer for every datagram, so a decoded report handed to OnReport
+// must not retain any view of it.
+func TestDecodeReportDoesNotAliasBuffer(t *testing.T) {
+	orig := netReport(7)
+	orig.Hops = append(orig.Hops, HopMetadata{SwitchID: 9, QueueDepth: 2, IngressTS: 400, EgressTS: 900})
+	wire := orig.Encode(InstAll)
+
+	buf := append([]byte(nil), wire...)
+	rep, err := DecodeReport(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf { // the next datagram overwrites the buffer
+		buf[i] = 0xFF
+	}
+	fresh, err := DecodeReport(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seq != fresh.Seq || rep.Src != fresh.Src || rep.Dst != fresh.Dst ||
+		rep.SrcPort != fresh.SrcPort || rep.DstPort != fresh.DstPort ||
+		rep.Length != fresh.Length || len(rep.Hops) != len(fresh.Hops) {
+		t.Fatalf("report mutated by buffer reuse:\n got %+v\nwant %+v", rep, fresh)
+	}
+	for i := range rep.Hops {
+		if rep.Hops[i] != fresh.Hops[i] {
+			t.Fatalf("hop %d mutated by buffer reuse: %+v vs %+v", i, rep.Hops[i], fresh.Hops[i])
+		}
+	}
+}
+
 func TestNetCollectorCloseUnblocks(t *testing.T) {
 	col, err := ListenReports("127.0.0.1:0")
 	if err != nil {
