@@ -1,15 +1,16 @@
 # Developer entry points. `make check` is the gate every change must
 # pass: vet, build, the full test suite, the race pass, a short fuzz
 # smoke over every wire-format parser, the chaos smoke (the
-# fault-injection suite under the race detector), and the recovery
-# smoke (kill -9 a checkpointing live pipeline, restart, verify
-# restore and closed accounting).
+# fault-injection suite under the race detector), the recovery smoke
+# (kill -9 a checkpointing live pipeline, restart, verify restore and
+# closed accounting), and the diagnostics smoke (pull and validate
+# diagnostic bundles from a running pipeline).
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-obs bench-shard bench-batch bench-checkpoint fuzz-smoke chaos-smoke recovery-smoke clean
+.PHONY: check vet build test race bench bench-obs bench-shard bench-batch bench-checkpoint fuzz-smoke chaos-smoke recovery-smoke diag-smoke clean
 
-check: vet build test race fuzz-smoke chaos-smoke recovery-smoke
+check: vet build test race fuzz-smoke chaos-smoke recovery-smoke diag-smoke
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +57,13 @@ chaos-smoke:
 recovery-smoke:
 	bash scripts/recovery_smoke.sh
 
+# diag-smoke runs the live pipeline with the obs server on an
+# ephemeral port, pulls /debug/bundle while it runs, collects the
+# -diag-bundle exit bundle, and validates both archives with
+# scripts/diagcheck (scripts/diag_smoke.sh).
+diag-smoke:
+	bash scripts/diag_smoke.sh
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
@@ -67,11 +75,15 @@ bench-obs:
 	@echo wrote $(CURDIR)/BENCH_obs.json
 
 # bench-shard sweeps the sharded pipeline (legacy baseline plus
-# shards×workers configurations) and writes the throughput/contention
-# table to BENCH_shard.json.
+# shards×workers configurations) with mutex/block profiling on and
+# writes the throughput/contention table — plus the sweep-wide
+# contention attribution (blocked time by pipeline stage) — to
+# BENCH_shard.json. 50000 ingests per configuration: the contention
+# counters and profiles need enough overlapping operations to sample
+# the serialization points, especially on few-core hosts.
 bench-shard:
 	BENCH_SHARD_OUT=$(CURDIR)/BENCH_shard.json $(GO) test -run '^$$' \
-		-bench BenchmarkShardScaling -benchtime 5000x .
+		-bench BenchmarkShardScaling -benchtime 50000x .
 	@echo wrote $(CURDIR)/BENCH_shard.json
 
 # bench-batch sweeps batched ensemble scoring and the live runtime

@@ -18,6 +18,7 @@ import (
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/ml"
 	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/obs/prof"
 	"github.com/amlight/intddos/internal/telemetry"
 	"github.com/amlight/intddos/internal/traffic"
 )
@@ -696,13 +697,24 @@ type shardBenchResult struct {
 	IngestPerSec float64 `json:"ingest_per_sec"`
 	Predictions  int64   `json:"predictions"`
 	Shed         int64   `json:"shed"`
-	Contention   int64   `json:"lock_contention"`
-	Imbalance    float64 `json:"shard_imbalance"`
+	// Contention counters are true deltas across the driven interval
+	// (snapshot before traffic, snapshot after drain), split by
+	// serialization point: the shard upsert mutexes, the shared
+	// prediction log, and the flow table stripes.
+	Contention        int64   `json:"lock_contention"`
+	PredLogContention int64   `json:"predlog_contention"`
+	FlowContention    int64   `json:"flow_table_contention"`
+	Imbalance         float64 `json:"shard_imbalance"`
 }
 
 var (
 	shardBenchMu      sync.Mutex
 	shardBenchResults []shardBenchResult
+	// shardBenchAttrib is the sweep-wide contention attribution (mutex +
+	// block profile deltas since the benchmark enabled profiling),
+	// refreshed after every sub-benchmark so the final BENCH_shard.json
+	// carries the full picture.
+	shardBenchAttrib *prof.Report
 )
 
 // BenchmarkShardScaling sweeps the sharded pipeline across
@@ -718,6 +730,13 @@ func BenchmarkShardScaling(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Dense mutex/block sampling for the sweep: the point of this
+	// benchmark is finding the serialization points, so sampling noise
+	// matters more than the (small) profiling overhead.
+	restoreProf := prof.EnableRates(2, 2000)
+	defer restoreProf()
+	attribBase := prof.Attribution(0, nil)
+
 	configs := []struct{ shards, workers int }{
 		{0, 1}, {1, 1}, {2, 2}, {4, 4}, {8, 8},
 	}
@@ -738,7 +757,12 @@ func BenchmarkShardScaling(b *testing.B) {
 			live.Start()
 			defer live.Stop()
 
+			// Baseline the contention counters after startup so the
+			// recorded values are the delta the driven traffic caused.
+			pre := live.MetricsSnapshot()
+
 			b.ReportAllocs()
+			b.SetParallelism(4) // contend even on a single-core host
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				pi := flow.PacketInfo{
@@ -765,14 +789,17 @@ func BenchmarkShardScaling(b *testing.B) {
 			}
 
 			snap := live.MetricsSnapshot()
+			delta := func(name string) int64 { return snap.Counters[name] - pre.Counters[name] }
 			res := shardBenchResult{
 				Shards: cfg.shards, Workers: cfg.workers,
-				NsPerIngest:  nsPerOp,
-				IngestPerSec: 1e9 / nsPerOp,
-				Predictions:  int64(live.Predictions.Load()),
-				Shed:         int64(live.Shed.Load()),
-				Contention:   snap.Counters["intddos_store_lock_contention_total"],
-				Imbalance:    snap.Gauges["intddos_store_shard_imbalance"],
+				NsPerIngest:       nsPerOp,
+				IngestPerSec:      1e9 / nsPerOp,
+				Predictions:       int64(live.Predictions.Load()),
+				Shed:              int64(live.Shed.Load()),
+				Contention:        delta("intddos_store_lock_contention_total"),
+				PredLogContention: delta("intddos_store_predlog_contention_total"),
+				FlowContention:    delta("intddos_flow_table_contention_total"),
+				Imbalance:         snap.Gauges["intddos_store_shard_imbalance"],
 			}
 			b.ReportMetric(res.IngestPerSec, "ingest/sec")
 			if res.Imbalance > 0 {
@@ -793,6 +820,7 @@ func BenchmarkShardScaling(b *testing.B) {
 			if !replaced {
 				shardBenchResults = append(shardBenchResults, res)
 			}
+			shardBenchAttrib = prof.Diff(attribBase, prof.Attribution(0, nil))
 			writeShardBench(b, shardBenchResults)
 			shardBenchMu.Unlock()
 		})
@@ -812,14 +840,29 @@ func writeShardBench(b *testing.B, results []shardBenchResult) {
 	if path == "" {
 		return
 	}
+	type attribJSON struct {
+		MutexFraction int        `json:"mutex_fraction"`
+		BlockRateNs   int        `json:"block_rate_ns"`
+		Stages        []prof.Row `json:"stages"`
+		TopStacks     []prof.Row `json:"top_stacks"`
+	}
 	out := struct {
-		Bench   string             `json:"bench"`
-		When    string             `json:"when"`
-		Results []shardBenchResult `json:"results"`
+		Bench       string             `json:"bench"`
+		When        string             `json:"when"`
+		Results     []shardBenchResult `json:"results"`
+		Attribution *attribJSON        `json:"contention_attribution,omitempty"`
 	}{
 		Bench:   "BenchmarkShardScaling",
 		When:    time.Now().UTC().Format(time.RFC3339),
 		Results: results,
+	}
+	if shardBenchAttrib != nil {
+		out.Attribution = &attribJSON{
+			MutexFraction: shardBenchAttrib.MutexFraction,
+			BlockRateNs:   shardBenchAttrib.BlockRateNs,
+			Stages:        shardBenchAttrib.StageTotals(),
+			TopStacks:     shardBenchAttrib.Top(10),
+		}
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

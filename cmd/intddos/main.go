@@ -6,7 +6,7 @@
 // Usage:
 //
 //	intddos [-scale small] [-seed 42] [-packets 2500] [-trace file.amtr] [-v]
-//	intddos -live [-obs-addr :9090] [-live-for 1m] [-checkpoint-dir dir]
+//	intddos -live [-obs-addr :9090] [-live-for 1m] [-checkpoint-dir dir] [-diag-bundle out.tar.gz]
 //
 // With -trace the replayed traffic comes from a capture written by
 // datagen instead of a generated workload. With -live the pipeline
@@ -44,6 +44,9 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 	checkpointDir := flag.String("checkpoint-dir", "", "make -live crash-recoverable: resume from the newest checkpoint in this directory and snapshot into it")
 	checkpointEvery := flag.Duration("checkpoint-every", 10*time.Second, "periodic checkpoint interval for -live (0: only the final snapshot on exit)")
+	diagBundle := flag.String("diag-bundle", "", "write a diagnostic bundle (tar.gz of profiles, metrics, health, config, events) to this path when the -live run ends")
+	profileDir := flag.String("profile-dir", "", "capture periodic CPU/mutex/block/goroutine/heap profiles into this directory during -live")
+	profileEvery := flag.Duration("profile-every", 0, "profile capture period for -profile-dir (0: 30s)")
 	verbose := flag.Bool("v", false, "print every decision")
 	flag.Parse()
 
@@ -70,7 +73,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "intddos:", err)
 			os.Exit(1)
 		}
-		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, injector, *checkpointDir, *checkpointEvery, reg, *verbose)
+		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, injector, *checkpointDir, *checkpointEvery, *diagBundle, *profileDir, *profileEvery, reg, *verbose)
 		return
 	}
 	if *faultSpec != "" {
@@ -79,6 +82,10 @@ func main() {
 	}
 	if *checkpointDir != "" {
 		fmt.Fprintln(os.Stderr, "intddos: -checkpoint-dir only applies to the -live pipeline")
+		os.Exit(1)
+	}
+	if *diagBundle != "" || *profileDir != "" {
+		fmt.Fprintln(os.Stderr, "intddos: -diag-bundle and -profile-dir only apply to the -live pipeline")
 		os.Exit(1)
 	}
 	if *tracePath != "" {
@@ -114,7 +121,7 @@ func main() {
 // registry continuously scrapeable while doing so. A final metrics
 // summary — counters, queue gauges, per-stage latency percentiles —
 // is printed on exit.
-func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, injector *intddos.FaultInjector, checkpointDir string, checkpointEvery time.Duration, reg *intddos.ObsRegistry, verbose bool) {
+func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, injector *intddos.FaultInjector, checkpointDir string, checkpointEvery time.Duration, diagBundle, profileDir string, profileEvery time.Duration, reg *intddos.ObsRegistry, verbose bool) {
 	capture, err := intddos.Collect(intddos.DataConfig{Scale: scale, Seed: seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -139,6 +146,8 @@ func runLive(scale string, seed int64, packets int, liveFor time.Duration, shard
 		Fault:           injector,
 		CheckpointDir:   checkpointDir,
 		CheckpointEvery: checkpointEvery,
+		ProfileDir:      profileDir,
+		ProfileInterval: profileEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -230,6 +239,15 @@ replay:
 		}
 	}
 	live.Stop()
+	if diagBundle != "" {
+		// The bundle is written after Stop so it carries the full run:
+		// lifecycle events, final health, and the last profile state.
+		if err := writeDiagBundle(diagBundle, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "intddos: diag bundle:", err)
+		} else {
+			fmt.Printf("diagnostic bundle: %s\n", diagBundle)
+		}
+	}
 
 	fmt.Printf("\n%d passes, %d reports, %d decisions, %d shed, %d evicted\n",
 		passes, live.Reports.Load(), len(live.Decisions()), live.Shed.Load(), live.Evictions.Load())
@@ -247,6 +265,20 @@ replay:
 	}
 	fmt.Println("\n# metrics snapshot")
 	fmt.Print(live.MetricsSnapshot().FormatSummary())
+}
+
+// writeDiagBundle snapshots the registry's diagnostic bundle to path.
+func writeDiagBundle(path string, reg *intddos.ObsRegistry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteBundle(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
 }
 
 // trainAndSave trains an RF on a generated workload and writes it as

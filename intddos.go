@@ -37,6 +37,7 @@ import (
 	"github.com/amlight/intddos/internal/ml"
 	"github.com/amlight/intddos/internal/netsim"
 	"github.com/amlight/intddos/internal/obs"
+	"github.com/amlight/intddos/internal/obs/prof"
 	"github.com/amlight/intddos/internal/sflow"
 	"github.com/amlight/intddos/internal/telemetry"
 	"github.com/amlight/intddos/internal/testbed"
@@ -227,7 +228,34 @@ type (
 	ObsServer = obs.Server
 	// PipelineTrace is one sampled record's per-stage timing journey.
 	PipelineTrace = obs.Trace
+	// ObsEvent is one structured pipeline event (worker restart,
+	// health transition, checkpoint, shed decision).
+	ObsEvent = obs.Event
+	// ObsEventLog is the bounded in-memory event ring behind
+	// /debug/events and Live.Events().
+	ObsEventLog = obs.EventLog
+	// FlowJourney is one sampled record's end-to-end hop trail
+	// (ingest → journal → poll → batch → predict → vote).
+	FlowJourney = obs.Journey
+	// FlowJourneys is the journey sampler behind /traces/flow.
+	FlowJourneys = obs.Journeys
+	// ProfilerConfig parameterizes always-on contention profiling.
+	ProfilerConfig = prof.Config
+	// Profiler owns sampling rates, the on-disk capture ring, and the
+	// contention-attribution wiring for one pipeline.
+	Profiler = prof.Profiler
+	// AttributionReport maps profiled blocked time onto pipeline
+	// stages (served on /debug/attrib).
+	AttributionReport = prof.Report
 )
+
+// StartProfiler enables contention profiling per cfg (the live
+// runtime starts one automatically; use this for custom setups).
+func StartProfiler(cfg ProfilerConfig) (*Profiler, error) { return prof.Start(cfg) }
+
+// ContentionAttribution reads the process's mutex and block profiles
+// and attributes the top blocked-time stacks to pipeline stages.
+func ContentionAttribution(topN int) *AttributionReport { return prof.Attribution(topN, nil) }
 
 // NewObsRegistry returns an empty metrics registry.
 func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }

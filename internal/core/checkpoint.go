@@ -125,6 +125,9 @@ func (l *Live) restoreLatest(dir string) error {
 	l.met.restoredRecs.With("journal_pending").Add(int64(sum.JournalPending))
 	l.met.restoredRecs.With("windows").Add(int64(sum.Windows))
 	l.met.restoredRecs.With("predictions").Add(int64(sum.Predictions))
+	l.event("checkpoint restored", "component", "checkpoint",
+		"path", path, "seq", snap.Seq, "flows", sum.Flows,
+		"journal_pending", sum.JournalPending, "windows", sum.Windows)
 	return nil
 }
 
@@ -208,11 +211,13 @@ func (l *Live) WriteCheckpoint() (string, int, error) {
 	snap, err := l.CaptureCheckpoint()
 	if err != nil {
 		l.met.ckptFailures.Inc()
+		l.event("checkpoint failed", "component", "checkpoint", "err", err.Error())
 		return "", 0, err
 	}
 	path, n, err := checkpoint.WriteDir(l.cfg.CheckpointDir, snap)
 	if err != nil {
 		l.met.ckptFailures.Inc()
+		l.event("checkpoint failed", "component", "checkpoint", "err", err.Error())
 		return "", 0, err
 	}
 	l.Checkpoints.Add(1)
@@ -220,6 +225,8 @@ func (l *Live) WriteCheckpoint() (string, int, error) {
 	l.met.ckptBytes.Add(int64(n))
 	l.met.ckptDuration.Since(start)
 	l.met.ckptLastSuccess.Set(float64(time.Now().Unix()))
+	l.event("checkpoint written", "component", "checkpoint",
+		"path", path, "seq", snap.Seq, "bytes", n)
 	if err := checkpoint.Prune(l.cfg.CheckpointDir, l.cfg.CheckpointKeep); err != nil {
 		// The new checkpoint is durable; failing retention is a
 		// disk-hygiene problem, not a lost snapshot.

@@ -105,18 +105,17 @@ func (mh *modelHealth) snapshot() (bool, int64) {
 	return mh.unhealthy, mh.failures
 }
 
-// healthTracker is the pipeline-level state machine with its
-// transition log. Fault events raise the state immediately (a shed
-// record flips shedding the moment it happens); reassess lowers it
-// once conditions clear and the recency window expires.
+// healthTracker is the pipeline-level state machine. Fault events
+// raise the state immediately (a shed record flips shedding the
+// moment it happens); reassess lowers it once conditions clear and
+// the recency window expires. Transitions are recorded as structured
+// events (component=health) and rendered back into the legacy
+// transition-log strings by HealthTransitions.
 type healthTracker struct {
 	state atomic.Int32
 
 	lastDegraded atomic.Int64 // unix nanos of the last degraded-class event
 	lastShed     atomic.Int64 // unix nanos of the last shedding-class event
-
-	mu  sync.Mutex
-	log []string // recent transitions, oldest first, capped
 }
 
 const healthLogCap = 32
@@ -137,13 +136,8 @@ func (l *Live) setHealthState(s HealthState, why string) {
 		return
 	}
 	l.met.healthTransitions.With(s.String()).Inc()
-	l.health.mu.Lock()
-	entry := fmt.Sprintf("%s %s -> %s (%s)", time.Now().UTC().Format(time.RFC3339), prev, s, why)
-	l.health.log = append(l.health.log, entry)
-	if len(l.health.log) > healthLogCap {
-		l.health.log = l.health.log[len(l.health.log)-healthLogCap:]
-	}
-	l.health.mu.Unlock()
+	l.event("health transition", "component", "health",
+		"from", prev.String(), "to", s.String(), "why", why)
 }
 
 // noteDegraded records a degraded-class fault event (model failure,
@@ -158,8 +152,15 @@ func (l *Live) noteDegraded(why string) {
 
 // noteShedding records a shedding-class fault event (shed record,
 // dead worker, dropped store write) and raises the state to shedding.
+// Shed events hit the event log at most once per second — under
+// saturation every poll tick sheds, and a flood of identical events
+// would wash the operational tail out of the ring.
 func (l *Live) noteShedding(why string) {
 	l.health.lastShed.Store(time.Now().UnixNano())
+	sec := time.Now().Unix()
+	if last := l.lastShedEvent.Load(); sec > last && l.lastShedEvent.CompareAndSwap(last, sec) {
+		l.event("records shed", "component", "load", "why", why)
+	}
 	if l.Health() < HealthShedding {
 		l.setHealthState(HealthShedding, why)
 	}
@@ -240,20 +241,32 @@ func (l *Live) healthReport() obs.Health {
 		}
 		detail = append(detail, fmt.Sprintf("model %s: %s (failures=%d)", mh.name, state, fails))
 	}
-	l.health.mu.Lock()
-	for _, entry := range l.health.log {
+	for _, entry := range l.HealthTransitions() {
 		detail = append(detail, "transition: "+entry)
 	}
-	l.health.mu.Unlock()
 	return obs.Health{State: st.String(), Detail: detail}
 }
 
-// HealthTransitions returns the recent transition log (oldest first).
+// HealthTransitions returns the recent transition log (oldest first),
+// rendered from the structured event log's component=health events in
+// the exact strings the pre-event-log implementation produced.
 func (l *Live) HealthTransitions() []string {
-	l.health.mu.Lock()
-	defer l.health.mu.Unlock()
-	out := make([]string, len(l.health.log))
-	copy(out, l.health.log)
+	var out []string
+	for _, e := range l.events.Recent() {
+		if e.Attrs["component"] != "health" {
+			continue
+		}
+		ts := e.Time.UTC().Format(time.RFC3339)
+		switch e.Msg {
+		case "health transition":
+			out = append(out, fmt.Sprintf("%s %s -> %s (%s)", ts, e.Attrs["from"], e.Attrs["to"], e.Attrs["why"]))
+		case "model recovered":
+			out = append(out, fmt.Sprintf("%s model %s recovered", ts, e.Attrs["model"]))
+		}
+	}
+	if len(out) > healthLogCap {
+		out = out[len(out)-healthLogCap:]
+	}
 	return out
 }
 
@@ -296,13 +309,7 @@ func (l *Live) scoreBatch(X [][]float64) (votes [][]int, ones []int, navail int)
 		}
 		if mh.markSuccess() {
 			l.met.modelHealthy.With(mh.name).Set(1)
-			l.health.mu.Lock()
-			l.health.log = append(l.health.log, fmt.Sprintf("%s model %s recovered",
-				time.Now().UTC().Format(time.RFC3339), mh.name))
-			if len(l.health.log) > healthLogCap {
-				l.health.log = l.health.log[len(l.health.log)-healthLogCap:]
-			}
-			l.health.mu.Unlock()
+			l.event("model recovered", "component", "health", "model", mh.name)
 		}
 		navail++
 		for i, lab := range labels {

@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"github.com/amlight/intddos/internal/ml"
 	"github.com/amlight/intddos/internal/netsim"
 	"github.com/amlight/intddos/internal/obs"
+	"github.com/amlight/intddos/internal/obs/prof"
 	"github.com/amlight/intddos/internal/store"
 	"github.com/amlight/intddos/internal/telemetry"
 )
@@ -107,6 +110,26 @@ type LiveConfig struct {
 	// per-stage span tracer (default 64; negative disables tracing).
 	TraceSampleEvery int
 
+	// JourneySampleEvery follows 1-in-N flow updates end to end —
+	// ingest → journal → poll → batch → predict → vote, one wall-clock
+	// stamp per hop, across every goroutine handoff — queryable on
+	// /traces/flow (default 256; negative disables journey tracing).
+	JourneySampleEvery int
+
+	// ProfileMutexFraction and ProfileBlockRate configure always-on
+	// contention profiling for the pipeline's lifetime: 1-in-N
+	// contended mutex events sampled, one block sample per N ns of
+	// blocked time. Zero selects prof's defaults (100 and 10µs);
+	// negative leaves the runtime's settings untouched. The resulting
+	// attribution report is served on /debug/attrib.
+	ProfileMutexFraction int
+	ProfileBlockRate     int
+	// ProfileDir, when set, enables periodic on-disk profile captures
+	// (CPU/mutex/block/goroutine/heap) into a bounded ring of files;
+	// ProfileInterval is the capture period (default 30s).
+	ProfileDir      string
+	ProfileInterval time.Duration
+
 	// Fault injects a deterministic fault schedule into the pipeline:
 	// telemetry drop/corrupt/delay at ingestion, store stalls and
 	// transient errors (the store is wrapped automatically), worker
@@ -168,6 +191,11 @@ type liveMetrics struct {
 	decisions *obs.CounterVec // by attack_type
 	misclass  *obs.CounterVec // by attack_type
 
+	// Bottleneck-attribution instruments: ingest calls that found the
+	// checkpoint barrier held, and per-shard poll throughput.
+	ingestStalls *obs.Counter
+	shardPolled  *obs.CounterVec // by shard
+
 	// Robustness accounting: every record the pollers hand off is
 	// eventually a decision, a shed, or an abandonment with a reason —
 	// nothing vanishes silently.
@@ -216,6 +244,8 @@ func newLiveMetrics(reg *obs.Registry) liveMetrics {
 		evictions:         reg.Counter("intddos_evictions_total"),
 		decisions:         reg.CounterVec("intddos_decisions_total", "attack_type"),
 		misclass:          reg.CounterVec("intddos_misclassified_total", "attack_type"),
+		ingestStalls:      reg.Counter("intddos_ingest_barrier_stalls_total"),
+		shardPolled:       reg.CounterVec("intddos_shard_polled_total", "shard"),
 		abandoned:         reg.CounterVec("intddos_records_abandoned", "reason"),
 		workerRestarts:    reg.Counter("intddos_worker_restarts_total"),
 		workerPanics:      reg.Counter("intddos_worker_panics_total"),
@@ -325,6 +355,16 @@ type Live struct {
 	reg    *obs.Registry
 	met    liveMetrics
 	tracer *obs.Tracer
+
+	// Diagnostics: the structured event log (every noteworthy state
+	// change), the flow-journey sampler, the contention profiler, and
+	// per-worker busy-time accumulators (nanoseconds spent scoring).
+	events        *obs.EventLog
+	elog          *slog.Logger
+	journeys      *obs.Journeys
+	profiler      *prof.Profiler
+	workerBusy    []atomic.Int64
+	lastShedEvent atomic.Int64 // unix second of the last shed event (throttle)
 
 	health      healthTracker
 	modelHealth []*modelHealth
@@ -500,6 +540,18 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	l.tables.SetOnEvict(l.onEvict)
 	l.DB.SetJournalNew(!cfg.SkipNewRecords)
 	l.met = newLiveMetrics(l.reg)
+	// Diagnostics: the event log must exist before anything below can
+	// log (restore does), and the registry carries the journey sampler
+	// and runtime telemetry for /traces/flow and /metrics.
+	l.events = l.reg.Events()
+	l.elog = l.events.Logger()
+	if cfg.JourneySampleEvery >= 0 {
+		l.journeys = obs.NewJourneys(cfg.JourneySampleEvery, 0)
+		l.reg.SetFlowJourneys(l.journeys)
+	}
+	obs.RegisterRuntimeMetrics(l.reg)
+	l.tables.SetContentionHook(l.reg.Counter("intddos_flow_table_contention_total").Inc)
+	l.workerBusy = make([]atomic.Int64, cfg.Workers)
 	l.modelHealth = make([]*modelHealth, len(cfg.Models))
 	for i, m := range cfg.Models {
 		name := m.Name()
@@ -531,6 +583,38 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		}
 		return float64(n)
 	})
+	// Per-worker queue depth and utilization: which worker saturates
+	// first is the difference between "add workers" and "fix the lock".
+	depthVec := l.reg.GaugeVec("intddos_worker_queue_depth", "worker")
+	busyVec := l.reg.GaugeVec("intddos_worker_busy_seconds", "worker")
+	utilVec := l.reg.GaugeVec("intddos_worker_utilization", "worker")
+	for w := range l.workerChs {
+		w := w
+		ws := strconv.Itoa(w)
+		ch := l.workerChs[w]
+		depthVec.WithFunc(ws, func() float64 { return float64(len(ch)) })
+		busyVec.WithFunc(ws, func() float64 {
+			return time.Duration(l.workerBusy[w].Load()).Seconds()
+		})
+		// Utilization is the busy fraction since the previous scrape;
+		// the closure owns its window state (scrapes may be concurrent).
+		var utilMu sync.Mutex
+		lastAt := time.Now()
+		var lastBusy int64
+		utilVec.WithFunc(ws, func() float64 {
+			utilMu.Lock()
+			defer utilMu.Unlock()
+			busy := l.workerBusy[w].Load()
+			nowT := time.Now()
+			dt := nowT.Sub(lastAt)
+			if dt <= 0 {
+				return 0
+			}
+			u := float64(busy-lastBusy) / float64(dt)
+			lastBusy, lastAt = busy, nowT
+			return u
+		})
+	}
 	l.reg.GaugeFunc("intddos_vote_windows", func() float64 { return float64(l.windowCount()) })
 	l.reg.GaugeFunc("intddos_pipeline_shards", func() float64 { return float64(l.nShards) })
 	l.reg.GaugeFunc("intddos_health_state", func() float64 { return float64(l.Health()) })
@@ -543,6 +627,9 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		}
 	}
 	l.reg.SetHealth(l.healthReport)
+	l.reg.AddBundleFile("config.txt", func() ([]byte, error) {
+		return []byte(l.describeConfig()), nil
+	})
 	l.DB.Instrument(l.reg)
 	if cfg.CheckpointDir != "" {
 		if ckptStore == nil {
@@ -575,6 +662,9 @@ func now() netsim.Time { return netsim.Time(time.Now().UnixNano()) }
 // Prediction workers, and (when a TTL is configured) the eviction
 // sweeper.
 func (l *Live) Start() {
+	l.startProfiler()
+	l.event("pipeline started", "component", "lifecycle",
+		"shards", l.nShards, "workers", l.cfg.Workers)
 	for s := 0; s < l.nShards; s++ {
 		l.pollWg.Add(1)
 		go l.shardPoller(s)
@@ -612,7 +702,94 @@ func (l *Live) Stop() {
 			close(ch)
 		}
 		l.workWg.Wait()
+		l.profiler.Stop()
+		l.event("pipeline stopped", "component", "lifecycle",
+			"polled", l.Polled.Load(), "decided", l.DecisionCount(),
+			"shed", l.Shed.Load(), "abandoned", l.Abandoned.Load())
 	})
+}
+
+// startProfiler enables always-on contention profiling for the
+// pipeline's lifetime and wires the attribution report into the
+// registry. A capture directory that cannot be created degrades to
+// profiling without on-disk snapshots.
+func (l *Live) startProfiler() {
+	cfg := prof.Config{
+		MutexFraction: l.cfg.ProfileMutexFraction,
+		BlockRateNs:   l.cfg.ProfileBlockRate,
+		Dir:           l.cfg.ProfileDir,
+		Interval:      l.cfg.ProfileInterval,
+		Registry:      l.reg,
+	}
+	p, err := prof.Start(cfg)
+	if err != nil {
+		l.elog.Warn("profile capture dir unavailable", "component", "prof", "err", err.Error())
+		cfg.Dir = ""
+		p, _ = prof.Start(cfg)
+	}
+	l.profiler = p
+}
+
+// event appends one structured event to the pipeline's event log.
+func (l *Live) event(msg string, attrs ...any) {
+	l.elog.Info(msg, attrs...)
+}
+
+// Events returns the pipeline's structured event log.
+func (l *Live) Events() *obs.EventLog { return l.events }
+
+// Journeys returns the pipeline's flow-journey sampler (nil when
+// disabled).
+func (l *Live) Journeys() *obs.Journeys { return l.journeys }
+
+// Journey helpers: the nil/idle checks keep the unsampled hot path at
+// one atomic load before any key is rendered.
+
+func (l *Live) jHop(key flow.Key, seq int, hop string) {
+	if l.journeys.Active() == 0 {
+		return
+	}
+	l.journeys.Hop(key.String(), seq, hop)
+}
+
+func (l *Live) jComplete(key flow.Key, seq int) {
+	if l.journeys.Active() == 0 {
+		return
+	}
+	l.journeys.Complete(key.String(), seq, "vote")
+}
+
+func (l *Live) jAbort(key flow.Key, seq int, reason string) {
+	if l.journeys.Active() == 0 {
+		return
+	}
+	l.journeys.Abort(key.String(), seq, reason)
+}
+
+// describeConfig renders the resolved runtime configuration for
+// diagnostic bundles — what this pipeline actually ran with, defaults
+// applied, not what the flags said.
+func (l *Live) describeConfig() string {
+	cfg := l.cfg
+	models := make([]string, len(cfg.Models))
+	for i, m := range cfg.Models {
+		models[i] = m.Name()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "shards=%d\nworkers=%d\n", l.nShards, cfg.Workers)
+	fmt.Fprintf(&b, "models=%s\nquorum=%d\nvote_window=%d\n", strings.Join(models, ","), cfg.ModelQuorum, cfg.VoteWindow)
+	fmt.Fprintf(&b, "features=%d\n", len(cfg.Scaler.Mean))
+	fmt.Fprintf(&b, "poll_interval=%s\npoll_batch=%d\nqueue_cap=%d\n", cfg.PollInterval, cfg.PollBatch, cfg.QueueCap)
+	fmt.Fprintf(&b, "predict_batch=%d\npredict_linger=%s\n", cfg.PredictBatch, cfg.PredictLinger)
+	fmt.Fprintf(&b, "skip_new_records=%t\ndrain_on_stop=%t\n", cfg.SkipNewRecords, cfg.DrainOnStop)
+	fmt.Fprintf(&b, "flow_idle_timeout=%s\nsweep_interval=%s\n", cfg.FlowIdleTimeout, cfg.SweepInterval)
+	fmt.Fprintf(&b, "checkpoint_dir=%s\ncheckpoint_every=%s\ncheckpoint_keep=%d\n", cfg.CheckpointDir, cfg.CheckpointEvery, cfg.CheckpointKeep)
+	fmt.Fprintf(&b, "worker_restart_budget=%d\nstore_retries=%d\n", cfg.WorkerRestartBudget, cfg.StoreRetries)
+	fmt.Fprintf(&b, "model_fail_threshold=%d\nmodel_probe_after=%s\nhealth_recency=%s\n", cfg.ModelFailThreshold, cfg.ModelProbeAfter, cfg.HealthRecency)
+	fmt.Fprintf(&b, "trace_sample_every=%d\njourney_sample_every=%d\n", cfg.TraceSampleEvery, l.journeys.SampleEvery())
+	fmt.Fprintf(&b, "profile_mutex_fraction=%d\nprofile_block_rate_ns=%d\nprofile_dir=%s\n", cfg.ProfileMutexFraction, cfg.ProfileBlockRate, cfg.ProfileDir)
+	fmt.Fprintf(&b, "fingerprint=%016x\n", l.fingerprint)
+	return b.String()
 }
 
 // stopping reports whether Stop has been requested.
@@ -671,8 +848,13 @@ func (l *Live) HandleReport(r *telemetry.Report) {
 // flows on different shards never contend.
 func (l *Live) Ingest(pi flow.PacketInfo) {
 	// Checkpoint barrier: a capture in progress parks ingest until the
-	// consistent cut is taken.
-	l.ckptMu.RLock()
+	// consistent cut is taken. A miss on the read lock means the single
+	// ingest producer stalled behind the barrier — counted, because
+	// from the outside it is indistinguishable from slow ingest.
+	if !l.ckptMu.TryRLock() {
+		l.met.ingestStalls.Inc()
+		l.ckptMu.RLock()
+	}
 	defer l.ckptMu.RUnlock()
 	start := time.Now()
 	if pi.At == 0 {
@@ -689,7 +871,11 @@ func (l *Live) Ingest(pi flow.PacketInfo) {
 		feats = st.Features(nil, l.cfg.Features)
 		key, reg, last, updates = st.Key, st.RegisteredAt, st.LastAt, st.Updates
 	})
+	if l.journeys.ShouldSample() {
+		l.journeys.Begin(key.String(), updates, "ingest")
+	}
 	l.upsertFlow(key, feats, reg, last, updates, pi.Label, pi.AttackType)
+	l.jHop(key, updates, "journal")
 	l.Snapshots.Add(1)
 	l.met.snapshots.Inc()
 	l.met.stageIngest.Since(start)
@@ -717,6 +903,9 @@ func (l *Live) upsertFlow(key flow.Key, feats []float64, reg, last netsim.Time, 
 			l.StoreDropped.Add(1)
 			l.met.storeDropped.Inc()
 			l.taintKey(key)
+			l.jAbort(key, updates, "store_dropped")
+			l.event("store write dropped", "component", "store",
+				"flow", key.String(), "attempts", attempt+1)
 			l.noteShedding("store write dropped")
 			return
 		}
@@ -788,6 +977,7 @@ func (l *Live) workerFor(shard int) chan queued {
 func (l *Live) shardPoller(shard int) {
 	defer l.pollWg.Done()
 	ch := l.workerFor(shard)
+	polledC := l.met.shardPolled.With(strconv.Itoa(shard))
 	ticker := time.NewTicker(l.cfg.PollInterval)
 	defer ticker.Stop()
 	var cursor uint64
@@ -814,9 +1004,11 @@ func (l *Live) shardPoller(shard int) {
 			for _, rec := range recs {
 				l.Polled.Add(1)
 				l.met.polledRecs.Inc()
+				polledC.Inc()
 				// Journal wait: snapshot write → this poll.
 				updated := time.Unix(0, int64(rec.UpdatedAt))
 				l.met.stageJournal.ObserveDuration(polled.Sub(updated))
+				l.jHop(rec.Key, rec.Updates, "poll")
 				tr := l.tracer.Sample(rec.Key.String())
 				tr.StageAt("journal_wait", updated, polled)
 				select {
@@ -825,6 +1017,7 @@ func (l *Live) shardPoller(shard int) {
 					l.Shed.Add(1)
 					l.met.shed.Inc()
 					l.taintKey(rec.Key)
+					l.jAbort(rec.Key, rec.Updates, "shed")
 					l.noteShedding("worker queue full")
 				}
 			}
@@ -922,6 +1115,9 @@ func (l *Live) sweep() {
 	}
 	l.Evictions.Add(int64(evicted))
 	l.met.evictions.Add(int64(evicted))
+	if evicted > 0 {
+		l.event("flows evicted", "component", "sweep", "evicted", evicted)
+	}
 }
 
 // batchScratch is a prediction worker's reusable scoring buffers: the
@@ -951,6 +1147,8 @@ func (l *Live) superviseWorker(w int) {
 		l.met.workerPanics.Inc()
 		if l.cfg.WorkerRestartBudget >= 0 && restarts >= l.cfg.WorkerRestartBudget {
 			l.workersDown.Add(1)
+			l.event("worker down", "component", "worker",
+				"worker", w, "restarts", restarts)
 			l.noteShedding(fmt.Sprintf("worker %d restart budget exhausted", w))
 			l.abandonRemaining(w)
 			return
@@ -958,6 +1156,8 @@ func (l *Live) superviseWorker(w int) {
 		restarts++
 		l.WorkerRestarts.Add(1)
 		l.met.workerRestarts.Inc()
+		l.event("worker restarted", "component", "worker",
+			"worker", w, "restarts", restarts)
 		l.noteDegraded(fmt.Sprintf("worker %d restarted", w))
 		l.sleepQuit(backoff)
 		if backoff *= 2; backoff > maxBackoff {
@@ -974,6 +1174,7 @@ func (l *Live) abandonRemaining(w int) {
 	for q := range l.workerChs[w] {
 		l.abandon(1, "worker_down")
 		l.taintKey(q.rec.Key)
+		l.jAbort(q.rec.Key, q.rec.Updates, "worker_down")
 	}
 }
 
@@ -997,6 +1198,7 @@ func (l *Live) runWorker(w int) (clean bool) {
 			l.abandon(int64(len(rest)), "panic")
 			for _, q := range rest {
 				l.taintKey(q.rec.Key)
+				l.jAbort(q.rec.Key, q.rec.Updates, "panic")
 			}
 		}
 	}()
@@ -1007,6 +1209,7 @@ func (l *Live) runWorker(w int) (clean bool) {
 		}
 		if l.stopping() && !l.cfg.DrainOnStop {
 			l.abandon(1, "stop")
+			l.jAbort(q.rec.Key, q.rec.Updates, "stop")
 			continue
 		}
 		cur.batch = append(cur.batch[:0], q)
@@ -1015,7 +1218,9 @@ func (l *Live) runWorker(w int) (clean bool) {
 		if l.cfg.Fault.WorkerPanicNow() {
 			panic(fault.InjectedPanic{Site: fault.SiteWorkerPanic})
 		}
+		busyT0 := time.Now()
 		l.predictBatch(&cur, scratch)
+		l.workerBusy[w].Add(int64(time.Since(busyT0)))
 		cur.batch = cur.batch[:0]
 		cur.done = 0
 		if closed {
@@ -1078,6 +1283,7 @@ func (l *Live) predictBatch(b *workerBatch, s *batchScratch) {
 		if len(q.rec.Features) != want {
 			l.abandon(1, "malformed")
 			l.taintKey(q.rec.Key)
+			l.jAbort(q.rec.Key, q.rec.Updates, "malformed")
 			continue
 		}
 		kept = append(kept, q)
@@ -1091,6 +1297,7 @@ func (l *Live) predictBatch(b *workerBatch, s *batchScratch) {
 	for _, q := range b.batch {
 		l.met.stageQueue.ObserveDuration(dequeued.Sub(q.enqueuedAt))
 		q.tr.StageAt("queue_wait", q.enqueuedAt, dequeued)
+		l.jHop(q.rec.Key, q.rec.Updates, "batch")
 		s.rows = append(s.rows, q.rec.Features)
 	}
 	s.scaled = l.cfg.Scaler.TransformBatch(s.scaled, s.rows)
@@ -1100,6 +1307,7 @@ func (l *Live) predictBatch(b *workerBatch, s *batchScratch) {
 		l.abandon(int64(len(b.batch)), "no_model")
 		for _, q := range b.batch {
 			l.taintKey(q.rec.Key)
+			l.jAbort(q.rec.Key, q.rec.Updates, "no_model")
 		}
 		b.done = len(b.batch)
 		return
@@ -1125,6 +1333,7 @@ func (l *Live) predictBatch(b *workerBatch, s *batchScratch) {
 		l.met.stagePredict.Observe(perSample.Seconds())
 		l.met.sampleLatency.Observe(perSample.Seconds())
 		b.batch[i].tr.StageAt("scale_predict", dequeued, predicted)
+		l.jHop(b.batch[i].rec.Key, b.batch[i].rec.Updates, "predict")
 		raw := 0
 		if ones[i] >= quorum {
 			raw = 1
@@ -1195,5 +1404,6 @@ func (l *Live) finish(q queued, raw int, votes []int, predicted time.Time) {
 	// vote, decision, and prediction are all durable-state-visible, so
 	// a capture that observes this count sees everything the record
 	// produced.
+	l.jComplete(rec.Key, rec.Updates)
 	l.completed.Add(1)
 }

@@ -2,8 +2,11 @@ package experiment
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/amlight/intddos/internal/core"
@@ -54,6 +57,12 @@ type ChaosConfig struct {
 	// periodic checkpointing is off).
 	CheckpointDir   string
 	CheckpointEvery time.Duration
+
+	// DiagBundleDir, when set, captures a diagnostic bundle (profiles,
+	// metrics, health, events — see obs.Registry.WriteBundle) into the
+	// directory when the run fails its accounting invariant, so a
+	// flaky chaos failure leaves its evidence behind.
+	DiagBundleDir string
 }
 
 // ChaosResult summarizes how the live pipeline degraded — and what it
@@ -78,6 +87,9 @@ type ChaosResult struct {
 	// AccountingClosed is the chaos invariant: every polled record
 	// ended as a decision, a shed, or a reasoned abandonment.
 	AccountingClosed bool
+	// DiagBundle is the path of the diagnostic bundle captured when
+	// the invariant failed (empty otherwise).
+	DiagBundle string
 }
 
 // RunChaos trains the stage-2 ensemble, replays the mixed workload's
@@ -190,8 +202,37 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		Restored:          live.Restore(),
 	}
 	res.AccountingClosed = res.Polled == res.Decided+res.Shed+res.Abandoned
+	if !res.AccountingClosed && cfg.DiagBundleDir != "" {
+		if path, err := writeDiagBundle(cfg.DiagBundleDir, live); err == nil {
+			res.DiagBundle = path
+		}
+	}
 	return res, nil
 }
+
+// writeDiagBundle captures the pipeline's diagnostic bundle into dir,
+// returning the file written. Filenames carry the pid and a sequence
+// suffix instead of a timestamp so repeated failures in one process
+// never overwrite each other.
+func writeDiagBundle(dir string, live *core.Live) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	seq := diagBundleSeq.Add(1)
+	path := filepath.Join(dir, fmt.Sprintf("chaos-%d-%03d.tar.gz", os.Getpid(), seq))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := live.Obs().WriteBundle(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return "", err
+	}
+	return path, f.Close()
+}
+
+var diagBundleSeq atomic.Int64
 
 // FormatChaos renders a chaos run's degradation summary.
 func FormatChaos(r *ChaosResult) string {
@@ -234,6 +275,9 @@ func FormatChaos(r *ChaosResult) string {
 	} else {
 		fmt.Fprintf(&b, "  accounting: LEAK (%d polled != %d decided + %d shed + %d abandoned)\n",
 			r.Polled, r.Decided, r.Shed, r.Abandoned)
+	}
+	if r.DiagBundle != "" {
+		fmt.Fprintf(&b, "  diagnostic bundle: %s\n", r.DiagBundle)
 	}
 	return b.String()
 }

@@ -17,7 +17,16 @@ import (
 // i.e. exactly the legacy concurrency shape of core.Live.
 type ShardedTable struct {
 	shards []tableShard
+
+	// onContention, when set, runs every time an observation finds its
+	// shard's mutex already held. Set it before concurrent use begins
+	// (SetContentionHook); core.Live points it at an obs counter.
+	onContention func()
 }
+
+// SetContentionHook installs fn as the table's contention callback.
+// Not safe to call concurrently with Observe.
+func (t *ShardedTable) SetContentionHook(fn func()) { t.onContention = fn }
 
 type tableShard struct {
 	mu    sync.Mutex
@@ -122,7 +131,12 @@ func (t *ShardedTable) ObserveFunc(pi PacketInfo, fn func(*State)) (created bool
 
 func (t *ShardedTable) observe(pi PacketInfo, fn func(*State)) (*State, bool) {
 	s := &t.shards[pi.Key.Shard(len(t.shards))]
-	s.mu.Lock()
+	if !s.mu.TryLock() {
+		if t.onContention != nil {
+			t.onContention()
+		}
+		s.mu.Lock()
+	}
 	defer s.mu.Unlock()
 	st, created := s.table.Observe(pi)
 	if fn != nil {

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// bundleEntry is one extra file a component contributes to diagnostic
+// bundles (profiles from internal/obs/prof, the pipeline's resolved
+// config, ...).
+type bundleEntry struct {
+	name string
+	fn   func() ([]byte, error)
+}
+
+// AddBundleFile registers an extra file for WriteBundle under name
+// (slash-separated paths allowed, e.g. "profiles/mutex.pb.gz"). The
+// callback runs at bundle time on the requesting goroutine. The first
+// registration for a name wins.
+func (r *Registry) AddBundleFile(name string, fn func() ([]byte, error)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.bundle {
+		if e.name == name {
+			return
+		}
+	}
+	r.bundle = append(r.bundle, bundleEntry{name: name, fn: fn})
+}
+
+// SetAttribution installs the contention-attribution renderer served
+// on /debug/attrib and embedded in bundles (see internal/obs/prof).
+// The last registration wins.
+func (r *Registry) SetAttribution(fn func(topN int) string) {
+	r.mu.Lock()
+	r.attribFn = fn
+	r.mu.Unlock()
+}
+
+// Attribution renders the contention-attribution report, reporting
+// whether a producer is installed.
+func (r *Registry) Attribution(topN int) (string, bool) {
+	r.mu.Lock()
+	fn := r.attribFn
+	r.mu.Unlock()
+	if fn == nil {
+		return "", false
+	}
+	return fn(topN), true
+}
+
+// WriteBundle writes a diagnostic bundle — a gzipped tarball of
+// everything needed to diagnose the pipeline after the fact: a
+// metrics snapshot (Prometheus text and human summary), health state,
+// the structured event tail, sampled flow journeys, the contention
+// attribution report, and whatever extra files components registered
+// with AddBundleFile (profiles, resolved config). A failing extra
+// file becomes <name>.error inside the bundle instead of failing the
+// whole capture: bundles are pulled when things are already wrong.
+func (r *Registry) WriteBundle(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	tw := tar.NewWriter(gz)
+	now := time.Now()
+
+	add := func(name string, data []byte) error {
+		hdr := &tar.Header{
+			Name:    name,
+			Mode:    0o644,
+			Size:    int64(len(data)),
+			ModTime: now,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		_, err := tw.Write(data)
+		return err
+	}
+
+	var meta bytes.Buffer
+	fmt.Fprintf(&meta, "captured: %s\n", now.UTC().Format(time.RFC3339Nano))
+	fmt.Fprintf(&meta, "go: %s %s/%s\n", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	fmt.Fprintf(&meta, "pid: %d\n", os.Getpid())
+	fmt.Fprintf(&meta, "gomaxprocs: %d\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&meta, "numcpu: %d\n", runtime.NumCPU())
+	fmt.Fprintf(&meta, "goroutines: %d\n", runtime.NumGoroutine())
+	if err := add("meta.txt", meta.Bytes()); err != nil {
+		return err
+	}
+
+	var prom bytes.Buffer
+	r.WritePrometheus(&prom)
+	if err := add("metrics.prom", prom.Bytes()); err != nil {
+		return err
+	}
+	if err := add("metrics.txt", []byte(r.Snapshot().FormatSummary())); err != nil {
+		return err
+	}
+
+	var health bytes.Buffer
+	if h, ok := r.Health(); ok {
+		fmt.Fprintln(&health, h.State)
+		for _, d := range h.Detail {
+			fmt.Fprintln(&health, d)
+		}
+	} else {
+		fmt.Fprintln(&health, "ok (no health callback wired)")
+	}
+	if err := add("health.txt", health.Bytes()); err != nil {
+		return err
+	}
+
+	r.mu.Lock()
+	events := r.events
+	journeys := r.journeys
+	attribFn := r.attribFn
+	extras := append([]bundleEntry(nil), r.bundle...)
+	r.mu.Unlock()
+
+	var ev bytes.Buffer
+	if err := events.WriteJSONL(&ev); err != nil {
+		return err
+	}
+	if err := add("events.jsonl", ev.Bytes()); err != nil {
+		return err
+	}
+
+	if journeys != nil {
+		var jb bytes.Buffer
+		journeys.WriteText(&jb)
+		if err := add("journeys.txt", jb.Bytes()); err != nil {
+			return err
+		}
+	}
+
+	if attribFn != nil {
+		if err := add("attrib.txt", []byte(attribFn(32))); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range extras {
+		data, err := e.fn()
+		if err != nil {
+			if aerr := add(e.name+".error", []byte(err.Error()+"\n")); aerr != nil {
+				return aerr
+			}
+			continue
+		}
+		if err := add(e.name, data); err != nil {
+			return err
+		}
+	}
+
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	return gz.Close()
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one structured pipeline event: a worker restart, a health
+// transition, a checkpoint landing, a shed decision. Events replace
+// the ad-hoc log.Printf / transition-string logging the pipeline grew
+// up with: every noteworthy state change is appended here once, with
+// machine-readable attributes, and rendered wherever it is needed
+// (/debug/events, health detail, diagnostic bundles).
+type Event struct {
+	Seq   uint64            `json:"seq"`
+	Time  time.Time         `json:"time"`
+	Level string            `json:"level"`
+	Msg   string            `json:"msg"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// String renders the event as one log line:
+//
+//	2026-02-03T04:05:06Z INFO worker restarted component=worker worker=2
+func (e Event) String() string {
+	s := fmt.Sprintf("%s %s %s", e.Time.UTC().Format(time.RFC3339), e.Level, e.Msg)
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s += fmt.Sprintf(" %s=%s", k, e.Attrs[k])
+	}
+	return s
+}
+
+// DefaultEventKeep is the event ring capacity when NewEventLog is
+// given no size.
+const DefaultEventKeep = 256
+
+// EventLog is a bounded in-memory ring of structured events. It is
+// the sink behind Logger(): components log through the standard
+// log/slog API and the tail stays queryable in-process. All methods
+// are nil-safe.
+type EventLog struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	seq     uint64
+	dropped uint64
+}
+
+// NewEventLog returns a ring retaining the last keep events
+// (keep <= 0 selects DefaultEventKeep).
+func NewEventLog(keep int) *EventLog {
+	if keep <= 0 {
+		keep = DefaultEventKeep
+	}
+	return &EventLog{ring: make([]Event, 0, keep)}
+}
+
+// Append stores one event, assigning its sequence number. Zero times
+// are stamped with the current wall clock.
+func (l *EventLog) Append(ev Event) {
+	if l == nil {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	if ev.Level == "" {
+		ev.Level = slog.LevelInfo.String()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	ev.Seq = l.seq
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, ev)
+		return
+	}
+	l.ring[l.next] = ev
+	l.next = (l.next + 1) % cap(l.ring)
+	l.dropped++
+}
+
+// Recent returns the retained events, oldest first.
+func (l *EventLog) Recent() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.ring))
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// Total returns how many events were ever appended; Dropped how many
+// of those have since been evicted from the ring.
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Dropped returns the number of events evicted from the ring.
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Logger returns a *slog.Logger whose records land in the ring. A nil
+// EventLog yields a logger that discards everything, so components can
+// log unconditionally.
+func (l *EventLog) Logger() *slog.Logger {
+	return slog.New(&eventHandler{log: l})
+}
+
+// WriteText renders the retained tail as log lines, oldest first.
+func (l *EventLog) WriteText(w io.Writer) {
+	if l == nil {
+		return
+	}
+	for _, ev := range l.Recent() {
+		fmt.Fprintln(w, ev.String())
+	}
+}
+
+// WriteJSONL renders the retained tail as one JSON object per line.
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, ev := range l.Recent() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eventHandler adapts EventLog to slog.Handler. Group names prefix
+// attribute keys ("group.key"); levels below Info are dropped so debug
+// chatter cannot wash the operational tail out of the ring.
+type eventHandler struct {
+	log    *EventLog
+	attrs  []slog.Attr
+	prefix string
+}
+
+func (h *eventHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return h.log != nil && level >= slog.LevelInfo
+}
+
+func (h *eventHandler) Handle(_ context.Context, r slog.Record) error {
+	ev := Event{Time: r.Time, Level: r.Level.String(), Msg: r.Message}
+	if len(h.attrs) > 0 || r.NumAttrs() > 0 {
+		ev.Attrs = make(map[string]string, len(h.attrs)+r.NumAttrs())
+	}
+	for _, a := range h.attrs {
+		addAttr(ev.Attrs, h.prefix, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		addAttr(ev.Attrs, h.prefix, a)
+		return true
+	})
+	h.log.Append(ev)
+	return nil
+}
+
+func addAttr(into map[string]string, prefix string, a slog.Attr) {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			addAttr(into, prefix+a.Key+".", ga)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	into[prefix+a.Key] = v.String()
+}
+
+func (h *eventHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := &eventHandler{log: h.log, prefix: h.prefix}
+	nh.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return nh
+}
+
+func (h *eventHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	return &eventHandler{log: h.log, attrs: h.attrs, prefix: h.prefix + name + "."}
+}
+
+// Events returns the registry's event log, creating it on first use.
+func (r *Registry) Events() *EventLog {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.events == nil {
+		r.events = NewEventLog(0)
+	}
+	return r.events
+}

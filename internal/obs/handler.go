@@ -6,18 +6,23 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"time"
 )
 
 // Handler returns the registry's HTTP surface:
 //
-//	/metrics      Prometheus text exposition format
-//	/healthz      pipeline health: healthy/degraded + detail (200),
-//	              shedding + detail (503), or "ok" when no health
-//	              callback is wired (SetHealth)
-//	/traces       recent sampled pipeline traces, one per line
-//	/debug/pprof  the standard Go profiling endpoints
-//	/             an index of the above
+//	/metrics       Prometheus text exposition format
+//	/healthz       pipeline health: healthy/degraded + detail (200),
+//	               shedding + detail (503), or "ok" when no health
+//	               callback is wired (SetHealth)
+//	/traces        recent sampled pipeline traces, one per line
+//	/traces/flow   recent sampled flow journeys (per-hop timestamps)
+//	/debug/attrib  contention attribution report (?top=N)
+//	/debug/events  structured event tail (?format=json for JSONL)
+//	/debug/bundle  diagnostic bundle (tar.gz download)
+//	/debug/pprof   the standard Go profiling endpoints
+//	/              an index of the above
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -62,6 +67,52 @@ func (r *Registry) Handler() http.Handler {
 			}
 		}
 	})
+	mux.HandleFunc("/traces/flow", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		js := r.FlowJourneys()
+		if js == nil {
+			fmt.Fprintln(w, "# no flow-journey sampler wired (core.LiveConfig.JourneySampleEvery)")
+			return
+		}
+		js.WriteText(w)
+	})
+	mux.HandleFunc("/debug/attrib", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		topN := 20
+		if s := req.URL.Query().Get("top"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				topN = n
+			}
+		}
+		report, ok := r.Attribution(topN)
+		if !ok {
+			fmt.Fprintln(w, "# no attribution producer wired (internal/obs/prof)")
+			return
+		}
+		fmt.Fprint(w, report)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, req *http.Request) {
+		ev := r.Events()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			ev.WriteJSONL(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "# events (%d total, %d evicted)\n", ev.Total(), ev.Dropped())
+		ev.WriteText(w)
+	})
+	mux.HandleFunc("/debug/bundle", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q",
+				"intddos-diag-"+time.Now().UTC().Format("20060102T150405")+"Z.tar.gz"))
+		if err := r.WriteBundle(w); err != nil {
+			// Headers are gone; all we can do is cut the stream short so
+			// the client sees a truncated archive instead of a valid one.
+			return
+		}
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -74,7 +125,10 @@ func (r *Registry) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "intddos observability endpoints:")
-		for _, p := range []string{"/metrics", "/healthz", "/traces", "/debug/pprof/"} {
+		for _, p := range []string{
+			"/metrics", "/healthz", "/traces", "/traces/flow",
+			"/debug/attrib", "/debug/events", "/debug/bundle", "/debug/pprof/",
+		} {
 			fmt.Fprintln(w, "  "+p)
 		}
 	})

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JourneyHop is one timestamped waypoint of a sampled record's path
+// through the pipeline.
+type JourneyHop struct {
+	Name string    `json:"hop"`
+	At   time.Time `json:"at"`
+}
+
+// Journey is the recorded end-to-end path of one sampled flow update:
+// ingest → journal → poll → batch → predict → vote, with a wall-clock
+// stamp at every hop. Unlike Trace (per-stage durations measured by
+// whoever holds the record), a Journey follows one identified record
+// across goroutine handoffs, so queueing between stages is visible as
+// inter-hop gaps.
+type Journey struct {
+	ID   uint64 `json:"id"`
+	Flow string `json:"flow"`
+	Seq  int    `json:"seq"`
+	// Hops are in arrival order. Aborted carries the reason the record
+	// left the pipeline early ("shed", "panic", ...), empty on a
+	// completed journey.
+	Hops    []JourneyHop `json:"hops"`
+	Aborted string       `json:"aborted,omitempty"`
+	Done    bool         `json:"done"`
+}
+
+// Total returns the wall time from the first hop to the last.
+func (j Journey) Total() time.Duration {
+	if len(j.Hops) < 2 {
+		return 0
+	}
+	return j.Hops[len(j.Hops)-1].At.Sub(j.Hops[0].At)
+}
+
+// Hop returns the timestamp of the named hop and whether it was
+// recorded.
+func (j Journey) Hop(name string) (time.Time, bool) {
+	for _, h := range j.Hops {
+		if h.Name == name {
+			return h.At, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// String renders the journey as one line, hop offsets relative to the
+// first hop:
+//
+//	#3 10.0.0.1:7>10.0.0.2:80/tcp seq=5 total=1.2ms ingest+0s journal+8µs poll+1ms ... vote+1.2ms
+func (j Journey) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s seq=%d total=%v", j.ID, j.Flow, j.Seq, j.Total().Round(time.Microsecond))
+	if j.Aborted != "" {
+		fmt.Fprintf(&b, " aborted=%s", j.Aborted)
+	} else if !j.Done {
+		b.WriteString(" in-flight")
+	}
+	for _, h := range j.Hops {
+		fmt.Fprintf(&b, " %s+%v", h.Name, h.At.Sub(j.Hops[0].At).Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Journey bookkeeping defaults.
+const (
+	DefaultJourneySampleEvery = 256
+	DefaultJourneyKeep        = 64
+)
+
+// Journeys samples 1-in-N flow updates at ingest and follows each
+// sampled record hop by hop until it is decided or leaves the pipeline.
+// The unsampled hot path pays one atomic increment (ShouldSample) and
+// later call sites one atomic load (Active() == 0 short-circuits the
+// per-hop map lookups when nothing is being followed). All methods are
+// nil-safe.
+type Journeys struct {
+	every     uint64
+	maxActive int
+
+	n       atomic.Uint64
+	ids     atomic.Uint64
+	activeN atomic.Int64
+
+	mu        sync.Mutex
+	active    map[string]*Journey
+	ring      []Journey
+	next      int
+	completed uint64
+	aborted   uint64
+	evicted   uint64
+}
+
+// NewJourneys builds a sampler following 1-in-sampleEvery records
+// (<= 0 selects DefaultJourneySampleEvery; 1 follows everything) and
+// retaining the last keep finished journeys (<= 0 selects
+// DefaultJourneyKeep).
+func NewJourneys(sampleEvery, keep int) *Journeys {
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultJourneySampleEvery
+	}
+	if keep <= 0 {
+		keep = DefaultJourneyKeep
+	}
+	return &Journeys{
+		every:     uint64(sampleEvery),
+		maxActive: 4 * keep,
+		active:    make(map[string]*Journey),
+		ring:      make([]Journey, 0, keep),
+	}
+}
+
+// SampleEvery returns the sampling interval (0 for a nil sampler).
+func (js *Journeys) SampleEvery() int {
+	if js == nil {
+		return 0
+	}
+	return int(js.every)
+}
+
+// ShouldSample decides whether the next ingested record is followed.
+func (js *Journeys) ShouldSample() bool {
+	if js == nil {
+		return false
+	}
+	return js.n.Add(1)%js.every == 1 || js.every == 1
+}
+
+// Active returns the number of journeys currently in flight. Call
+// sites use Active() == 0 to skip building hop keys entirely.
+func (js *Journeys) Active() int64 {
+	if js == nil {
+		return 0
+	}
+	return js.activeN.Load()
+}
+
+func journeyKey(flow string, seq int) string {
+	return flow + "#" + fmt.Sprint(seq)
+}
+
+// Begin starts following the record identified by (flow, seq) and
+// records its first hop. If the active set is full, the oldest entry
+// is evicted into the finished ring as aborted ("evicted").
+func (js *Journeys) Begin(flow string, seq int, hop string) {
+	if js == nil {
+		return
+	}
+	now := time.Now()
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if len(js.active) >= js.maxActive {
+		// Evict the entry with the lowest ID: the longest-followed
+		// record, which is the most likely to have leaked.
+		var oldest string
+		var oldestID uint64
+		for k, j := range js.active {
+			if oldest == "" || j.ID < oldestID {
+				oldest, oldestID = k, j.ID
+			}
+		}
+		js.finishLocked(oldest, "", "evicted")
+		js.evicted++
+	}
+	j := &Journey{
+		ID:   js.ids.Add(1),
+		Flow: flow,
+		Seq:  seq,
+		Hops: []JourneyHop{{Name: hop, At: now}},
+	}
+	js.active[journeyKey(flow, seq)] = j
+	js.activeN.Store(int64(len(js.active)))
+}
+
+// Hop stamps the named hop on an in-flight journey (a no-op for
+// unfollowed records).
+func (js *Journeys) Hop(flow string, seq int, hop string) {
+	if js == nil || js.activeN.Load() == 0 {
+		return
+	}
+	now := time.Now()
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if j, ok := js.active[journeyKey(flow, seq)]; ok {
+		j.Hops = append(j.Hops, JourneyHop{Name: hop, At: now})
+	}
+}
+
+// Complete stamps the final hop and moves the journey into the
+// finished ring.
+func (js *Journeys) Complete(flow string, seq int, hop string) {
+	if js == nil || js.activeN.Load() == 0 {
+		return
+	}
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if js.finishLocked(journeyKey(flow, seq), hop, "") {
+		js.completed++
+	}
+}
+
+// Abort records that the followed record left the pipeline early
+// (shed, panic, worker down, ...) and moves it into the finished ring.
+func (js *Journeys) Abort(flow string, seq int, reason string) {
+	if js == nil || js.activeN.Load() == 0 {
+		return
+	}
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if js.finishLocked(journeyKey(flow, seq), "", reason) {
+		js.aborted++
+	}
+}
+
+// finishLocked retires one active journey into the ring. Caller holds
+// js.mu.
+func (js *Journeys) finishLocked(key, hop, aborted string) bool {
+	j, ok := js.active[key]
+	if !ok {
+		return false
+	}
+	delete(js.active, key)
+	js.activeN.Store(int64(len(js.active)))
+	if hop != "" {
+		j.Hops = append(j.Hops, JourneyHop{Name: hop, At: time.Now()})
+	}
+	j.Aborted = aborted
+	j.Done = true
+	if len(js.ring) < cap(js.ring) {
+		js.ring = append(js.ring, *j)
+		return true
+	}
+	js.ring[js.next] = *j
+	js.next = (js.next + 1) % cap(js.ring)
+	return true
+}
+
+// Recent returns the finished journeys, oldest first.
+func (js *Journeys) Recent() []Journey {
+	if js == nil {
+		return nil
+	}
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := make([]Journey, 0, len(js.ring))
+	out = append(out, js.ring[js.next:]...)
+	out = append(out, js.ring[:js.next]...)
+	return out
+}
+
+// Stats returns lifetime completed/aborted/evicted journey counts.
+func (js *Journeys) Stats() (completed, aborted, evicted uint64) {
+	if js == nil {
+		return 0, 0, 0
+	}
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.completed, js.aborted, js.evicted
+}
+
+// WriteText renders sampler state and the finished tail, oldest first.
+func (js *Journeys) WriteText(w io.Writer) {
+	if js == nil {
+		return
+	}
+	completed, aborted, evicted := js.Stats()
+	fmt.Fprintf(w, "# flow journeys (1 in %d; active=%d completed=%d aborted=%d evicted=%d)\n",
+		js.SampleEvery(), js.Active(), completed, aborted, evicted)
+	for _, j := range js.Recent() {
+		fmt.Fprintln(w, j.String())
+	}
+}
+
+// SetFlowJourneys publishes the pipeline's journey sampler on the
+// registry so /traces/flow and diagnostic bundles can read it. The
+// last registration wins (one registry serves one pipeline).
+func (r *Registry) SetFlowJourneys(js *Journeys) {
+	r.mu.Lock()
+	r.journeys = js
+	r.mu.Unlock()
+}
+
+// FlowJourneys returns the published journey sampler (nil when none).
+func (r *Registry) FlowJourneys() *Journeys {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.journeys
+}

@@ -233,6 +233,13 @@ type Registry struct {
 	tracers     map[string]*Tracer
 	kinds       map[string]string
 	healthFn    func() Health
+
+	// Diagnostic surfaces (see events.go, journey.go, bundle.go,
+	// and internal/obs/prof for the attribution producer).
+	events   *EventLog
+	journeys *Journeys
+	attribFn func(topN int) string
+	bundle   []bundleEntry
 }
 
 // NewRegistry returns an empty registry.

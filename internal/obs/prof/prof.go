@@ -1,0 +1,304 @@
+package prof
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/amlight/intddos/internal/obs"
+)
+
+// Default sampling configuration for always-on production profiling:
+// 1 in 100 contended mutex events and one block sample per 10µs of
+// blocked time keep overhead well under the 5% budget while still
+// catching any contention hot enough to flatten throughput.
+const (
+	DefaultMutexFraction = 100
+	DefaultBlockRateNs   = 10_000
+	DefaultInterval      = 30 * time.Second
+	DefaultCPUWindow     = 2 * time.Second
+	DefaultKeep          = 4
+)
+
+// Process-global sampling-rate bookkeeping. Rates are process-wide
+// runtime state, but many pipelines (and tests) start and stop
+// independently, so enables are refcounted: the first enable saves
+// the pre-existing configuration, the last disable restores it.
+var (
+	rateMu       sync.Mutex
+	rateUsers    int
+	prevMutex    int
+	curBlockRate int
+)
+
+// blockRate reports the rate most recently applied through this
+// package (the runtime offers no getter).
+func blockRate() int {
+	rateMu.Lock()
+	defer rateMu.Unlock()
+	return curBlockRate
+}
+
+// EnableRates applies mutex/block profile sampling rates and returns
+// an idempotent restore function. A non-positive rate leaves that
+// profile's configuration untouched. Enables nest; the outermost
+// restore reinstates the pre-enable state.
+func EnableRates(mutexFraction, blockRateNs int) func() {
+	rateMu.Lock()
+	rateUsers++
+	if rateUsers == 1 {
+		prevMutex = runtime.SetMutexProfileFraction(-1)
+	}
+	if mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if blockRateNs > 0 {
+		runtime.SetBlockProfileRate(blockRateNs)
+		curBlockRate = blockRateNs
+	}
+	rateMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			rateMu.Lock()
+			defer rateMu.Unlock()
+			rateUsers--
+			if rateUsers == 0 {
+				runtime.SetMutexProfileFraction(prevMutex)
+				runtime.SetBlockProfileRate(0)
+				curBlockRate = 0
+			}
+		})
+	}
+}
+
+// Config parameterizes a Profiler.
+type Config struct {
+	// MutexFraction samples 1-in-N contended mutex events (0 selects
+	// DefaultMutexFraction, negative leaves the runtime setting
+	// untouched). BlockRateNs records one blocking event sample per
+	// that many nanoseconds of blocked time (0 selects
+	// DefaultBlockRateNs, negative leaves the setting untouched).
+	MutexFraction int
+	BlockRateNs   int
+
+	// Dir, when set, enables periodic on-disk profile captures into a
+	// bounded ring of files (<kind>-<seq>.pprof, Keep newest retained
+	// per kind).
+	Dir       string
+	Interval  time.Duration // capture period (default 30s)
+	CPUWindow time.Duration // CPU profile length per capture (default 2s)
+	Keep      int           // snapshots retained per kind (default 4)
+
+	// Rules override the stage-attribution table (nil selects
+	// PipelineStages).
+	Rules []StageRule
+
+	// Registry, when set, gets the attribution report (/debug/attrib),
+	// pprof snapshots in diagnostic bundles, and capture counters.
+	Registry *obs.Registry
+}
+
+// Profiler owns always-on contention profiling for one pipeline:
+// sampling rates held enabled for its lifetime, an optional on-disk
+// capture ring, and the attribution wiring on the obs registry.
+type Profiler struct {
+	cfg     Config
+	restore func()
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	mu  sync.Mutex
+	seq int
+
+	captures    *obs.Counter
+	captureErrs *obs.Counter
+}
+
+// Start enables profiling per cfg. It always succeeds in enabling
+// rates and registry wiring; a capture directory that cannot be
+// created is the only error path.
+func Start(cfg Config) (*Profiler, error) {
+	if cfg.MutexFraction == 0 {
+		cfg.MutexFraction = DefaultMutexFraction
+	}
+	if cfg.BlockRateNs == 0 {
+		cfg.BlockRateNs = DefaultBlockRateNs
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.CPUWindow <= 0 {
+		cfg.CPUWindow = DefaultCPUWindow
+	}
+	if cfg.CPUWindow > cfg.Interval/2 {
+		cfg.CPUWindow = cfg.Interval / 2
+	}
+	if cfg.Keep <= 0 {
+		cfg.Keep = DefaultKeep
+	}
+	p := &Profiler{cfg: cfg, quit: make(chan struct{})}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("prof: capture dir: %w", err)
+		}
+	}
+	p.restore = EnableRates(cfg.MutexFraction, cfg.BlockRateNs)
+	if reg := cfg.Registry; reg != nil {
+		rules := cfg.Rules
+		reg.SetAttribution(func(topN int) string {
+			return Attribution(topN, rules).Format()
+		})
+		for _, kind := range []string{"mutex", "block", "goroutine", "heap"} {
+			kind := kind
+			reg.AddBundleFile("profiles/"+kind+".pb.gz", func() ([]byte, error) {
+				return snapshotProfile(kind)
+			})
+		}
+		p.captures = reg.Counter("intddos_prof_captures_total")
+		p.captureErrs = reg.Counter("intddos_prof_capture_errors_total")
+		reg.GaugeFunc("intddos_prof_mutex_fraction", func() float64 {
+			return float64(runtime.SetMutexProfileFraction(-1))
+		})
+		reg.GaugeFunc("intddos_prof_block_rate_ns", func() float64 {
+			return float64(blockRate())
+		})
+	}
+	if cfg.Dir != "" {
+		p.wg.Add(1)
+		go p.loop()
+	}
+	return p, nil
+}
+
+// Stop halts the capture loop and restores the pre-Start sampling
+// rates. Safe to call more than once.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	quit := p.quit
+	p.quit = nil
+	p.mu.Unlock()
+	if quit == nil {
+		return
+	}
+	close(quit)
+	p.wg.Wait()
+	p.restore()
+}
+
+// Attribution returns the current attribution report under the
+// profiler's rules.
+func (p *Profiler) Attribution(topN int) *Report {
+	var rules []StageRule
+	if p != nil {
+		rules = p.cfg.Rules
+	}
+	return Attribution(topN, rules)
+}
+
+func (p *Profiler) loop() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	quit := p.quit
+	p.mu.Unlock()
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-t.C:
+			if err := p.CaptureNow(); err != nil {
+				p.captureErrs.Inc()
+			} else {
+				p.captures.Inc()
+			}
+		}
+	}
+}
+
+// CaptureNow writes one snapshot of every profile kind (plus a short
+// CPU profile) into the capture ring, pruning each kind to Keep files.
+func (p *Profiler) CaptureNow() error {
+	if p == nil || p.cfg.Dir == "" {
+		return fmt.Errorf("prof: no capture directory configured")
+	}
+	p.mu.Lock()
+	p.seq++
+	seq := p.seq
+	quit := p.quit
+	p.mu.Unlock()
+
+	var firstErr error
+	for _, kind := range []string{"mutex", "block", "goroutine", "heap"} {
+		data, err := snapshotProfile(kind)
+		if err == nil {
+			err = os.WriteFile(p.file(kind, seq), data, 0o644)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		p.prune(kind)
+	}
+
+	// CPU is windowed rather than cumulative; a concurrent profile
+	// (e.g. someone hitting /debug/pprof/profile) makes StartCPUProfile
+	// fail, which just skips this round's CPU capture.
+	f, err := os.Create(p.file("cpu", seq))
+	if err == nil {
+		if err := pprof.StartCPUProfile(f); err == nil {
+			select {
+			case <-time.After(p.cfg.CPUWindow):
+			case <-quit:
+			}
+			pprof.StopCPUProfile()
+			f.Close()
+		} else {
+			f.Close()
+			os.Remove(f.Name())
+		}
+		p.prune("cpu")
+	} else if firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+func (p *Profiler) file(kind string, seq int) string {
+	return filepath.Join(p.cfg.Dir, fmt.Sprintf("%s-%06d.pprof", kind, seq))
+}
+
+// prune keeps the newest Keep snapshots of one kind.
+func (p *Profiler) prune(kind string) {
+	matches, err := filepath.Glob(filepath.Join(p.cfg.Dir, kind+"-*.pprof"))
+	if err != nil || len(matches) <= p.cfg.Keep {
+		return
+	}
+	sort.Strings(matches) // zero-padded sequence numbers sort chronologically
+	for _, old := range matches[:len(matches)-p.cfg.Keep] {
+		os.Remove(old)
+	}
+}
+
+// snapshotProfile serializes one named runtime profile in the binary
+// pprof format.
+func snapshotProfile(kind string) ([]byte, error) {
+	prof := pprof.Lookup(kind)
+	if prof == nil {
+		return nil, fmt.Errorf("prof: unknown profile %q", kind)
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteTo(&buf, 0); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeMetricNames are the runtime/metrics series the registry
+// mirrors. Names are looked up against metrics.All() at registration,
+// so a name this Go version does not export is simply skipped instead
+// of reading as garbage.
+var runtimeMetricNames = []string{
+	"/sched/goroutines:goroutines",
+	"/sched/latencies:seconds",
+	"/sched/pauses/total/gc:seconds",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/goal:bytes",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+}
+
+// runtimeSampler batches runtime/metrics reads: one metrics.Read per
+// refresh window serves every registered gauge, so a /metrics scrape
+// does not pay N stop-the-world-free-but-not-free reads.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	last    time.Time
+	samples []metrics.Sample
+	idx     map[string]int
+}
+
+const runtimeRefresh = 100 * time.Millisecond
+
+func newRuntimeSampler(names []string) *runtimeSampler {
+	supported := make(map[string]bool)
+	for _, d := range metrics.All() {
+		supported[d.Name] = true
+	}
+	s := &runtimeSampler{idx: make(map[string]int)}
+	for _, n := range names {
+		if !supported[n] {
+			continue
+		}
+		s.idx[n] = len(s.samples)
+		s.samples = append(s.samples, metrics.Sample{Name: n})
+	}
+	return s
+}
+
+func (s *runtimeSampler) has(name string) bool {
+	_, ok := s.idx[name]
+	return ok
+}
+
+func (s *runtimeSampler) refreshLocked() {
+	if time.Since(s.last) < runtimeRefresh {
+		return
+	}
+	metrics.Read(s.samples)
+	s.last = time.Now()
+}
+
+// value returns a scalar series as float64 (histograms yield their
+// total event count).
+func (s *runtimeSampler) value(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.idx[name]
+	if !ok {
+		return 0
+	}
+	s.refreshLocked()
+	v := s.samples[i].Value
+	switch v.Kind() {
+	case metrics.KindUint64:
+		return float64(v.Uint64())
+	case metrics.KindFloat64:
+		return v.Float64()
+	case metrics.KindFloat64Histogram:
+		var n uint64
+		for _, c := range v.Float64Histogram().Counts {
+			n += c
+		}
+		return float64(n)
+	}
+	return 0
+}
+
+// quantile returns the q-quantile of a histogram series, approximated
+// by the upper edge of the bucket the quantile falls in.
+func (s *runtimeSampler) quantile(name string, q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.idx[name]
+	if !ok {
+		return 0
+	}
+	s.refreshLocked()
+	v := s.samples[i].Value
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	return histQuantile(v.Float64Histogram(), q)
+}
+
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Bucket i spans Buckets[i]..Buckets[i+1]; report the finite
+			// edge nearest the mass.
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) { // +Inf bucket: fall back to the lower edge
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// RegisterRuntimeMetrics mirrors the Go runtime's own telemetry —
+// goroutine count, heap size, GC pause and scheduler-latency
+// distributions — into reg, next to the pipeline metrics. Repeated
+// registration on the same registry is a no-op. Reads are batched and
+// cached for 100ms, so scrape cost stays one metrics.Read.
+func RegisterRuntimeMetrics(reg *Registry) {
+	s := newRuntimeSampler(runtimeMetricNames)
+	gauge := func(metric string) func() float64 {
+		return func() float64 { return s.value(metric) }
+	}
+	if s.has("/sched/goroutines:goroutines") {
+		reg.GaugeFunc("go_goroutines", gauge("/sched/goroutines:goroutines"))
+	}
+	if s.has("/memory/classes/heap/objects:bytes") {
+		reg.GaugeFunc("go_heap_objects_bytes", gauge("/memory/classes/heap/objects:bytes"))
+	}
+	if s.has("/memory/classes/total:bytes") {
+		reg.GaugeFunc("go_memory_total_bytes", gauge("/memory/classes/total:bytes"))
+	}
+	if s.has("/gc/heap/goal:bytes") {
+		reg.GaugeFunc("go_gc_heap_goal_bytes", gauge("/gc/heap/goal:bytes"))
+	}
+	if s.has("/gc/cycles/total:gc-cycles") {
+		reg.CounterFunc("go_gc_cycles_total", gauge("/gc/cycles/total:gc-cycles"))
+	}
+	if s.has("/gc/heap/allocs:bytes") {
+		reg.CounterFunc("go_gc_heap_allocs_bytes_total", gauge("/gc/heap/allocs:bytes"))
+	}
+	quantiles := func(name, metric string) {
+		vec := reg.GaugeVec(name, "quantile")
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+			q := q
+			vec.WithFunc(q.label, func() float64 { return s.quantile(metric, q.q) })
+		}
+	}
+	if s.has("/sched/latencies:seconds") {
+		quantiles("go_sched_latency_seconds", "/sched/latencies:seconds")
+	}
+	if s.has("/sched/pauses/total/gc:seconds") {
+		quantiles("go_gc_pause_seconds", "/sched/pauses/total/gc:seconds")
+		reg.CounterFunc("go_gc_pauses_total", gauge("/sched/pauses/total/gc:seconds"))
+	}
+}

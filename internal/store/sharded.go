@@ -26,6 +26,12 @@ type ShardedDB struct {
 
 	predMu sync.Mutex
 	preds  []PredictionRecord
+
+	// predContention counts AppendPrediction calls that found predMu
+	// already held (nil-safe; set by Instrument). The prediction log
+	// is global across shards, so this is the store's prime
+	// serialization suspect under multi-worker load.
+	predContention *obs.Counter
 }
 
 // NewSharded returns an empty database striped over n shards (n < 1
@@ -112,7 +118,10 @@ func (s *ShardedDB) ShardJournalLen(shard int) int { return s.shards[shard].Jour
 // decisions are already serialized per flow and the evaluation reads
 // the log as a whole.
 func (s *ShardedDB) AppendPrediction(p PredictionRecord) {
-	s.predMu.Lock()
+	if !s.predMu.TryLock() {
+		s.predContention.Inc() // nil-safe
+		s.predMu.Lock()
+	}
 	defer s.predMu.Unlock()
 	s.preds = append(s.preds, p)
 }
@@ -156,6 +165,7 @@ func (s *ShardedDB) Instrument(reg *obs.Registry) {
 	perShard := reg.GaugeVec("intddos_store_shard_journal_length", "shard")
 	hist := reg.Histogram("intddos_store_upsert_seconds", nil)
 	contention := reg.Counter("intddos_store_lock_contention_total")
+	s.predContention = reg.Counter("intddos_store_predlog_contention_total")
 	for i, sh := range s.shards {
 		sh := sh
 		perShard.WithFunc(strconv.Itoa(i), func() float64 { return float64(sh.JournalLen()) })

@@ -139,20 +139,29 @@ type DB struct {
 	UpsertLatency *obs.Histogram
 
 	// Contention, when set, counts UpsertFlow calls that found the
-	// mutex already held (nil-safe; set by ShardedDB.Instrument to
-	// quantify residual intra-shard contention).
+	// mutex already held (nil-safe; set by Instrument and by
+	// ShardedDB.Instrument to quantify residual intra-shard
+	// contention).
 	Contention *obs.Counter
+
+	// PredContention, when set, counts AppendPrediction calls that
+	// found the mutex already held — the prediction log is the one
+	// piece of state every worker serializes on (nil-safe; set by
+	// Instrument).
+	PredContention *obs.Counter
 }
 
 // Instrument registers the database's metrics on reg: the journal
-// backlog and live-record gauges, and the upsert latency histogram.
-// Call once per database; re-registration on the same registry is a
-// no-op for the gauges.
+// backlog and live-record gauges, the upsert latency histogram, and
+// the lock-contention counters. Call once per database;
+// re-registration on the same registry is a no-op for the gauges.
 func (db *DB) Instrument(reg *obs.Registry) {
 	reg.GaugeFunc("intddos_store_journal_length", func() float64 { return float64(db.JournalLen()) })
 	reg.GaugeFunc("intddos_store_flows", func() float64 { return float64(db.FlowCount()) })
 	reg.GaugeFunc("intddos_store_predictions_logged", func() float64 { return float64(db.PredictionCount()) })
 	db.UpsertLatency = reg.Histogram("intddos_store_upsert_seconds", nil)
+	db.Contention = reg.Counter("intddos_store_lock_contention_total")
+	db.PredContention = reg.Counter("intddos_store_predlog_contention_total")
 }
 
 // New returns an empty database that journals new records.
@@ -262,7 +271,10 @@ func (db *DB) JournalLen() int {
 
 // AppendPrediction logs a final decision (§III-2 step 8).
 func (db *DB) AppendPrediction(p PredictionRecord) {
-	db.mu.Lock()
+	if !db.mu.TryLock() {
+		db.PredContention.Inc() // nil-safe
+		db.mu.Lock()
+	}
 	defer db.mu.Unlock()
 	db.preds = append(db.preds, p)
 }

@@ -1,0 +1,115 @@
+// diagcheck validates a diagnostic bundle produced by
+// Registry.WriteBundle (/debug/bundle, -diag-bundle, or the chaos
+// harness): the argument must be a well-formed tar.gz whose required
+// entries are present and non-empty, with events.jsonl parsing as one
+// JSON object per line. It exits non-zero naming what is missing, so
+// the smoke script's failure output says which artifact regressed.
+package main
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+var required = []string{
+	"meta.txt",
+	"metrics.prom",
+	"metrics.txt",
+	"health.txt",
+	"events.jsonl",
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: diagcheck <bundle.tar.gz | http://host/debug/bundle>")
+		os.Exit(2)
+	}
+	if err := check(os.Args[1]); err != nil {
+		fmt.Fprintf(os.Stderr, "diagcheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+// open returns the bundle stream: a local file, or — when the
+// argument is an http(s) URL, as in the smoke test hitting a live
+// /debug/bundle — the response body.
+func open(path string) (io.ReadCloser, error) {
+	if strings.HasPrefix(path, "http://") || strings.HasPrefix(path, "https://") {
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Get(path)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("HTTP %s", resp.Status)
+		}
+		return resp.Body, nil
+	}
+	return os.Open(path)
+}
+
+func check(path string) error {
+	f, err := open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("not a gzip stream: %w", err)
+	}
+	defer gz.Close()
+
+	sizes := map[string]int64{}
+	var events []byte
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("corrupt tar: %w", err)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", hdr.Name, err)
+		}
+		sizes[hdr.Name] = int64(len(data))
+		if hdr.Name == "events.jsonl" {
+			events = data
+		}
+		if strings.HasSuffix(hdr.Name, ".error") {
+			fmt.Printf("  (entry %s: %s)\n", hdr.Name, strings.TrimSpace(string(data)))
+		}
+	}
+
+	var missing []string
+	for _, name := range required {
+		if n, ok := sizes[name]; !ok || n == 0 {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("missing or empty entries: %s", strings.Join(missing, ", "))
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(events)), "\n") {
+		if line == "" {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			return fmt.Errorf("events.jsonl line %d is not JSON: %v", i+1, err)
+		}
+	}
+	fmt.Printf("diagcheck: OK (%d entries)\n", len(sizes))
+	return nil
+}
