@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-obs bench-shard bench-batch bench-checkpoint fuzz-smoke chaos-smoke recovery-smoke diag-smoke clean
+.PHONY: check vet build test race bench bench-obs bench-shard bench-shard-smoke bench-batch bench-checkpoint fuzz-smoke chaos-smoke recovery-smoke diag-smoke clean
 
 check: vet build test race fuzz-smoke chaos-smoke recovery-smoke diag-smoke
 
@@ -27,7 +27,8 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/obs/... \
 		./internal/store/... ./internal/telemetry/... \
-		./internal/netsim/... ./internal/flow/...
+		./internal/netsim/... ./internal/flow/... \
+		./internal/checkpoint/...
 
 # fuzz-smoke runs each fuzz target for 10s from its committed seed
 # corpus (testdata/fuzz/) — enough to catch format-level regressions
@@ -39,6 +40,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeReport$$' -fuzztime $(FUZZTIME) ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/sflow/
 	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint/
 
 # chaos-smoke runs the fault-injection suite under the race detector:
 # the injector/wrapper unit tests plus every chaos scenario against
@@ -86,6 +88,17 @@ bench-shard:
 		-bench BenchmarkShardScaling -benchtime 50000x .
 	@echo wrote $(CURDIR)/BENCH_shard.json
 
+# bench-shard-smoke is the CI gate for the scaling sweep: one short
+# iteration per configuration (enough to exercise the multi-producer
+# demux and the contention sampling, not to measure), then diagcheck
+# validates the JSON shape — legacy baseline row, sharded rows,
+# positive throughput, populated contention attribution.
+bench-shard-smoke:
+	BENCH_SHARD_OUT=$(CURDIR)/BENCH_shard_smoke.json $(GO) test -run '^$$' \
+		-bench BenchmarkShardScaling -benchtime 1000x .
+	$(GO) run ./scripts/diagcheck -bench-shard $(CURDIR)/BENCH_shard_smoke.json
+	rm -f $(CURDIR)/BENCH_shard_smoke.json
+
 # bench-batch sweeps batched ensemble scoring and the live runtime
 # across micro-batch sizes (1/8/32/128) and writes the throughput and
 # speedup table to BENCH_batch.json.
@@ -104,5 +117,5 @@ bench-checkpoint:
 	@echo wrote $(CURDIR)/BENCH_checkpoint.json
 
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_batch.json BENCH_checkpoint.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_shard_smoke.json BENCH_batch.json BENCH_checkpoint.json
 	$(GO) clean ./...

@@ -24,8 +24,18 @@ import (
 
 // Version is the current on-disk format version. Decoders reject
 // anything newer: a downgraded binary must not half-read a future
-// layout.
-const Version = 1
+// layout. Older versions decode forever — version 1 (shared global
+// prediction log, no global journal stamps) restores into the current
+// store with synthesized stamps.
+//
+// Version history:
+//
+//	1 — initial format: per-shard flow tables/records/journal tails,
+//	    one global predictions section.
+//	2 — per-shard prediction logs: each shard section carries its own
+//	    Seq-stamped prediction log and each journal entry its global
+//	    ingest stamp; the global predictions section is written empty.
+const Version = 2
 
 // Snapshot is one checkpoint: everything the live pipeline needs to
 // resume where a crashed process left off.
@@ -50,7 +60,11 @@ type Snapshot struct {
 	ShardStates []ShardState
 	// Windows holds the per-flow model vote windows.
 	Windows []Window
-	// Predictions is the global prediction log in append order.
+	// Predictions is the version-1 global prediction log in append
+	// order. Version-2 snapshots persist predictions per shard in
+	// ShardStates (store.ShardExport.Preds) and leave this empty; it
+	// is populated only when decoding a version-1 file, and restore
+	// routes it through Checkpointable.ImportPredictions.
 	Predictions []store.PredictionRecord
 }
 

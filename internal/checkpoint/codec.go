@@ -26,6 +26,13 @@ import (
 // in index order, one windows section, one predictions section, and
 // nothing after — extra bytes, duplicate or missing sections, unknown
 // ids, and CRC mismatches all fail decode.
+//
+// Version 2 widens the shard section: each journal entry carries its
+// global ingest stamp (u64 after the per-shard seq) and the section
+// ends with the shard's Seq-sorted prediction log; prediction records
+// are prefixed with their global decision stamp. The predictions
+// section remains for version-1 files (and is written empty by v2
+// encoders); both versions decode.
 const (
 	secMeta        = 1
 	secShard       = 2
@@ -288,7 +295,13 @@ func getFlowRecord(r *reader) store.FlowRecord {
 	return rec
 }
 
-func putPrediction(w *writer, p store.PredictionRecord) {
+// putPrediction writes the version-1 record layout; version 2
+// prefixes it with the global decision sequence stamp (the field the
+// per-shard logs are sorted and merged by).
+func putPrediction(w *writer, p store.PredictionRecord, ver uint16) {
+	if ver >= 2 {
+		w.u64(p.Seq)
+	}
 	putKey(w, p.Key)
 	w.i64(int64(p.Label))
 	w.i64(int64(p.At))
@@ -301,13 +314,15 @@ func putPrediction(w *writer, p store.PredictionRecord) {
 	w.str(p.AttackType)
 }
 
-func getPrediction(r *reader) store.PredictionRecord {
-	p := store.PredictionRecord{
-		Key:     getKey(r),
-		Label:   int(r.i64()),
-		At:      netsim.Time(r.i64()),
-		Latency: netsim.Time(r.i64()),
+func getPrediction(r *reader, ver uint16) store.PredictionRecord {
+	var p store.PredictionRecord
+	if ver >= 2 {
+		p.Seq = r.u64()
 	}
+	p.Key = getKey(r)
+	p.Label = int(r.i64())
+	p.At = netsim.Time(r.i64())
+	p.Latency = netsim.Time(r.i64())
 	n := r.count(8)
 	if n > 0 {
 		p.Votes = make([]int, n)
@@ -329,12 +344,24 @@ func appendSection(dst []byte, id uint8, payload []byte) []byte {
 	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
 }
 
-// Encode serializes the snapshot into the canonical wire form: flows,
-// records, and windows sorted by wire key, so equal snapshots encode
-// to equal bytes regardless of map iteration order.
-func Encode(s *Snapshot) []byte {
+// Encode serializes the snapshot into the canonical wire form of the
+// current version: flows, records, and windows sorted by wire key, so
+// equal snapshots encode to equal bytes regardless of map iteration
+// order.
+func Encode(s *Snapshot) []byte { return encode(s, Version) }
+
+// EncodeV1 serializes the snapshot in the version-1 layout: journal
+// entries without global stamps, per-shard prediction logs dropped in
+// favour of the one global predictions section. It exists for
+// rollback tooling and for the cross-version tests that pin "an old
+// snapshot still restores" — new snapshots should use Encode. Callers
+// wanting the version-1 view of a version-2 snapshot must fold the
+// shard logs into s.Predictions themselves (see store.MergePredictions).
+func EncodeV1(s *Snapshot) []byte { return encode(s, 1) }
+
+func encode(s *Snapshot, ver uint16) []byte {
 	out := append([]byte(nil), magic[:]...)
-	out = binary.BigEndian.AppendUint16(out, Version)
+	out = binary.BigEndian.AppendUint16(out, ver)
 
 	var meta writer
 	meta.u32(uint32(s.Shards))
@@ -372,9 +399,19 @@ func Encode(s *Snapshot) []byte {
 		w.u32(uint32(len(sh.Store.Journal)))
 		for _, e := range sh.Store.Journal {
 			w.u64(e.Seq)
+			if ver >= 2 {
+				w.u64(e.GSeq)
+			}
 			putFlowRecord(&w, e.Rec)
 		}
 		w.u64(sh.Store.Seq)
+		if ver >= 2 {
+			// The shard's prediction log: Seq order is meaning, keep it.
+			w.u32(uint32(len(sh.Store.Preds)))
+			for _, p := range sh.Store.Preds {
+				putPrediction(&w, p, ver)
+			}
+		}
 		out = appendSection(out, secShard, w.buf)
 	}
 
@@ -397,7 +434,7 @@ func Encode(s *Snapshot) []byte {
 	var pw writer
 	pw.u32(uint32(len(s.Predictions)))
 	for _, p := range s.Predictions {
-		putPrediction(&pw, p)
+		putPrediction(&pw, p, ver)
 	}
 	out = appendSection(out, secPredictions, pw.buf)
 	return out
@@ -477,12 +514,36 @@ func Decode(data []byte) (*Snapshot, error) {
 			for i := 0; i < n && r.err == nil; i++ {
 				sh.Store.Flows = append(sh.Store.Flows, getFlowRecord(r))
 			}
-			n = r.count(keyWireLen + 8)
+			entrySize := keyWireLen + 8
+			if ver >= 2 {
+				entrySize += 8
+			}
+			n = r.count(entrySize)
 			for i := 0; i < n && r.err == nil; i++ {
-				seq := r.u64()
-				sh.Store.Journal = append(sh.Store.Journal, store.JournalEntry{Seq: seq, Rec: getFlowRecord(r)})
+				e := store.JournalEntry{Seq: r.u64()}
+				if ver >= 2 {
+					e.GSeq = r.u64()
+				}
+				e.Rec = getFlowRecord(r)
+				sh.Store.Journal = append(sh.Store.Journal, e)
 			}
 			sh.Store.Seq = r.u64()
+			if ver >= 2 {
+				var prevSeq uint64
+				n = r.count(keyWireLen + 8)
+				for i := 0; i < n && r.err == nil; i++ {
+					p := getPrediction(r, ver)
+					// The merge cursor's invariant: each shard's log is
+					// strictly Seq-sorted. A file violating it would
+					// silently scramble the reconstructed global order,
+					// so reject it here like any other corruption.
+					if r.err == nil && p.Seq <= prevSeq {
+						return nil, fmt.Errorf("checkpoint: shard %d prediction log not Seq-sorted (%d after %d)", idx, p.Seq, prevSeq)
+					}
+					prevSeq = p.Seq
+					sh.Store.Preds = append(sh.Store.Preds, p)
+				}
+			}
 			if r.err == nil {
 				snap.ShardStates[idx] = sh
 				shardsSeen++
@@ -508,7 +569,7 @@ func Decode(data []byte) (*Snapshot, error) {
 			sawPreds = true
 			n := r.count(keyWireLen)
 			for i := 0; i < n && r.err == nil; i++ {
-				snap.Predictions = append(snap.Predictions, getPrediction(r))
+				snap.Predictions = append(snap.Predictions, getPrediction(r, ver))
 			}
 		default:
 			return nil, fmt.Errorf("checkpoint: unknown section id %d", id)

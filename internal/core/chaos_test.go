@@ -68,12 +68,15 @@ func feedChaos(l *Live, nFlows, updates int) map[string]bool {
 	return truth
 }
 
-// settle waits until every snapshot has been polled (or dropped) and
-// every polled record resolved, i.e. the accounting invariant holds
-// with nothing in flight.
+// settle waits until the ingest demux has drained, every snapshot has
+// been polled (or dropped) and every polled record resolved, i.e. the
+// accounting invariant holds with nothing in flight.
 func settle(t *testing.T, l *Live, d time.Duration) {
 	t.Helper()
 	ok := waitFor(t, d, func() bool {
+		if l.IngestBacklog() != 0 {
+			return false
+		}
 		if l.Polled.Load()+l.StoreDropped.Load() < l.Snapshots.Load() {
 			return false
 		}

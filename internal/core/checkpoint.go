@@ -109,14 +109,19 @@ func (l *Live) restoreLatest(dir string) error {
 		sum.Flows += len(sh.Table)
 		sum.StoreFlows += len(sh.Store.Flows)
 		sum.JournalPending += len(sh.Store.Journal)
+		sum.Predictions += len(sh.Store.Preds)
 	}
 	for _, w := range snap.Windows {
 		shard := w.Key.Shard(l.nShards)
 		l.shards[shard].windows[w.Key] = append([]int(nil), w.Votes...)
 	}
 	sum.Windows = len(snap.Windows)
-	l.ckptStore.ImportPredictions(snap.Predictions)
-	sum.Predictions = len(snap.Predictions)
+	if len(snap.Predictions) > 0 {
+		// Version-1 snapshot: the prediction log is one global section;
+		// ImportPredictions routes it onto the per-shard logs.
+		l.ckptStore.ImportPredictions(snap.Predictions)
+		sum.Predictions += len(snap.Predictions)
+	}
 	l.ckptSeq.Store(snap.Seq)
 	l.restored = sum
 	l.met.restores.Inc()
@@ -138,10 +143,29 @@ func (l *Live) restoreLatest(dir string) error {
 // records would restore them nowhere.
 var ErrBarrierTimeout = errors.New("core: checkpoint barrier timed out waiting for in-flight records")
 
+// settleIngest waits until every observation accepted by the ingest
+// demux before this call is journaled. Runs before the capture takes
+// the shard barriers (the ingesters must be free to drain); reports
+// accepted while it waits ride the snapshot or the journal tail, both
+// fine — what must not happen is an accepted report vanishing into a
+// demux queue the crash model discards.
+func (l *Live) settleIngest() error {
+	target := l.ingestAccepted.Load()
+	deadline := time.Now().Add(l.cfg.CheckpointBarrierTimeout)
+	for l.ingestDone.Load() < target {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w (accepted=%d journaled=%d)",
+				ErrBarrierTimeout, target, l.ingestDone.Load())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
 // settleInflight waits until every record the pollers handed off is
-// accounted — decided, shed, or abandoned. Callers hold the ckptMu
-// write lock, so pollers, ingest, and the sweeper are parked and the
-// counts can only converge.
+// accounted — decided, shed, or abandoned. Callers hold every shard's
+// ckptMu write lock, so pollers, ingest, and the sweeper are parked
+// and the counts can only converge.
 func (l *Live) settleInflight() error {
 	deadline := time.Now().Add(l.cfg.CheckpointBarrierTimeout)
 	for {
@@ -157,18 +181,30 @@ func (l *Live) settleInflight() error {
 }
 
 // CaptureCheckpoint quiesces the pipeline and captures a consistent
-// snapshot of its durable state: it blocks new ingest, polling, and
-// sweeps (a write lock the hot paths hold for reads per operation),
-// waits for in-flight records to finish, then exports every shard's
-// flow table and store state, the vote windows, and the prediction
-// log. The freeze lasts for the export only; encoding and disk IO
-// happen after the lock is released.
+// snapshot of its durable state: it first drains the ingest demux of
+// everything accepted so far, then blocks new ingest, polling, and
+// sweeps (per-shard write locks the hot paths hold for reads per
+// operation), waits for in-flight records to finish, and exports
+// every shard's flow table and store state (per-shard prediction logs
+// included) and the vote windows. The freeze lasts for the export
+// only; encoding and disk IO happen after the locks are released.
 func (l *Live) CaptureCheckpoint() (*checkpoint.Snapshot, error) {
 	if l.ckptStore == nil {
 		return nil, errors.New("core: store does not support checkpointing")
 	}
-	l.ckptMu.Lock()
-	defer l.ckptMu.Unlock()
+	if err := l.settleIngest(); err != nil {
+		return nil, err
+	}
+	// Take every shard's barrier in ascending order — the fixed order
+	// the sweeper also uses, so the acquisition set is acyclic.
+	for s := range l.ckptMu {
+		l.ckptMu[s].Lock()
+	}
+	defer func() {
+		for s := range l.ckptMu {
+			l.ckptMu[s].Unlock()
+		}
+	}()
 	if err := l.settleInflight(); err != nil {
 		return nil, err
 	}
@@ -193,7 +229,8 @@ func (l *Live) CaptureCheckpoint() (*checkpoint.Snapshot, error) {
 		}
 		sh.mu.Unlock()
 	}
-	snap.Predictions = l.rawDB.Predictions()
+	// Predictions travel inside each ShardExport since format version
+	// 2; the snapshot-level log exists only for version-1 files.
 	return snap, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/ml"
 	"github.com/amlight/intddos/internal/netsim"
+	"github.com/amlight/intddos/internal/store"
 )
 
 // countVoter votes attack while a flow's update count is below
@@ -158,6 +159,102 @@ func TestKillRestoreBitIdentical(t *testing.T) {
 		for i := range wantSeq {
 			if gotSeq[i] != wantSeq[i] {
 				t.Errorf("flow %s decision %d diverged across the crash:\n got: %s\nwant: %s",
+					key, i, gotSeq[i], wantSeq[i])
+			}
+		}
+	}
+}
+
+// TestKillRestoreV1Compat pins the cross-version promise: a version-1
+// snapshot — global prediction log, journal entries without global
+// stamps — still restores into today's pipeline, and the restored run
+// finishes the stream with per-flow decision sequences bit-identical
+// to an uninterrupted reference. The v1 file is built from a live
+// capture via checkpoint.EncodeV1, folding the per-shard logs into
+// the one global section exactly as a version-1 writer recorded them.
+func TestKillRestoreV1Compat(t *testing.T) {
+	const nFlows, cut, total = 30, 3, 6
+
+	a, err := NewLive(ckptConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	feedRange(a, nFlows, 0, total)
+	settle(t, a, 5*time.Second)
+	a.Stop()
+	want := predTrace(a)
+
+	// Crash run: capture the prefix, then write it in the version-1
+	// layout — the snapshot an old binary would have left on disk.
+	b, err := NewLive(ckptConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	feedRange(b, nFlows, 0, cut)
+	snap, err := b.CaptureCheckpoint()
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	b.Stop()
+	logs := make([][]store.PredictionRecord, len(snap.ShardStates))
+	for s := range snap.ShardStates {
+		logs[s] = snap.ShardStates[s].Store.Preds
+	}
+	snap.Predictions = store.MergePredictions(logs)
+	dir := t.TempDir()
+	data := checkpoint.EncodeV1(snap)
+	if err := os.WriteFile(filepath.Join(dir, checkpoint.FileName(snap.Seq)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewLive(ckptConfig(dir))
+	if err != nil {
+		t.Fatalf("restore from v1 snapshot: %v", err)
+	}
+	r := c.Restore()
+	if r == nil {
+		t.Fatal("no restore summary after booting from a v1 checkpoint")
+	}
+	if r.Predictions != len(snap.Predictions) {
+		t.Errorf("restored %d predictions from the v1 global log, want %d", r.Predictions, len(snap.Predictions))
+	}
+	c.Start()
+	feedRange(c, nFlows, cut, total)
+	wantPreds := len(a.DB.Predictions())
+	if !waitFor(t, 5*time.Second, func() bool {
+		return len(c.DB.Predictions()) >= wantPreds &&
+			c.Polled.Load() == int64(c.DecisionCount())+c.Shed.Load()+c.Abandoned.Load()
+	}) {
+		t.Fatalf("restored run produced %d predictions, reference %d", len(c.DB.Predictions()), wantPreds)
+	}
+	c.Stop()
+	assertAccounting(t, c)
+
+	// The re-stamped history plus post-restore decisions still merge
+	// into one strictly increasing global order.
+	merged := c.DB.Predictions()
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Seq <= merged[i-1].Seq {
+			t.Fatalf("merged log not strictly Seq-increasing at %d after v1 restore", i)
+		}
+	}
+
+	got := predTrace(c)
+	if len(got) != len(want) {
+		t.Fatalf("restored run decided %d flows, reference %d", len(got), len(want))
+	}
+	for key, wantSeq := range want {
+		gotSeq := got[key]
+		if len(gotSeq) != len(wantSeq) {
+			t.Errorf("flow %s: %d predictions vs reference %d\n got: %v\nwant: %v",
+				key, len(gotSeq), len(wantSeq), gotSeq, wantSeq)
+			continue
+		}
+		for i := range wantSeq {
+			if gotSeq[i] != wantSeq[i] {
+				t.Errorf("flow %s decision %d diverged across the v1 restore:\n got: %s\nwant: %s",
 					key, i, gotSeq[i], wantSeq[i])
 			}
 		}

@@ -46,6 +46,16 @@ type LiveConfig struct {
 	// journal order — the invariant the vote window needs.
 	Workers int
 
+	// IngestQueueCap bounds each shard's ingest queue (default 1024).
+	// HandleReport demuxes reports onto per-shard queues by flow-key
+	// hash; one ingester goroutine per shard drains its queue into the
+	// flow table and journal, so report producers never serialize on a
+	// single journal appender. A full queue applies backpressure to
+	// the producer (like the paper's collector socket) rather than
+	// dropping; reports arriving after Stop are dropped and counted in
+	// intddos_ingest_dropped_total.
+	IngestQueueCap int
+
 	// Shards stripes the flow table, the database journal, and the
 	// dispatch to prediction workers by flow.Key hash. Zero selects
 	// the legacy single-lock store.DB (the paper's one-database
@@ -192,9 +202,11 @@ type liveMetrics struct {
 	misclass  *obs.CounterVec // by attack_type
 
 	// Bottleneck-attribution instruments: ingest calls that found the
-	// checkpoint barrier held, and per-shard poll throughput.
-	ingestStalls *obs.Counter
-	shardPolled  *obs.CounterVec // by shard
+	// checkpoint barrier held, reports dropped at the ingest demux
+	// after Stop, and per-shard poll throughput.
+	ingestStalls  *obs.Counter
+	ingestDropped *obs.Counter
+	shardPolled   *obs.CounterVec // by shard
 
 	// Robustness accounting: every record the pollers hand off is
 	// eventually a decision, a shed, or an abandonment with a reason —
@@ -245,6 +257,7 @@ func newLiveMetrics(reg *obs.Registry) liveMetrics {
 		decisions:         reg.CounterVec("intddos_decisions_total", "attack_type"),
 		misclass:          reg.CounterVec("intddos_misclassified_total", "attack_type"),
 		ingestStalls:      reg.Counter("intddos_ingest_barrier_stalls_total"),
+		ingestDropped:     reg.Counter("intddos_ingest_dropped_total"),
 		shardPolled:       reg.CounterVec("intddos_shard_polled_total", "shard"),
 		abandoned:         reg.CounterVec("intddos_records_abandoned", "reason"),
 		workerRestarts:    reg.Counter("intddos_worker_restarts_total"),
@@ -332,19 +345,38 @@ type Live struct {
 	DB  store.Store
 	fdb store.Fallible // non-nil when DB surfaces transient errors
 
-	// Checkpointing. ckptMu is the capture barrier: ingest, the shard
-	// pollers, and the sweeper hold it for read per operation; a
-	// checkpoint takes the write side, waits for in-flight records to
-	// settle, and exports a consistent cut. rawDB/ckptStore reference
-	// the concrete store beneath any fault wrapper — a checkpoint must
-	// read real state, not a fault-shaped view of it.
-	ckptMu      sync.RWMutex
+	// Checkpointing. ckptMu is the capture barrier, one lock per
+	// shard: ingesters and shard pollers hold only their own shard's
+	// lock for read per operation, so shards never contend with each
+	// other on the barrier; the sweeper and a checkpoint capture take
+	// every lock in ascending shard order (all-read and all-write
+	// respectively — the fixed order keeps the set acyclic), wait for
+	// in-flight records to settle, and export a consistent cut.
+	// rawDB/ckptStore reference the concrete store beneath any fault
+	// wrapper — a checkpoint must read real state, not a fault-shaped
+	// view of it.
+	ckptMu      []sync.RWMutex
 	ckptStore   store.Checkpointable
 	rawDB       store.Store
 	ckptSeq     atomic.Uint64
 	fingerprint uint64
 	restored    *RestoreSummary
 	completed   atomic.Int64 // records fully finished (decision + prediction logged)
+
+	// Multi-producer ingest: HandleReport demuxes reports onto
+	// per-shard queues; one ingester goroutine per shard owns the
+	// journal appends for its stripe. ingestQuit (not a channel close
+	// — producers are external and uncounted) stops the ingesters,
+	// which drain their queues before exiting. ingestAccepted counts
+	// observations enqueued, ingestDone observations journaled; the
+	// difference is the demux backlog, which a checkpoint capture
+	// settles before its cut (an accepted report must not vanish into
+	// a queue the simulated crash discards).
+	ingestChs      []chan flow.PacketInfo
+	ingestQuit     chan struct{}
+	ingestWg       sync.WaitGroup
+	ingestAccepted atomic.Int64
+	ingestDone     atomic.Int64
 
 	workerChs []chan queued
 	quit      chan struct{}
@@ -416,6 +448,9 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
+	}
+	if cfg.IngestQueueCap <= 0 {
+		cfg.IngestQueueCap = 1024
 	}
 	if cfg.Shards < 0 {
 		cfg.Shards = 0
@@ -517,12 +552,18 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		rawDB:       rawDB,
 		ckptStore:   ckptStore,
 		fingerprint: fingerprint,
+		ckptMu:      make([]sync.RWMutex, nShards),
+		ingestQuit:  make(chan struct{}),
 		quit:        make(chan struct{}),
 		reg:         cfg.Registry,
 	}
 	l.fdb, _ = db.(store.Fallible)
 	for i := range l.shards {
 		l.shards[i] = &liveShard{windows: make(map[flow.Key][]int)}
+	}
+	l.ingestChs = make([]chan flow.PacketInfo, nShards)
+	for i := range l.ingestChs {
+		l.ingestChs[i] = make(chan flow.PacketInfo, cfg.IngestQueueCap)
 	}
 	perWorkerCap := cfg.QueueCap / cfg.Workers
 	if perWorkerCap < 1 {
@@ -580,6 +621,13 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		n := 0
 		for _, ch := range l.workerChs {
 			n += cap(ch)
+		}
+		return float64(n)
+	})
+	l.reg.GaugeFunc("intddos_ingest_queue_depth", func() float64 {
+		n := 0
+		for _, ch := range l.ingestChs {
+			n += len(ch)
 		}
 		return float64(n)
 	})
@@ -666,6 +714,8 @@ func (l *Live) Start() {
 	l.event("pipeline started", "component", "lifecycle",
 		"shards", l.nShards, "workers", l.cfg.Workers)
 	for s := 0; s < l.nShards; s++ {
+		l.ingestWg.Add(1)
+		go l.ingester(s)
 		l.pollWg.Add(1)
 		go l.shardPoller(s)
 	}
@@ -683,16 +733,35 @@ func (l *Live) Start() {
 	}
 }
 
-// Stop terminates the pipeline in two phases — pollers first, then
-// the worker channels are closed and the workers drain them — and
-// waits for every goroutine. What happens to records still queued is
-// policy: with DrainOnStop they are scored and logged like any other
-// record; without it they are counted in
+// Stop terminates the pipeline in three phases — the ingesters drain
+// their queues and exit, then the pollers stop, then the worker
+// channels are closed and the workers drain them — and waits for
+// every goroutine. What happens to records still queued is policy:
+// with DrainOnStop they are scored and logged like any other record;
+// without it they are counted in
 // intddos_records_abandoned{reason="stop"}. Either way nothing is
-// dropped silently. Stop is idempotent — extra and concurrent calls
-// wait for the same shutdown and return.
+// dropped silently (reports handed to HandleReport after Stop begins
+// are counted in intddos_ingest_dropped_total). Stop is idempotent —
+// extra and concurrent calls wait for the same shutdown and return.
 func (l *Live) Stop() {
 	l.stop.Do(func() {
+		close(l.ingestQuit)
+		l.ingestWg.Wait()
+		// A producer racing Stop can land a report in a queue after its
+		// ingester's final drain; fold those in before the pollers stop
+		// so they are journaled, not stranded.
+		for _, ch := range l.ingestChs {
+		drain:
+			for {
+				select {
+				case pi := <-ch:
+					l.Ingest(pi)
+					l.ingestDone.Add(1)
+				default:
+					break drain
+				}
+			}
+		}
 		close(l.quit)
 		l.pollWg.Wait()
 		// Only the pollers write to the worker channels, so after
@@ -779,7 +848,7 @@ func (l *Live) describeConfig() string {
 	fmt.Fprintf(&b, "shards=%d\nworkers=%d\n", l.nShards, cfg.Workers)
 	fmt.Fprintf(&b, "models=%s\nquorum=%d\nvote_window=%d\n", strings.Join(models, ","), cfg.ModelQuorum, cfg.VoteWindow)
 	fmt.Fprintf(&b, "features=%d\n", len(cfg.Scaler.Mean))
-	fmt.Fprintf(&b, "poll_interval=%s\npoll_batch=%d\nqueue_cap=%d\n", cfg.PollInterval, cfg.PollBatch, cfg.QueueCap)
+	fmt.Fprintf(&b, "poll_interval=%s\npoll_batch=%d\nqueue_cap=%d\ningest_queue_cap=%d\n", cfg.PollInterval, cfg.PollBatch, cfg.QueueCap, cfg.IngestQueueCap)
 	fmt.Fprintf(&b, "predict_batch=%d\npredict_linger=%s\n", cfg.PredictBatch, cfg.PredictLinger)
 	fmt.Fprintf(&b, "skip_new_records=%t\ndrain_on_stop=%t\n", cfg.SkipNewRecords, cfg.DrainOnStop)
 	fmt.Fprintf(&b, "flow_idle_timeout=%s\nsweep_interval=%s\n", cfg.FlowIdleTimeout, cfg.SweepInterval)
@@ -817,13 +886,16 @@ func (l *Live) sleepQuit(d time.Duration) bool {
 
 // HandleReport ingests one decoded INT report (INT Data Collection →
 // Data Processor), applying the telemetry fault schedule when one is
-// configured. Safe for concurrent use.
+// configured. Safe for concurrent use from any number of producers:
+// reports are demuxed onto per-shard ingest queues and journaled by
+// the shard's ingester goroutine, so producers only hash the key and
+// enqueue.
 func (l *Live) HandleReport(r *telemetry.Report) {
 	l.Reports.Add(1)
 	l.met.reports.Inc()
 	in := l.cfg.Fault
 	if in == nil {
-		l.Ingest(flow.FromINT(r, now()))
+		l.IngestAsync(flow.FromINT(r, now()))
 		return
 	}
 	if in.CorruptReport(r) {
@@ -839,23 +911,78 @@ func (l *Live) HandleReport(r *telemetry.Report) {
 		time.Sleep(d)
 		pi.At = now()
 	}
-	l.Ingest(pi)
+	l.IngestAsync(pi)
+}
+
+// IngestAsync hands a normalized observation to its shard's ingester
+// goroutine. The observation timestamp is taken here — arrival order
+// at the demux, not queue-drain order, defines the flow's clock. A
+// full shard queue blocks the producer (backpressure, like the
+// paper's collector socket); after Stop begins the report is dropped
+// and counted instead, because the ingesters are gone.
+func (l *Live) IngestAsync(pi flow.PacketInfo) {
+	if pi.At == 0 {
+		pi.At = now()
+	}
+	select {
+	case l.ingestChs[pi.Key.Shard(l.nShards)] <- pi:
+		l.ingestAccepted.Add(1)
+	case <-l.ingestQuit:
+		l.met.ingestDropped.Inc()
+	}
+}
+
+// IngestBacklog is how many accepted observations are still queued at
+// the ingest demux, not yet folded into the flow table and journal.
+func (l *Live) IngestBacklog() int64 {
+	return l.ingestAccepted.Load() - l.ingestDone.Load()
+}
+
+// ingester owns one shard's ingest: it drains the shard's queue into
+// the flow-table stripe and journal. One goroutine per shard keeps
+// journal appends single-writer per stripe while producers fan in
+// concurrently. On Stop it drains what is queued, then exits.
+func (l *Live) ingester(shard int) {
+	defer l.ingestWg.Done()
+	ch := l.ingestChs[shard]
+	for {
+		select {
+		case pi := <-ch:
+			l.Ingest(pi)
+			l.ingestDone.Add(1)
+		case <-l.ingestQuit:
+			for {
+				select {
+				case pi := <-ch:
+					l.Ingest(pi)
+					l.ingestDone.Add(1)
+				default:
+					return
+				}
+			}
+		}
+	}
 }
 
 // Ingest folds a normalized observation into its flow-table stripe
 // and writes the snapshot to the database shard, retrying transient
 // store errors with backoff. Safe for concurrent use; observations of
-// flows on different shards never contend.
+// flows on different shards never contend. Most callers want
+// IngestAsync — Ingest applies the observation on the calling
+// goroutine.
 func (l *Live) Ingest(pi flow.PacketInfo) {
 	// Checkpoint barrier: a capture in progress parks ingest until the
-	// consistent cut is taken. A miss on the read lock means the single
-	// ingest producer stalled behind the barrier — counted, because
-	// from the outside it is indistinguishable from slow ingest.
-	if !l.ckptMu.TryRLock() {
+	// consistent cut is taken. Only this shard's barrier lock is taken,
+	// so ingest on different shards never serializes here. A miss on
+	// the read lock means the shard's ingest stalled behind the
+	// barrier — counted, because from the outside it is
+	// indistinguishable from slow ingest.
+	bar := &l.ckptMu[pi.Key.Shard(l.nShards)]
+	if !bar.TryRLock() {
 		l.met.ingestStalls.Inc()
-		l.ckptMu.RLock()
+		bar.RLock()
 	}
-	defer l.ckptMu.RUnlock()
+	defer bar.RUnlock()
 	start := time.Now()
 	if pi.At == 0 {
 		pi.At = now()
@@ -988,14 +1115,14 @@ func (l *Live) shardPoller(shard int) {
 		case <-ticker.C:
 			// Checkpoint barrier: while a capture is in progress no new
 			// records are polled or handed off, so in-flight work can
-			// only drain.
-			l.ckptMu.RLock()
+			// only drain. Each poller takes only its own shard's lock.
+			l.ckptMu[shard].RLock()
 			recs, cur, ok := l.pollOnce(shard, cursor)
 			l.met.polls.Inc()
 			if !ok {
 				// Transient poll failure: the cursor is unchanged, so
 				// the same entries come back at the next tick.
-				l.ckptMu.RUnlock()
+				l.ckptMu[shard].RUnlock()
 				l.reassessHealth()
 				continue
 			}
@@ -1021,7 +1148,7 @@ func (l *Live) shardPoller(shard int) {
 					l.noteShedding("worker queue full")
 				}
 			}
-			l.ckptMu.RUnlock()
+			l.ckptMu[shard].RUnlock()
 			l.reassessHealth()
 		}
 	}
@@ -1091,9 +1218,17 @@ func (l *Live) onEvict(key flow.Key) {
 // (a late decision can re-create a window after its flow was swept).
 func (l *Live) sweep() {
 	// Checkpoint barrier: sweeps mutate all three stores at once and
-	// must not interleave with a capture.
-	l.ckptMu.RLock()
-	defer l.ckptMu.RUnlock()
+	// must not interleave with a capture, so every shard's barrier is
+	// held for read — in ascending order, the same order a capture
+	// takes the write side.
+	for s := range l.ckptMu {
+		l.ckptMu[s].RLock()
+	}
+	defer func() {
+		for s := range l.ckptMu {
+			l.ckptMu[s].RUnlock()
+		}
+	}()
 	evicted := l.tables.Sweep(now())
 	// Orphan pass: collect keys under the window lock, probe the table
 	// without holding it (the eviction hook locks window under table;

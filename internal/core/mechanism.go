@@ -85,9 +85,9 @@ type Config struct {
 	// Shards selects the database layout: zero keeps the paper's
 	// single-lock store.DB, n >= 1 stripes the journal over a
 	// store.ShardedDB with n shards. The simulated mechanism is
-	// single-threaded either way — sharding here exists so the
-	// reproduction can assert that a sharded store is observably
-	// identical to the legacy one (Table VI is bit-exact at n=1).
+	// single-threaded either way, and the CentralServer polls the
+	// merged global journal order, so the decision stream — and Table
+	// VI — is bit-exact at every shard count.
 	Shards int
 }
 
@@ -119,7 +119,12 @@ type Mechanism struct {
 	Table *flow.Table
 	DB    store.Store
 
-	cursors []uint64
+	// gcursor is the CentralServer's position in the global journal
+	// order: PollGlobal merges the per-shard journals by their global
+	// ingest stamps, so the poll stream is the exact sequence of
+	// UpsertFlow calls regardless of shard count — the invariant the
+	// Table VI golden tests pin across layouts.
+	gcursor uint64
 	queue   []store.FlowRecord
 	busy    bool
 	windows map[flow.Key][]int
@@ -191,7 +196,6 @@ func New(eng *netsim.Engine, cfg Config) (*Mechanism, error) {
 		cfg:     cfg,
 		Table:   flow.NewTable(),
 		DB:      db,
-		cursors: make([]uint64, db.Shards()),
 		windows: make(map[flow.Key][]int),
 	}
 	m.Table.IdleTimeout = cfg.FlowIdleTimeout
@@ -238,23 +242,21 @@ func (m *Mechanism) observe(pi flow.PacketInfo) {
 	m.Snapshots++
 }
 
-// pollTick is the CentralServer: fetch journal updates from every
-// shard (in shard-index order, which for the legacy single-shard DB
-// is exactly the old single-journal poll), enqueue them for
-// prediction, re-arm.
+// pollTick is the CentralServer: fetch journal updates in global
+// ingest order — one merged stream across every shard, which for the
+// legacy single-shard DB is exactly the old single-journal poll —
+// enqueue them for prediction, re-arm.
 func (m *Mechanism) pollTick() {
-	for s := range m.cursors {
-		recs, cur := m.DB.PollShard(s, m.cursors[s], m.cfg.PollBatch)
-		m.cursors[s] = cur
-		for _, rec := range recs {
-			if m.cfg.QueueCap > 0 && len(m.queue) >= m.cfg.QueueCap {
-				m.DroppedPolls++
-				continue
-			}
-			m.queue = append(m.queue, rec)
+	recs, cur := m.DB.PollGlobal(m.gcursor, m.cfg.PollBatch)
+	m.gcursor = cur
+	for _, rec := range recs {
+		if m.cfg.QueueCap > 0 && len(m.queue) >= m.cfg.QueueCap {
+			m.DroppedPolls++
+			continue
 		}
-		m.DB.TrimShard(s, cur)
+		m.queue = append(m.queue, rec)
 	}
+	m.DB.TrimGlobal(cur)
 	if len(m.queue) > m.MaxQueue {
 		m.MaxQueue = len(m.queue)
 	}

@@ -84,6 +84,15 @@ func (s *Store) TryPollShard(shard int, cursor uint64, max int) ([]store.FlowRec
 // only delay memory reclamation, not detection).
 func (s *Store) TrimShard(shard int, cursor uint64) { s.inner.TrimShard(shard, cursor) }
 
+// PollGlobal stalls, then polls through.
+func (s *Store) PollGlobal(cursor uint64, max int) ([]store.FlowRecord, uint64) {
+	s.stall()
+	return s.inner.PollGlobal(cursor, max)
+}
+
+// TrimGlobal writes through, like TrimShard.
+func (s *Store) TrimGlobal(cursor uint64) { s.inner.TrimGlobal(cursor) }
+
 // JournalLen reads through.
 func (s *Store) JournalLen() int { return s.inner.JournalLen() }
 

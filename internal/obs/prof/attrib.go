@@ -61,7 +61,12 @@ type Report struct {
 }
 
 // StageRule maps a substring of a stack frame to a pipeline stage
-// name. First match (innermost frame outward, rules in order) wins.
+// name. Rules are tried in order, each against every frame (innermost
+// outward); the first rule with a matching frame wins. Rule order is
+// therefore priority: named pipeline functions come before the
+// generic runtime channel buckets, so "blocked in select inside the
+// ingester" attributes to the ingest stage, not to the catch-all
+// queue bucket.
 type StageRule struct {
 	Match string
 	Stage string
@@ -75,13 +80,20 @@ func PipelineStages() []StageRule {
 	return []StageRule{
 		{"store.(*ShardedDB).AppendPrediction", "store.prediction_log"},
 		{"store.(*DB).AppendPrediction", "store.prediction_log"},
+		{"store.(*ShardedDB).Predictions", "store.prediction_merge"},
+		{"store.MergePredictions", "store.prediction_merge"},
 		{"store.(*DB).UpsertFlow", "store.shard_upsert"},
 		{"store.(*DB).PollUpdates", "store.journal_poll"},
 		{"store.(*DB).TrimJournal", "store.journal_poll"},
+		{"store.(*DB).PollGlobal", "store.journal_poll"},
+		{"store.(*DB).TrimGlobal", "store.journal_poll"},
+		{"store.(*ShardedDB).PollGlobal", "store.journal_poll"},
 		{"store.(*DB).JournalLen", "store.journal_scan"},
 		{"store.(*DB).FlowCount", "store.journal_scan"},
 		{"flow.(*ShardedTable)", "flow.table"},
 		{"core.(*Live).finish", "core.finish"},
+		{"core.(*Live).IngestAsync", "core.ingest_demux"},
+		{"core.(*Live).ingester", "core.ingest"},
 		{"core.(*Live).Ingest", "core.ingest"},
 		{"core.(*Live).upsertFlow", "core.ingest"},
 		{"core.(*Live).shardPoller", "core.poll"},
@@ -90,6 +102,11 @@ func PipelineStages() []StageRule {
 		{"core.(*Live).fillBatch", "worker.queue_recv"},
 		{"core.(*Live).runWorker", "worker.queue_recv"},
 		{"telemetry.", "telemetry.ingest"},
+		// Harness and runtime background stacks block on channels too;
+		// keep them out of the worker-starvation buckets.
+		{"testing.", "other"},
+		{"runtime.unique_runtime_registerUniqueMapCleanup", "other"},
+		{"runtime.gcBgMarkWorker", "other"},
 		{"runtime.chanrecv", "worker.queue_recv"},
 		{"runtime.chansend", "worker.queue_send"},
 		{"runtime.selectgo", "worker.queue_select"},
@@ -99,11 +116,11 @@ func PipelineStages() []StageRule {
 	}
 }
 
-// attribute maps a stack to its stage: innermost frame outward, first
-// rule that matches wins.
+// attribute maps a stack to its stage: rules in priority order, each
+// tried against every frame, first rule with a matching frame wins.
 func attribute(frames []string, rules []StageRule) string {
-	for _, f := range frames {
-		for _, r := range rules {
+	for _, r := range rules {
+		for _, f := range frames {
 			if strings.Contains(f, r.Match) {
 				return r.Stage
 			}

@@ -2,27 +2,35 @@ package store
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/amlight/intddos/internal/flow"
 )
 
 // JournalEntry is one exported journal row: the dense per-shard
-// sequence number plus the record snapshot taken at write time. It is
-// the unit the checkpoint subsystem persists so a restored store
-// resumes polling exactly where the crashed process left off.
+// sequence number, the global ingest stamp shared across shards, and
+// the record snapshot taken at write time. It is the unit the
+// checkpoint subsystem persists so a restored store resumes polling
+// exactly where the crashed process left off. GSeq is zero in exports
+// decoded from version-1 snapshots (the format predates the stamp);
+// ImportShard synthesizes fresh stamps for those, preserving
+// per-shard order.
 type JournalEntry struct {
-	Seq uint64
-	Rec FlowRecord
+	Seq  uint64
+	GSeq uint64
+	Rec  FlowRecord
 }
 
 // ShardExport is one shard's complete durable state: live flow
-// records, the unconsumed journal tail, and the shard's sequence
-// counter. Everything is deep-copied — mutating an export never
-// touches the store.
+// records, the unconsumed journal tail, the shard's sequence counter,
+// and — since snapshot version 2 — the shard's prediction log in Seq
+// order. Everything is deep-copied — mutating an export never touches
+// the store.
 type ShardExport struct {
 	Flows   []FlowRecord
 	Journal []JournalEntry
 	Seq     uint64
+	Preds   []PredictionRecord
 }
 
 // Checkpointable is the optional export/import surface of a store.
@@ -38,8 +46,10 @@ type Checkpointable interface {
 	// state. It fails when the shard index is out of range — the
 	// checkpointed shard count must match the store's.
 	ImportShard(shard int, ex ShardExport) error
-	// ImportPredictions replaces the prediction log with a restored
-	// history.
+	// ImportPredictions replaces the whole prediction log with a
+	// restored global-order history — the version-1 snapshot layout,
+	// where the log was one shared section. Version-2 snapshots carry
+	// predictions per shard inside ShardExport instead.
 	ImportPredictions(preds []PredictionRecord)
 }
 
@@ -51,54 +61,109 @@ func cloneRecord(rec FlowRecord) FlowRecord {
 	return snap
 }
 
+// clonePrediction deep-copies a prediction record (Votes is the only
+// reference field).
+func clonePrediction(p PredictionRecord) PredictionRecord {
+	snap := p
+	snap.Votes = append([]int(nil), p.Votes...)
+	return snap
+}
+
+// raiseCounter lifts an atomic sequence counter to at least v, so
+// stamps taken after a restore never collide with restored ones. The
+// restore path is single-threaded, but the CAS keeps this safe to
+// call at any time.
+func raiseCounter(ctr *atomic.Uint64, v uint64) {
+	for {
+		cur := ctr.Load()
+		if cur >= v || ctr.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // ExportShard deep-copies the DB's durable state (the legacy DB is
 // its own single shard).
 func (db *DB) ExportShard(shard int) ShardExport {
 	if shard != 0 {
 		return ShardExport{}
 	}
+	var ex ShardExport
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	ex := ShardExport{
-		Flows:   make([]FlowRecord, 0, len(db.flows)),
-		Journal: make([]JournalEntry, 0, len(db.journal)),
-		Seq:     db.seq,
-	}
+	ex.Flows = make([]FlowRecord, 0, len(db.flows))
 	for _, rec := range db.flows {
 		ex.Flows = append(ex.Flows, cloneRecord(*rec))
 	}
+	db.mu.Unlock()
+	db.jmu.Lock()
+	ex.Journal = make([]JournalEntry, 0, len(db.journal))
 	for _, e := range db.journal {
-		ex.Journal = append(ex.Journal, JournalEntry{Seq: e.seq, Rec: cloneRecord(e.rec)})
+		ex.Journal = append(ex.Journal, JournalEntry{Seq: e.seq, GSeq: e.gseq, Rec: cloneRecord(e.rec)})
 	}
+	ex.Seq = db.seq
+	db.jmu.Unlock()
+	db.pmu.Lock()
+	ex.Preds = make([]PredictionRecord, 0, len(db.preds))
+	for _, p := range db.preds {
+		ex.Preds = append(ex.Preds, clonePrediction(p))
+	}
+	db.pmu.Unlock()
 	return ex
 }
 
-// ImportShard replaces the DB's durable state with an export.
+// ImportShard replaces the DB's durable state with an export. Journal
+// entries without a global stamp (version-1 snapshots) get fresh ones
+// in journal order; the shared counters are raised past every
+// restored stamp so post-restore writes continue the sequences.
 func (db *DB) ImportShard(shard int, ex ShardExport) error {
 	if shard != 0 {
 		return fmt.Errorf("store: import shard %d out of range (DB has exactly one)", shard)
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.flows = make(map[flow.Key]*FlowRecord, len(ex.Flows))
 	for _, rec := range ex.Flows {
 		snap := cloneRecord(rec)
 		db.flows[rec.Key] = &snap
 	}
+	db.mu.Unlock()
+	db.jmu.Lock()
 	db.journal = make([]journalEntry, 0, len(ex.Journal))
 	for _, e := range ex.Journal {
-		db.journal = append(db.journal, journalEntry{seq: e.Seq, rec: cloneRecord(e.Rec)})
+		g := e.GSeq
+		if g == 0 {
+			g = db.gseqCtr.Add(1)
+		} else {
+			raiseCounter(db.gseqCtr, g)
+		}
+		db.journal = append(db.journal, journalEntry{seq: e.Seq, gseq: g, rec: cloneRecord(e.Rec)})
 	}
 	db.seq = ex.Seq
+	db.jmu.Unlock()
+	db.pmu.Lock()
+	db.preds = make([]PredictionRecord, 0, len(ex.Preds))
+	for _, p := range ex.Preds {
+		db.preds = append(db.preds, clonePrediction(p))
+		raiseCounter(db.predCtr, p.Seq)
+	}
+	db.pmu.Unlock()
 	return nil
 }
 
 // ImportPredictions replaces the prediction log with a restored
-// history.
+// global-order history (version-1 snapshot layout). Records without a
+// Seq stamp are stamped in input order.
 func (db *DB) ImportPredictions(preds []PredictionRecord) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.preds = append(db.preds[:0:0], preds...)
+	db.pmu.Lock()
+	defer db.pmu.Unlock()
+	db.preds = make([]PredictionRecord, 0, len(preds))
+	for _, p := range preds {
+		if p.Seq == 0 {
+			p.Seq = db.predCtr.Add(1)
+		} else {
+			raiseCounter(db.predCtr, p.Seq)
+		}
+		db.preds = append(db.preds, clonePrediction(p))
+	}
 }
 
 // ExportShard deep-copies one shard's durable state.
@@ -117,12 +182,29 @@ func (s *ShardedDB) ImportShard(shard int, ex ShardExport) error {
 	return s.shards[shard].ImportShard(0, ex)
 }
 
-// ImportPredictions replaces the global prediction log with a
-// restored history.
+// ImportPredictions replaces every shard's prediction log with a
+// restored global-order history (version-1 snapshot layout, one
+// shared log): records are routed to their key's shard, and records
+// without a Seq stamp are stamped in input order — input order is the
+// global order, so each shard's log comes out Seq-sorted and the
+// merge-on-read reconstructs exactly the restored history.
 func (s *ShardedDB) ImportPredictions(preds []PredictionRecord) {
-	s.predMu.Lock()
-	defer s.predMu.Unlock()
-	s.preds = append(s.preds[:0:0], preds...)
+	for _, sh := range s.shards {
+		sh.pmu.Lock()
+		sh.preds = nil
+		sh.pmu.Unlock()
+	}
+	for _, p := range preds {
+		sh := s.shardFor(p.Key)
+		sh.pmu.Lock()
+		if p.Seq == 0 {
+			p.Seq = s.predCtr.Add(1)
+		} else {
+			raiseCounter(s.predCtr, p.Seq)
+		}
+		sh.preds = append(sh.preds, clonePrediction(p))
+		sh.pmu.Unlock()
+	}
 }
 
 var (

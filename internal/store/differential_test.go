@@ -18,11 +18,14 @@ import (
 )
 
 // diffHarness holds one store plus the polling state a CentralServer
-// would keep for it.
+// would keep for it — per-shard cursors for the striped poll surface
+// and a global cursor for the merged journal order.
 type diffHarness struct {
-	db      Store
-	cursors []uint64
-	polled  map[flow.Key][]FlowRecord // journal entries seen, per flow
+	db           Store
+	cursors      []uint64
+	gcursor      uint64
+	polled       map[flow.Key][]FlowRecord // journal entries seen, per flow
+	globalPolled []FlowRecord              // merged-order journal stream
 }
 
 func newDiffHarness(db Store) *diffHarness {
@@ -57,6 +60,18 @@ func (h *diffHarness) pollAll(batch int, trim bool) {
 	}
 }
 
+// pollGlobalOnce advances the global cursor by one bounded poll,
+// appending to the merged-order stream; trim optionally follows the
+// cursor like the simulated CentralServer does.
+func (h *diffHarness) pollGlobalOnce(batch int, trim bool) {
+	recs, cur := h.db.PollGlobal(h.gcursor, batch)
+	h.globalPolled = append(h.globalPolled, recs...)
+	h.gcursor = cur
+	if trim {
+		h.db.TrimGlobal(cur)
+	}
+}
+
 // applyOp runs one deterministic operation against a store.
 func applyOp(rng *rand.Rand, h *diffHarness, keys []flow.Key, step int) {
 	key := keys[rng.Intn(len(keys))]
@@ -69,6 +84,31 @@ func applyOp(rng *rand.Rand, h *diffHarness, keys []flow.Key, step int) {
 		h.pollAll(1+rng.Intn(4), false)
 	case op < 9: // poll and trim
 		h.pollAll(1+rng.Intn(4), true)
+	default:
+		h.db.DeleteFlow(key)
+	}
+}
+
+// applyGlobalOp runs one deterministic operation against a store
+// driven the way the simulated mechanism drives it: global-order
+// polls and a prediction log alongside the ingest writes.
+func applyGlobalOp(rng *rand.Rand, h *diffHarness, keys []flow.Key, step int) {
+	key := keys[rng.Intn(len(keys))]
+	switch op := rng.Intn(10); {
+	case op < 5:
+		feats := []float64{float64(step), float64(rng.Intn(100))}
+		h.db.UpsertFlow(key, feats, netsim.Time(step), netsim.Time(step+1),
+			step, step%3 == 0, "synflood")
+	case op < 7: // global poll without trim
+		h.pollGlobalOnce(1+rng.Intn(4), false)
+	case op < 8: // global poll and trim
+		h.pollGlobalOnce(1+rng.Intn(4), true)
+	case op < 9: // log a decision
+		h.db.AppendPrediction(PredictionRecord{
+			Key: key, Label: rng.Intn(2), At: netsim.Time(step),
+			Latency: netsim.Time(rng.Intn(500)), Votes: []int{rng.Intn(2), rng.Intn(2)},
+			Truth: step%3 == 0, AttackType: "synflood",
+		})
 	default:
 		h.db.DeleteFlow(key)
 	}
@@ -99,6 +139,56 @@ func TestDifferentialShardedVsLegacy(t *testing.T) {
 				sharded.pollAll(64, true)
 
 				assertStoresEqual(t, legacy, sharded, keys)
+			})
+		}
+	}
+}
+
+// TestDifferentialGlobalPollAndPredictions replays identical
+// sequences of upserts, global-order polls, prediction appends, and
+// deletes into a legacy DB and ShardedDBs of several widths: the
+// merged global journal stream and the merged prediction log must be
+// identical element for element — cross-flow order included. This is
+// the store-level contract behind Table VI's byte-identity at every
+// shard count.
+func TestDifferentialGlobalPollAndPredictions(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		for seed := int64(0); seed < 4; seed++ {
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				keys := make([]flow.Key, 13)
+				for i := range keys {
+					keys[i] = testKey(i)
+				}
+				legacy := newDiffHarness(New())
+				sharded := newDiffHarness(NewSharded(shards))
+				rngA := rand.New(rand.NewSource(seed))
+				rngB := rand.New(rand.NewSource(seed))
+				for step := 0; step < 2000; step++ {
+					applyGlobalOp(rngA, legacy, keys, step)
+					applyGlobalOp(rngB, sharded, keys, step)
+				}
+				// Drain both global streams completely.
+				for {
+					before := len(legacy.globalPolled)
+					legacy.pollGlobalOnce(64, true)
+					sharded.pollGlobalOnce(64, true)
+					if len(legacy.globalPolled) == before {
+						break
+					}
+				}
+
+				wantStream := projectKeyedJournal(legacy.globalPolled)
+				gotStream := projectKeyedJournal(sharded.globalPolled)
+				if !reflect.DeepEqual(wantStream, gotStream) {
+					t.Errorf("global poll streams differ (%d vs %d records)", len(gotStream), len(wantStream))
+				}
+				if !reflect.DeepEqual(legacy.db.Predictions(), sharded.db.Predictions()) {
+					t.Errorf("prediction logs differ (%d vs %d records)",
+						sharded.db.PredictionCount(), legacy.db.PredictionCount())
+				}
+				if l, s := legacy.db.JournalLen(), sharded.db.JournalLen(); l != s {
+					t.Errorf("JournalLen after global drain: legacy %d, sharded %d", l, s)
+				}
 			})
 		}
 	}
@@ -136,6 +226,18 @@ func assertStoresEqual(t *testing.T, want, got *diffHarness, keys []flow.Key) {
 			t.Errorf("%s: journal sequences differ\nlegacy:  %v\nsharded: %v", key, wj, gj)
 		}
 	}
+}
+
+// projectKeyedJournal renders a polled stream with flow identity kept
+// — the projection for global-order comparisons, where cross-flow
+// interleaving is exactly what is under test.
+func projectKeyedJournal(recs []FlowRecord) []string {
+	out := make([]string, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, fmt.Sprintf("k=%s u=%d t=%v feat=%v truth=%v",
+			r.Key, r.Updates, r.UpdatedAt, r.Features, r.Truth))
+	}
+	return out
 }
 
 // projectJournal reduces polled records to the fields the prediction

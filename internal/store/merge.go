@@ -1,0 +1,66 @@
+package store
+
+// MergeCursor is the merge-on-read view over per-shard prediction
+// logs: a k-way merge by the global decision sequence stamped at
+// append time. Every input log must be Seq-sorted — AppendPrediction
+// guarantees it by taking the stamp inside the shard's log lock — and
+// the merged stream is then the one total order a single shared log
+// would have recorded: strictly increasing Seq, no duplicates, no
+// losses. The linearization property tests pin exactly this contract.
+//
+// A cursor reads snapshots, not the live store; take the snapshots
+// under a quiesced store (the checkpoint barrier) or accept that
+// appends racing the snapshot are simply not part of the view.
+type MergeCursor struct {
+	logs [][]PredictionRecord
+	pos  []int
+}
+
+// NewMergeCursor returns a cursor over the given Seq-sorted logs. The
+// slices are read, never mutated.
+func NewMergeCursor(logs [][]PredictionRecord) *MergeCursor {
+	return &MergeCursor{logs: logs, pos: make([]int, len(logs))}
+}
+
+// Next returns the record with the smallest Seq among the unconsumed
+// heads, or ok=false when every log is exhausted.
+func (c *MergeCursor) Next() (rec PredictionRecord, ok bool) {
+	best := -1
+	for i, log := range c.logs {
+		if c.pos[i] >= len(log) {
+			continue
+		}
+		if best < 0 || log[c.pos[i]].Seq < c.logs[best][c.pos[best]].Seq {
+			best = i
+		}
+	}
+	if best < 0 {
+		return PredictionRecord{}, false
+	}
+	rec = c.logs[best][c.pos[best]]
+	c.pos[best]++
+	return rec, true
+}
+
+// Remaining returns how many records the cursor has not yet yielded.
+func (c *MergeCursor) Remaining() int {
+	n := 0
+	for i, log := range c.logs {
+		n += len(log) - c.pos[i]
+	}
+	return n
+}
+
+// MergePredictions drains a MergeCursor over logs into one slice in
+// global decision order.
+func MergePredictions(logs [][]PredictionRecord) []PredictionRecord {
+	c := NewMergeCursor(logs)
+	out := make([]PredictionRecord, 0, c.Remaining())
+	for {
+		rec, ok := c.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, rec)
+	}
+}

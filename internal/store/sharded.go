@@ -2,7 +2,7 @@ package store
 
 import (
 	"strconv"
-	"sync"
+	"sync/atomic"
 
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/netsim"
@@ -10,12 +10,15 @@ import (
 )
 
 // ShardedDB stripes the database by flow.Key hash: N independent DB
-// shards, each with its own mutex, flow map, journal, and sequence
-// counter, plus one shared prediction log. Ingest for flows on
-// different shards never contends, and each shard's journal is polled
-// through its own cursor, so per-shard pollers scale with cores —
-// the partitioned per-bucket state AMON-style multi-gigabit monitors
-// use, applied to the paper's one-database design.
+// shards, each with its own locks, flow map, journal, and prediction
+// log. Ingest, polling, and decision logging for flows on different
+// shards never contend — the partitioned per-bucket state AMON-style
+// multi-gigabit monitors use, applied to the paper's one-database
+// design. The only cross-shard state is a pair of atomic sequence
+// counters: every journal entry carries a global ingest stamp and
+// every prediction a global decision stamp, so the per-shard logs are
+// mergeable into the exact total orders the legacy single-lock layout
+// recorded directly (PollGlobal, Predictions).
 //
 // With one shard, a ShardedDB is a thin wrapper around a single DB
 // and observably identical to it (the differential tests assert
@@ -24,14 +27,10 @@ import (
 type ShardedDB struct {
 	shards []*DB
 
-	predMu sync.Mutex
-	preds  []PredictionRecord
-
-	// predContention counts AppendPrediction calls that found predMu
-	// already held (nil-safe; set by Instrument). The prediction log
-	// is global across shards, so this is the store's prime
-	// serialization suspect under multi-worker load.
-	predContention *obs.Counter
+	// gseqCtr/predCtr are the shared global stamps, installed into
+	// every shard so stamping happens under the owning shard's lock.
+	gseqCtr *atomic.Uint64
+	predCtr *atomic.Uint64
 }
 
 // NewSharded returns an empty database striped over n shards (n < 1
@@ -40,9 +39,16 @@ func NewSharded(n int) *ShardedDB {
 	if n < 1 {
 		n = 1
 	}
-	s := &ShardedDB{shards: make([]*DB, n)}
+	s := &ShardedDB{
+		shards:  make([]*DB, n),
+		gseqCtr: new(atomic.Uint64),
+		predCtr: new(atomic.Uint64),
+	}
 	for i := range s.shards {
-		s.shards[i] = New()
+		sh := New()
+		sh.gseqCtr = s.gseqCtr
+		sh.predCtr = s.predCtr
+		s.shards[i] = sh
 	}
 	return s
 }
@@ -101,6 +107,48 @@ func (s *ShardedDB) TrimShard(shard int, cursor uint64) {
 	s.shards[shard].TrimJournal(cursor)
 }
 
+// PollGlobal returns up to max journal entries after cursor in global
+// ingest order: a k-way merge of the per-shard journals by their
+// global stamp. Each shard's journal is gseq-sorted, so the merge
+// reconstructs the exact interleaving a single shared journal would
+// have recorded. The returned cursor is the stamp of the last entry.
+func (s *ShardedDB) PollGlobal(cursor uint64, max int) ([]FlowRecord, uint64) {
+	heads := make([][]journalEntry, len(s.shards))
+	for i, sh := range s.shards {
+		heads[i] = sh.pollGlobalEntries(cursor, max)
+	}
+	out := make([]FlowRecord, 0, max)
+	for max <= 0 || len(out) < max {
+		best := -1
+		for i, h := range heads {
+			if len(h) == 0 {
+				continue
+			}
+			if best < 0 || h[0].gseq < heads[best][0].gseq {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cursor = heads[best][0].gseq
+		out = append(out, heads[best][0].rec)
+		heads[best] = heads[best][1:]
+	}
+	if len(out) == 0 {
+		return nil, cursor
+	}
+	return out, cursor
+}
+
+// TrimGlobal drops entries at or before cursor (global order) from
+// every shard's journal.
+func (s *ShardedDB) TrimGlobal(cursor uint64) {
+	for _, sh := range s.shards {
+		sh.TrimGlobal(cursor)
+	}
+}
+
 // JournalLen sums unconsumed journal entries across shards.
 func (s *ShardedDB) JournalLen() int {
 	n := 0
@@ -113,33 +161,42 @@ func (s *ShardedDB) JournalLen() int {
 // ShardJournalLen returns one shard's unconsumed journal length.
 func (s *ShardedDB) ShardJournalLen(shard int) int { return s.shards[shard].JournalLen() }
 
-// AppendPrediction logs a final decision. The prediction log is
-// global — one append-ordered history, like the legacy DB — because
-// decisions are already serialized per flow and the evaluation reads
-// the log as a whole.
+// AppendPrediction logs a final decision into the key's shard.
+// PR 2 kept one global log behind one mutex — the store's top
+// serialization point once workers scaled; decisions of flows on
+// different shards now never contend. The shared decision-sequence
+// stamp (taken under the shard's log lock) is what lets Predictions
+// reconstruct the global append order.
 func (s *ShardedDB) AppendPrediction(p PredictionRecord) {
-	if !s.predMu.TryLock() {
-		s.predContention.Inc() // nil-safe
-		s.predMu.Lock()
-	}
-	defer s.predMu.Unlock()
-	s.preds = append(s.preds, p)
+	s.shardFor(p.Key).AppendPrediction(p)
 }
 
-// Predictions returns a copy of the prediction log.
+// Predictions returns the prediction log in global decision order: a
+// merge-on-read of the Seq-sorted per-shard logs (see MergeCursor).
 func (s *ShardedDB) Predictions() []PredictionRecord {
-	s.predMu.Lock()
-	defer s.predMu.Unlock()
-	out := make([]PredictionRecord, len(s.preds))
-	copy(out, s.preds)
-	return out
+	logs := make([][]PredictionRecord, len(s.shards))
+	for i, sh := range s.shards {
+		logs[i] = sh.Predictions()
+	}
+	return MergePredictions(logs)
 }
 
-// PredictionCount returns the size of the prediction log.
+// ShardPredictions returns one shard's prediction log in Seq order
+// (the unit the checkpoint format persists per shard).
+func (s *ShardedDB) ShardPredictions(shard int) []PredictionRecord {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil
+	}
+	return s.shards[shard].Predictions()
+}
+
+// PredictionCount sums the per-shard prediction logs.
 func (s *ShardedDB) PredictionCount() int {
-	s.predMu.Lock()
-	defer s.predMu.Unlock()
-	return len(s.preds)
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.PredictionCount()
+	}
+	return n
 }
 
 // SetJournalNew toggles journaling of brand-new records on every
@@ -165,12 +222,13 @@ func (s *ShardedDB) Instrument(reg *obs.Registry) {
 	perShard := reg.GaugeVec("intddos_store_shard_journal_length", "shard")
 	hist := reg.Histogram("intddos_store_upsert_seconds", nil)
 	contention := reg.Counter("intddos_store_lock_contention_total")
-	s.predContention = reg.Counter("intddos_store_predlog_contention_total")
+	predContention := reg.Counter("intddos_store_predlog_contention_total")
 	for i, sh := range s.shards {
 		sh := sh
 		perShard.WithFunc(strconv.Itoa(i), func() float64 { return float64(sh.JournalLen()) })
 		sh.UpsertLatency = hist
 		sh.Contention = contention
+		sh.PredContention = predContention
 	}
 }
 

@@ -9,7 +9,9 @@
 package store
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/amlight/intddos/internal/flow"
@@ -50,6 +52,13 @@ type PredictionRecord struct {
 	// Votes are the per-model raw outputs behind the ensemble result.
 	Votes []int
 
+	// Seq is the global decision sequence number, stamped under the
+	// owning shard's prediction-log lock at append time from a counter
+	// shared across shards. Each per-shard log is therefore Seq-sorted,
+	// and a k-way merge by Seq reconstructs the one global append order
+	// the legacy shared log recorded directly.
+	Seq uint64
+
 	Truth      bool
 	AttackType string
 }
@@ -80,6 +89,17 @@ type Store interface {
 	PollShard(shard int, cursor uint64, max int) ([]FlowRecord, uint64)
 	// TrimShard drops one shard's journal entries at or before cursor.
 	TrimShard(shard int, cursor uint64)
+	// PollGlobal returns up to max journal entries after cursor in
+	// global ingest order — entries are stamped with a global sequence
+	// shared across shards at write time, and the sharded store merges
+	// its per-shard journals by that stamp. The single-threaded
+	// simulated mechanism polls this feed so its queue order is
+	// independent of the shard count; the live pipeline polls per
+	// shard.
+	PollGlobal(cursor uint64, max int) ([]FlowRecord, uint64)
+	// TrimGlobal drops journal entries at or before cursor in the
+	// global order, across all shards.
+	TrimGlobal(cursor uint64)
 	// JournalLen returns unconsumed journal entries across all shards.
 	JournalLen() int
 
@@ -115,17 +135,37 @@ type Fallible interface {
 
 // journalEntry marks one update available to pollers.
 type journalEntry struct {
-	seq uint64
-	rec FlowRecord // snapshot by value at write time
+	seq  uint64     // dense per-shard sequence (PollShard indexes by it)
+	gseq uint64     // global ingest sequence, shared across shards
+	rec  FlowRecord // snapshot by value at write time
 }
 
-// DB is the in-memory database.
+// DB is the in-memory database. Its state is split across three
+// locks so the hot paths never serialize on each other: mu guards the
+// flow map (ingest's record work), jmu the journal and sequence
+// counters (ingest's append vs. the pollers), and pmu the prediction
+// log (the workers). UpsertFlow nests jmu inside mu — the map update
+// and journal append of one flow stay atomic, preserving per-flow
+// journal order — and no path takes jmu or pmu and then mu, so the
+// order is acyclic.
 type DB struct {
-	mu      sync.Mutex
-	flows   map[flow.Key]*FlowRecord
+	mu    sync.Mutex
+	flows map[flow.Key]*FlowRecord
+
+	jmu     sync.Mutex
 	journal []journalEntry
 	seq     uint64
-	preds   []PredictionRecord
+
+	pmu   sync.Mutex
+	preds []PredictionRecord
+
+	// gseqCtr stamps journal entries with the global ingest sequence
+	// and predCtr stamps prediction records with the global decision
+	// sequence. A standalone DB owns both; the shards of a ShardedDB
+	// share one of each, which is what makes the per-shard journals
+	// and prediction logs mergeable into one total order.
+	gseqCtr *atomic.Uint64
+	predCtr *atomic.Uint64
 
 	// JournalNew controls whether brand-new records enter the
 	// journal. The strict reading of §III-3 has the CentralServer
@@ -145,9 +185,9 @@ type DB struct {
 	Contention *obs.Counter
 
 	// PredContention, when set, counts AppendPrediction calls that
-	// found the mutex already held — the prediction log is the one
-	// piece of state every worker serializes on (nil-safe; set by
-	// Instrument).
+	// found the prediction-log mutex already held (nil-safe; set by
+	// Instrument and by ShardedDB.Instrument). With per-shard logs
+	// only workers finishing flows of the same shard can collide here.
 	PredContention *obs.Counter
 }
 
@@ -166,7 +206,12 @@ func (db *DB) Instrument(reg *obs.Registry) {
 
 // New returns an empty database that journals new records.
 func New() *DB {
-	return &DB{flows: make(map[flow.Key]*FlowRecord), JournalNew: true}
+	return &DB{
+		flows:      make(map[flow.Key]*FlowRecord),
+		JournalNew: true,
+		gseqCtr:    new(atomic.Uint64),
+		predCtr:    new(atomic.Uint64),
+	}
 }
 
 // UpsertFlow writes a feature snapshot for key, returning whether the
@@ -193,10 +238,16 @@ func (db *DB) UpsertFlow(key flow.Key, features []float64, registeredAt, updated
 	rec.Truth = truth
 	rec.AttackType = attackType
 	if !created || db.JournalNew {
-		db.seq++
 		snap := *rec
 		snap.Features = append([]float64(nil), rec.Features...)
-		db.journal = append(db.journal, journalEntry{seq: db.seq, rec: snap})
+		// The journal has its own lock so pollers reading the feed never
+		// block the map work above; nesting jmu here (still under mu)
+		// keeps one flow's appends in its upsert order. The global
+		// stamp is taken inside jmu, so this journal stays gseq-sorted.
+		db.jmu.Lock()
+		db.seq++
+		db.journal = append(db.journal, journalEntry{seq: db.seq, gseq: db.gseqCtr.Add(1), rec: snap})
+		db.jmu.Unlock()
 	}
 	return created
 }
@@ -224,8 +275,8 @@ func (db *DB) FlowCount() int {
 // PollUpdates returns up to max journal entries after cursor and the
 // new cursor — the CentralServer's change feed (§III-3 step 4).
 func (db *DB) PollUpdates(cursor uint64, max int) ([]FlowRecord, uint64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.jmu.Lock()
+	defer db.jmu.Unlock()
 	// Binary-search-free scan from the tail would be O(n); the journal
 	// is append-only with dense sequence numbers, so index directly.
 	if len(db.journal) == 0 {
@@ -253,8 +304,8 @@ func (db *DB) PollUpdates(cursor uint64, max int) ([]FlowRecord, uint64) {
 // TrimJournal drops journal entries at or before cursor, bounding
 // memory once every poller has passed them.
 func (db *DB) TrimJournal(cursor uint64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.jmu.Lock()
+	defer db.jmu.Unlock()
 	i := 0
 	for i < len(db.journal) && db.journal[i].seq <= cursor {
 		i++
@@ -264,25 +315,74 @@ func (db *DB) TrimJournal(cursor uint64) {
 
 // JournalLen returns the number of unconsumed journal entries.
 func (db *DB) JournalLen() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.jmu.Lock()
+	defer db.jmu.Unlock()
 	return len(db.journal)
 }
 
-// AppendPrediction logs a final decision (§III-2 step 8).
-func (db *DB) AppendPrediction(p PredictionRecord) {
-	if !db.mu.TryLock() {
-		db.PredContention.Inc() // nil-safe
-		db.mu.Lock()
+// pollGlobalEntries returns up to max journal entries whose global
+// stamp is after cursor. The journal is gseq-sorted (the stamp is
+// taken under jmu at append), so the start is a binary search and the
+// result a contiguous run.
+func (db *DB) pollGlobalEntries(cursor uint64, max int) []journalEntry {
+	db.jmu.Lock()
+	defer db.jmu.Unlock()
+	start := sort.Search(len(db.journal), func(i int) bool { return db.journal[i].gseq > cursor })
+	if start >= len(db.journal) {
+		return nil
 	}
-	defer db.mu.Unlock()
+	end := len(db.journal)
+	if max > 0 && start+max < end {
+		end = start + max
+	}
+	return append([]journalEntry(nil), db.journal[start:end]...)
+}
+
+// PollGlobal returns up to max journal entries after cursor in global
+// ingest order and the new cursor. For the single-journal DB the
+// global order is the journal order.
+func (db *DB) PollGlobal(cursor uint64, max int) ([]FlowRecord, uint64) {
+	entries := db.pollGlobalEntries(cursor, max)
+	if len(entries) == 0 {
+		return nil, cursor
+	}
+	out := make([]FlowRecord, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.rec)
+	}
+	return out, entries[len(entries)-1].gseq
+}
+
+// TrimGlobal drops journal entries whose global stamp is at or before
+// cursor.
+func (db *DB) TrimGlobal(cursor uint64) {
+	db.jmu.Lock()
+	defer db.jmu.Unlock()
+	i := 0
+	for i < len(db.journal) && db.journal[i].gseq <= cursor {
+		i++
+	}
+	db.journal = append(db.journal[:0], db.journal[i:]...)
+}
+
+// AppendPrediction logs a final decision (§III-2 step 8), stamping it
+// with the next global decision sequence number. The stamp is taken
+// inside the log's lock, so the log is always Seq-sorted — the
+// invariant the merge-on-read cursor depends on.
+func (db *DB) AppendPrediction(p PredictionRecord) {
+	if !db.pmu.TryLock() {
+		db.PredContention.Inc() // nil-safe
+		db.pmu.Lock()
+	}
+	defer db.pmu.Unlock()
+	p.Seq = db.predCtr.Add(1)
 	db.preds = append(db.preds, p)
 }
 
 // Predictions returns a copy of the prediction log.
 func (db *DB) Predictions() []PredictionRecord {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.pmu.Lock()
+	defer db.pmu.Unlock()
 	out := make([]PredictionRecord, len(db.preds))
 	copy(out, db.preds)
 	return out
@@ -290,8 +390,8 @@ func (db *DB) Predictions() []PredictionRecord {
 
 // PredictionCount returns the size of the prediction log.
 func (db *DB) PredictionCount() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.pmu.Lock()
+	defer db.pmu.Unlock()
 	return len(db.preds)
 }
 

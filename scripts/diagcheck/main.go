@@ -4,6 +4,11 @@
 // entries are present and non-empty, with events.jsonl parsing as one
 // JSON object per line. It exits non-zero naming what is missing, so
 // the smoke script's failure output says which artifact regressed.
+//
+// With -bench-shard it instead validates a BENCH_shard.json sweep
+// (`make bench-shard` / the CI bench-shard smoke): the legacy
+// baseline row plus at least one sharded row, positive throughput in
+// every row, and a populated contention attribution.
 package main
 
 import (
@@ -27,14 +32,74 @@ var required = []string{
 }
 
 func main() {
-	if len(os.Args) != 2 {
+	switch {
+	case len(os.Args) == 3 && os.Args[1] == "-bench-shard":
+		if err := checkBenchShard(os.Args[2]); err != nil {
+			fmt.Fprintf(os.Stderr, "diagcheck: %s: %v\n", os.Args[2], err)
+			os.Exit(1)
+		}
+	case len(os.Args) == 2:
+		if err := check(os.Args[1]); err != nil {
+			fmt.Fprintf(os.Stderr, "diagcheck: %s: %v\n", os.Args[1], err)
+			os.Exit(1)
+		}
+	default:
 		fmt.Fprintln(os.Stderr, "usage: diagcheck <bundle.tar.gz | http://host/debug/bundle>")
+		fmt.Fprintln(os.Stderr, "       diagcheck -bench-shard <BENCH_shard.json>")
 		os.Exit(2)
 	}
-	if err := check(os.Args[1]); err != nil {
-		fmt.Fprintf(os.Stderr, "diagcheck: %s: %v\n", os.Args[1], err)
-		os.Exit(1)
+}
+
+// checkBenchShard validates a BenchmarkShardScaling sweep file: the
+// sweep must have completed (legacy baseline plus sharded rows, each
+// with positive throughput) and carry the contention attribution the
+// scaling analysis reads.
+func checkBenchShard(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
 	}
+	var sweep struct {
+		Bench   string `json:"bench"`
+		Results []struct {
+			Shards       int     `json:"shards"`
+			Workers      int     `json:"workers"`
+			NsPerIngest  float64 `json:"ns_per_ingest"`
+			IngestPerSec float64 `json:"ingest_per_sec"`
+		} `json:"results"`
+		Attribution *struct {
+			Stages []json.RawMessage `json:"stages"`
+		} `json:"contention_attribution"`
+	}
+	if err := json.Unmarshal(data, &sweep); err != nil {
+		return fmt.Errorf("not valid sweep JSON: %w", err)
+	}
+	if sweep.Bench != "BenchmarkShardScaling" {
+		return fmt.Errorf("bench is %q, want BenchmarkShardScaling", sweep.Bench)
+	}
+	legacy, sharded := false, 0
+	for i, r := range sweep.Results {
+		if r.NsPerIngest <= 0 || r.IngestPerSec <= 0 {
+			return fmt.Errorf("result %d (shards=%d): non-positive throughput", i, r.Shards)
+		}
+		if r.Shards == 0 {
+			legacy = true
+		} else {
+			sharded++
+		}
+	}
+	if !legacy {
+		return fmt.Errorf("sweep has no legacy (shards=0) baseline row")
+	}
+	if sharded == 0 {
+		return fmt.Errorf("sweep has no sharded rows")
+	}
+	if sweep.Attribution == nil || len(sweep.Attribution.Stages) == 0 {
+		return fmt.Errorf("sweep has no contention attribution")
+	}
+	fmt.Printf("diagcheck: OK (%d sweep rows, %d attribution stages)\n",
+		len(sweep.Results), len(sweep.Attribution.Stages))
+	return nil
 }
 
 // open returns the bundle stream: a local file, or — when the
