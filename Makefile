@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-obs bench-shard bench-shard-smoke bench-batch bench-checkpoint fuzz-smoke chaos-smoke recovery-smoke diag-smoke clean
+.PHONY: check vet build test race bench bench-obs bench-shard bench-shard-smoke bench-batch bench-checkpoint bench-tier bench-tier-smoke fuzz-smoke chaos-smoke recovery-smoke diag-smoke clean
 
 check: vet build test race fuzz-smoke chaos-smoke recovery-smoke diag-smoke
 
@@ -28,7 +28,7 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/obs/... \
 		./internal/store/... ./internal/telemetry/... \
 		./internal/netsim/... ./internal/flow/... \
-		./internal/checkpoint/...
+		./internal/checkpoint/... ./internal/ml/sketch/...
 
 # fuzz-smoke runs each fuzz target for 10s from its committed seed
 # corpus (testdata/fuzz/) — enough to catch format-level regressions
@@ -41,6 +41,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/sflow/
 	$(GO) test -run '^$$' -fuzz '^FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -run '^$$' -fuzz '^FuzzSketch$$' -fuzztime $(FUZZTIME) ./internal/ml/sketch/
 
 # chaos-smoke runs the fault-injection suite under the race detector:
 # the injector/wrapper unit tests plus every chaos scenario against
@@ -99,6 +100,28 @@ bench-shard-smoke:
 	$(GO) run ./scripts/diagcheck -bench-shard $(CURDIR)/BENCH_shard_smoke.json
 	rm -f $(CURDIR)/BENCH_shard_smoke.json
 
+# bench-tier sweeps tiered inference on a 95%-benign stream — the
+# end-to-end pipeline (BenchmarkTieredLive) and the scoring stack in
+# isolation (BenchmarkTieredScoring) — across stage-0 models and
+# thresholds, and writes throughput, exit rate, and speedup per
+# configuration to BENCH_tier.json. 20000 iterations: the live halves
+# need enough rows per config for stable decision/exit accounting.
+bench-tier:
+	BENCH_TIER_OUT=$(CURDIR)/BENCH_tier.json $(GO) test -run '^$$' \
+		-bench BenchmarkTiered -benchtime 20000x -timeout 30m .
+	@echo wrote $(CURDIR)/BENCH_tier.json
+
+# bench-tier-smoke is the CI gate for the tiered-inference sweep: a
+# short pass per configuration (enough to exercise the cascade and the
+# exit accounting, not to measure), then diagcheck validates the JSON
+# shape — untiered baselines, triaged rows, positive throughput, exit
+# rates in [0, 1], speedups recorded.
+bench-tier-smoke:
+	BENCH_TIER_OUT=$(CURDIR)/BENCH_tier_smoke.json $(GO) test -run '^$$' \
+		-bench BenchmarkTiered -benchtime 200x .
+	$(GO) run ./scripts/diagcheck -bench-tier $(CURDIR)/BENCH_tier_smoke.json
+	rm -f $(CURDIR)/BENCH_tier_smoke.json
+
 # bench-batch sweeps batched ensemble scoring and the live runtime
 # across micro-batch sizes (1/8/32/128) and writes the throughput and
 # speedup table to BENCH_batch.json.
@@ -117,5 +140,5 @@ bench-checkpoint:
 	@echo wrote $(CURDIR)/BENCH_checkpoint.json
 
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_shard_smoke.json BENCH_batch.json BENCH_checkpoint.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_shard_smoke.json BENCH_batch.json BENCH_checkpoint.json BENCH_tier.json BENCH_tier_smoke.json
 	$(GO) clean ./...

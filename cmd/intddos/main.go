@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +48,9 @@ func main() {
 	diagBundle := flag.String("diag-bundle", "", "write a diagnostic bundle (tar.gz of profiles, metrics, health, config, events) to this path when the -live run ends")
 	profileDir := flag.String("profile-dir", "", "capture periodic CPU/mutex/block/goroutine/heap profiles into this directory during -live")
 	profileEvery := flag.Duration("profile-every", 0, "profile capture period for -profile-dir (0: 30s)")
+	triage := flag.Bool("triage", false, "enable tiered inference: sketch triage + stage-0 early exit before the full ensemble (off: the paper's exact pipeline)")
+	triageThreshold := flag.Float64("triage-threshold", intddos.DefaultTriageThreshold, "stage-0 confidence |2p-1| required to early-exit a record")
+	triageModel := flag.String("triage-model", "rf", "ensemble member serving cascade stage 0 (mlp, rf, or gnb; rf's calibrated probabilities gate best)")
 	verbose := flag.Bool("v", false, "print every decision")
 	flag.Parse()
 
@@ -73,7 +77,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "intddos:", err)
 			os.Exit(1)
 		}
-		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, injector, *checkpointDir, *checkpointEvery, *diagBundle, *profileDir, *profileEvery, reg, *verbose)
+		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, injector, *checkpointDir, *checkpointEvery, *diagBundle, *profileDir, *profileEvery, *triage, *triageThreshold, *triageModel, reg, *verbose)
 		return
 	}
 	if *faultSpec != "" {
@@ -96,6 +100,7 @@ func main() {
 	live, err := intddos.RunTableVI(intddos.LiveConfig{
 		Scale: *scale, Seed: *seed, PacketsPerType: *packets, Shards: *shards,
 		PredictBatch: *predictBatch,
+		Triage:       *triage, TriageThreshold: *triageThreshold, TriageModel: strings.ToUpper(*triageModel),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -121,7 +126,7 @@ func main() {
 // registry continuously scrapeable while doing so. A final metrics
 // summary — counters, queue gauges, per-stage latency percentiles —
 // is printed on exit.
-func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, injector *intddos.FaultInjector, checkpointDir string, checkpointEvery time.Duration, diagBundle, profileDir string, profileEvery time.Duration, reg *intddos.ObsRegistry, verbose bool) {
+func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, injector *intddos.FaultInjector, checkpointDir string, checkpointEvery time.Duration, diagBundle, profileDir string, profileEvery time.Duration, triage bool, triageThreshold float64, triageModel string, reg *intddos.ObsRegistry, verbose bool) {
 	capture, err := intddos.Collect(intddos.DataConfig{Scale: scale, Seed: seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -132,6 +137,28 @@ func runLive(scale string, seed int64, packets int, liveFor time.Duration, shard
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
 		os.Exit(1)
+	}
+	// Stage-0 model for -triage: train the requested member when it is
+	// not the RF already serving the ensemble. Trained on the same
+	// subsample, its scaler coefficients match the pipeline's.
+	var stageZero intddos.Classifier
+	if triage && !strings.EqualFold(triageModel, model.Name()) {
+		var spec *intddos.ModelSpec
+		for _, s := range intddos.StageTwoModels() {
+			if strings.EqualFold(s.Name, triageModel) {
+				spec = &s
+				break
+			}
+		}
+		if spec == nil {
+			fmt.Fprintf(os.Stderr, "intddos: unknown -triage-model %q (want mlp, rf, or gnb)\n", triageModel)
+			os.Exit(1)
+		}
+		stageZero, _, err = intddos.FitModel(*spec, train.Subsample(40000, seed), seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "intddos:", err)
+			os.Exit(1)
+		}
 	}
 
 	live, err := intddos.NewLiveRuntime(intddos.LiveRuntimeConfig{
@@ -148,6 +175,9 @@ func runLive(scale string, seed int64, packets int, liveFor time.Duration, shard
 		CheckpointEvery: checkpointEvery,
 		ProfileDir:      profileDir,
 		ProfileInterval: profileEvery,
+		Triage:          triage,
+		TriageThreshold: triageThreshold,
+		TriageModel:     stageZero,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)

@@ -153,6 +153,75 @@ func TestGoldenTableVIBatch32(t *testing.T) {
 	checkGolden(t, "table6.txt", tableVI(t, 0, 32))
 }
 
+// TestGoldenTableVITriageInert pins the tiered-inference exact mode:
+// with the cascade wired in but inert (non-positive threshold) — and
+// with triage simply off — Table VI renders byte-for-byte identical
+// to the golden file. Enabling the plumbing without a threshold must
+// not move a single decision.
+func TestGoldenTableVITriageInert(t *testing.T) {
+	legacy := tableVI(t, 0)
+	inert, err := intddos.RunTableVI(intddos.LiveConfig{
+		Scale: goldenScale, Seed: goldenSeed, PacketsPerType: goldenPackets,
+		Triage: true, TriageThreshold: -1, TriageModel: "GNB",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := intddos.FormatTableVI(inert); got != legacy {
+		t.Errorf("Table VI differs with an inert cascade:\n--- legacy\n%s\n--- inert\n%s", legacy, got)
+	}
+	checkGolden(t, "table6.txt", legacy)
+}
+
+// triageAccuracyBound is the documented Table VI accuracy envelope:
+// at the default threshold, no per-type accuracy may move more than
+// this many percentage points from the exact pipeline (see
+// EXPERIMENTS.md: tiered inference).
+const triageAccuracyBound = 2.0
+
+// TestGoldenTableVITriageDelta bounds the accuracy cost of tiered
+// inference at the default threshold: per attack type, the triage-on
+// accuracy stays within triageAccuracyBound percentage points of the
+// triage-off baseline, and at least some records early-exit.
+func TestGoldenTableVITriageDelta(t *testing.T) {
+	baseCfg := intddos.LiveConfig{Scale: goldenScale, Seed: goldenSeed, PacketsPerType: goldenPackets}
+	base, err := intddos.RunTableVI(baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onCfg := baseCfg
+	onCfg.Triage = true // threshold/model resolve to the defaults
+	on, err := intddos.RunTableVI(onCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseAcc := make(map[string]float64, len(base.Rows))
+	for _, r := range base.Rows {
+		baseAcc[r.Type] = r.Accuracy
+	}
+	for _, r := range on.Rows {
+		delta := (r.Accuracy - baseAcc[r.Type]) * 100
+		t.Logf("%-10s accuracy %.4f -> %.4f (%+.2f pp)", r.Type, baseAcc[r.Type], r.Accuracy, delta)
+		if delta < -triageAccuracyBound || delta > triageAccuracyBound {
+			t.Errorf("%s accuracy moved %.2f pp under triage, bound is ±%.1f pp",
+				r.Type, delta, triageAccuracyBound)
+		}
+	}
+	exited, total := 0, 0
+	for _, ds := range on.Decisions {
+		for _, d := range ds {
+			total++
+			if d.Stage > 0 {
+				exited++
+			}
+		}
+	}
+	t.Logf("exit rate: %d/%d (%.1f%%)", exited, total, 100*float64(exited)/float64(total))
+	if exited == 0 {
+		t.Error("triage at the default threshold exited nothing — the cascade is dead weight")
+	}
+}
+
 func TestGoldenLatencyCompanion(t *testing.T) {
 	live, err := intddos.RunTableVI(intddos.LiveConfig{
 		Scale: goldenScale, Seed: goldenSeed, PacketsPerType: goldenPackets,

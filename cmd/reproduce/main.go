@@ -29,6 +29,9 @@ func main() {
 	packets := flag.Int("packets", 2500, "packets per flow type in the live (Table VI) replays")
 	shards := flag.Int("shards", 0, "database shards for the live (Table VI) replays (0: the paper's single-lock store; 1 is observably identical to 0)")
 	predictBatch := flag.Int("predict-batch", 0, "scoring micro-batch size for the live (Table VI) replays (0/1: the paper's record-at-a-time prediction; results are identical at any size)")
+	triage := flag.Bool("triage", false, "enable tiered inference in the live (Table VI) replays: sketch triage + stage-0 early exit (off: the paper's exact pipeline)")
+	triageThreshold := flag.Float64("triage-threshold", intddos.DefaultTriageThreshold, "stage-0 confidence |2p-1| required to early-exit a record")
+	triageModel := flag.String("triage-model", "rf", "ensemble member serving cascade stage 0 (mlp, rf, or gnb; rf's calibrated probabilities gate best)")
 	faultSpec := flag.String("fault-spec", "", "fault schedule for the chaos artifact (e.g. \"drop=0.05,store.err=0.1,panic=0.02\"; empty: clean baseline)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the chaos artifact's fault schedule")
 	checkpointDir := flag.String("checkpoint-dir", "", "resume the chaos artifact from (and snapshot into) this checkpoint directory")
@@ -159,10 +162,22 @@ func main() {
 		fail(err)
 		fmt.Println(intddos.FormatChaos(res))
 	}
+	if sel("triage") && len(want) > 0 {
+		// Tiered-inference artifact; produced on request. Sweeps benign
+		// fraction × stage-0 threshold and reports exit rate plus the
+		// accuracy delta against triage-off baselines.
+		sweep, err := intddos.RunTriageSweep(intddos.TriageSweepConfig{
+			Live: intddos.LiveConfig{Scale: *scale, Seed: *seed, PacketsPerType: *packets,
+				Shards: *shards, PredictBatch: *predictBatch, TriageModel: strings.ToUpper(*triageModel)},
+		})
+		fail(err)
+		fmt.Println(intddos.FormatTriageSweep(sweep))
+	}
 	if sel("table6") || sel("figure7") {
 		live, err := intddos.RunTableVI(intddos.LiveConfig{
 			Scale: *scale, Seed: *seed, PacketsPerType: *packets, Shards: *shards,
 			PredictBatch: *predictBatch,
+			Triage:       *triage, TriageThreshold: *triageThreshold, TriageModel: strings.ToUpper(*triageModel),
 		})
 		fail(err)
 		if sel("table6") {

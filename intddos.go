@@ -35,6 +35,7 @@ import (
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/mitigate"
 	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/ml/sketch"
 	"github.com/amlight/intddos/internal/netsim"
 	"github.com/amlight/intddos/internal/obs"
 	"github.com/amlight/intddos/internal/obs/prof"
@@ -110,6 +111,13 @@ type (
 	ChaosConfig = experiment.ChaosConfig
 	// ChaosResult summarizes how the pipeline degraded under faults.
 	ChaosResult = experiment.ChaosResult
+	// TriageSweepConfig parameterizes the tiered-inference sweep over
+	// benign fraction × stage-0 threshold.
+	TriageSweepConfig = experiment.TriageSweepConfig
+	// TriageSweep is the sweep's exit-rate/accuracy grid.
+	TriageSweep = experiment.TriageSweep
+	// TriageCell is one sweep measurement.
+	TriageCell = experiment.TriageCell
 )
 
 // ML layer types.
@@ -125,6 +133,18 @@ type (
 	// BatchClassifier is a Classifier with an amortized many-rows
 	// scoring path; every shipped model family implements it.
 	BatchClassifier = ml.BatchClassifier
+	// BatchProbaClassifier adds the batched attack-probability path
+	// the tiered cascade's stage-0 model must expose.
+	BatchProbaClassifier = ml.BatchProbaClassifier
+	// Cascade is the early-exit scoring cascade behind tiered
+	// inference (MechanismConfig.Triage / LiveRuntimeConfig.Triage).
+	Cascade = ml.Cascade
+	// CascadeStage is one cascade stage: a model plus its exit
+	// confidence threshold.
+	CascadeStage = ml.CascadeStage
+	// Sketch is the streaming count-min + flow-key-entropy triage
+	// sketch feeding the cascade's suspicion veto.
+	Sketch = sketch.Sketch
 	// StandardScaler standardizes features to zero mean, unit var.
 	StandardScaler = ml.StandardScaler
 	// Bundle is a deployable model set: ensemble + scaler + feature
@@ -407,6 +427,21 @@ func RunMitigation(cfg LiveConfig) ([]MitigationResult, error) {
 // schedule, returning the degradation summary.
 func RunChaos(cfg ChaosConfig) (*ChaosResult, error) { return experiment.RunChaos(cfg) }
 
+// RunTriageSweep measures the tiered cascade's exit rate and accuracy
+// cost across benign fraction × threshold, against triage-off
+// baselines on identical streams.
+func RunTriageSweep(cfg TriageSweepConfig) (*TriageSweep, error) {
+	return experiment.RunTriageSweep(cfg)
+}
+
+// DefaultTriageThreshold is the stage-0 exit confidence used when
+// triage is enabled without an explicit threshold.
+const DefaultTriageThreshold = core.DefaultTriageThreshold
+
+// NewSketch builds a triage sketch (non-positive arguments select the
+// defaults the pipeline uses).
+func NewSketch(depth, width int) *Sketch { return sketch.New(depth, width) }
+
 // FeatureAblation contrasts INT with and without queue-occupancy
 // features.
 func FeatureAblation(c *Capture, seed int64) (withQueue, withoutQueue EvalResult, err error) {
@@ -435,6 +470,7 @@ var (
 	FormatMitigation      = experiment.FormatMitigation
 	FormatTableVMatrix    = experiment.FormatTableVMatrix
 	FormatChaos           = experiment.FormatChaos
+	FormatTriageSweep     = experiment.FormatTriageSweep
 )
 
 // CSV exports for re-plotting outside Go.

@@ -277,15 +277,27 @@ func (l *Live) HealthTransitions() []string {
 // for every row and the member's health state machine advances.
 // navail is how many members actually voted. With every member
 // healthy the result is element-for-element identical to
-// ml.EnsembleVotes — the fault-free path changes nothing.
-func (l *Live) scoreBatch(X [][]float64) (votes [][]int, ones []int, navail int) {
+// ml.EnsembleVotes — the fault-free path changes nothing. The outer
+// votes header and the ones buffer are recycled from the worker's
+// scratch across batches; only the flat per-row vote storage is
+// allocated per call, because the rows are retained in Decisions.
+func (l *Live) scoreBatch(s *batchScratch, X [][]float64) (votes [][]int, ones []int, navail int) {
 	models := l.cfg.Models
-	votes = make([][]int, len(X))
+	if cap(s.votes) < len(X) {
+		s.votes = make([][]int, len(X))
+	}
+	if cap(s.ones) < len(X) {
+		s.ones = make([]int, len(X))
+	}
+	votes = s.votes[:len(X)]
+	ones = s.ones[:len(X)]
+	for i := range ones {
+		ones[i] = 0
+	}
 	flat := make([]int, len(X)*len(models))
 	for i := range votes {
 		votes[i] = flat[i*len(models) : (i+1)*len(models) : (i+1)*len(models)]
 	}
-	ones = make([]int, len(X))
 	now := time.Now()
 	for mi, m := range models {
 		mh := l.modelHealth[mi]

@@ -13,6 +13,7 @@ import (
 	"github.com/amlight/intddos/internal/fault"
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/ml/sketch"
 	"github.com/amlight/intddos/internal/netsim"
 	"github.com/amlight/intddos/internal/obs"
 	"github.com/amlight/intddos/internal/obs/prof"
@@ -76,6 +77,25 @@ type LiveConfig struct {
 	// score immediately — batches only form from backlog). Lingering
 	// trades per-record latency for larger batches under load.
 	PredictLinger time.Duration
+
+	// Triage enables tiered inference: per-shard streaming sketches
+	// (count-min heavy hitter + flow-key entropy) over the ingest
+	// stream and a confidence-thresholded stage-0 model early-exit
+	// confident rows before the full ensemble vote; only uncertain
+	// rows — and anything the sketch flags suspicious — pay for
+	// MLP+RF+GNB. Off (the default) keeps the score-everything
+	// contract bit-identical to the legacy path. TriageThreshold is
+	// the minimum stage-0 confidence |2p-1| to exit (<= 0 leaves the
+	// cascade inert: the tiered code path runs, every row falls
+	// through, output stays bit-identical — the exact-mode property
+	// the tests pin). TriageModel picks the stage-0 model; nil selects
+	// the last probability-capable ensemble member. The sketches are
+	// updated only under the per-shard checkpoint barrier, so they are
+	// quiescent at every capture; they are deliberately not persisted
+	// (rewarmed from live traffic after restore).
+	Triage          bool
+	TriageThreshold float64
+	TriageModel     ml.Classifier
 
 	// ModelQuorum and VoteWindow mirror the simulated mechanism
 	// (defaults 2-of-ensemble and 3). When ensemble members are
@@ -225,6 +245,15 @@ type liveMetrics struct {
 	batchSize      *obs.Histogram // records per micro-batch scoring call
 	sampleLatency  *obs.Histogram // per-sample share of the batch scoring call
 
+	// Tiered-inference instruments: per-stage exit counters (label
+	// "fallthrough" counts rows that paid for the full ensemble; the
+	// stage-1 and fallthrough children are cached off the hot path)
+	// and the cost of the triage pass itself.
+	triageExits       *obs.CounterVec // by stage: "1", ..., "fallthrough"
+	triageExitStage1  *obs.Counter
+	triageFallthrough *obs.Counter
+	triageLatency     *obs.Histogram
+
 	// Checkpoint/restore instruments.
 	ckpts           *obs.Counter
 	ckptFailures    *obs.Counter
@@ -246,7 +275,12 @@ type liveMetrics struct {
 // newLiveMetrics registers the runtime's instruments on reg.
 func newLiveMetrics(reg *obs.Registry) liveMetrics {
 	stages := reg.HistogramVec("intddos_stage_seconds", "stage", nil)
+	triageExits := reg.CounterVec("intddos_triage_exits_total", "stage")
 	return liveMetrics{
+		triageExits:       triageExits,
+		triageExitStage1:  triageExits.With("1"),
+		triageFallthrough: triageExits.With("fallthrough"),
+		triageLatency:     reg.Histogram("intddos_triage_seconds", nil),
 		reports:           reg.Counter("intddos_reports_total"),
 		snapshots:         reg.Counter("intddos_snapshots_total"),
 		predictions:       reg.Counter("intddos_predictions_total"),
@@ -341,6 +375,14 @@ type Live struct {
 
 	tables *flow.ShardedTable
 	shards []*liveShard
+
+	// Tiered inference (nil when LiveConfig.Triage is off): the
+	// early-exit cascade shared read-only by every prediction worker,
+	// and one triage sketch per shard — single writer (the shard's
+	// ingester, under the shard's checkpoint-barrier read lock),
+	// concurrent readers (workers), atomics throughout.
+	cascade  *ml.Cascade
+	sketches []*sketch.Sketch
 
 	DB  store.Store
 	fdb store.Fallible // non-nil when DB surfaces transient errors
@@ -513,6 +555,24 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	// before fault wrapping (WrapModel preserves Name(), but the
 	// fingerprint should describe the bundle, not the harness).
 	fingerprint := bundleFingerprint(cfg.Models, cfg.Scaler, cfg.Features)
+	// The triage model is resolved before fault wrapping too: the
+	// cascade needs the model's probability path, which fault wrappers
+	// do not expose. Triage is a performance tier, not a fault surface
+	// — fall-through rows still score through the wrapped ensemble.
+	var cascade *ml.Cascade
+	if cfg.Triage {
+		pm, ok := resolveTriageModel(cfg.TriageModel, cfg.Models)
+		if !ok {
+			return nil, errors.New("core: triage enabled but no probability-capable model available")
+		}
+		if w := ml.ExpectedFeatures(pm); w > 0 && w != len(cfg.Scaler.Mean) {
+			return nil, fmt.Errorf("core: triage model %s expects %d features, scaler has %d",
+				pm.Name(), w, len(cfg.Scaler.Mean))
+		}
+		cascade = &ml.Cascade{Stages: []ml.CascadeStage{
+			{Name: pm.Name(), Model: pm, Threshold: cfg.TriageThreshold},
+		}}
+	}
 	// The ensemble is scored through each model's fallible path; with
 	// an injector configured the models are wrapped so scheduled
 	// scoring failures and latency can fire. The slice is copied —
@@ -560,6 +620,13 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	l.fdb, _ = db.(store.Fallible)
 	for i := range l.shards {
 		l.shards[i] = &liveShard{windows: make(map[flow.Key][]int)}
+	}
+	if cascade != nil {
+		l.cascade = cascade
+		l.sketches = make([]*sketch.Sketch, nShards)
+		for i := range l.sketches {
+			l.sketches[i] = sketch.New(0, 0)
+		}
 	}
 	l.ingestChs = make([]chan flow.PacketInfo, nShards)
 	for i := range l.ingestChs {
@@ -662,6 +729,20 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 			lastBusy, lastAt = busy, nowT
 			return u
 		})
+	}
+	// Sketch saturation and entropy per shard: occupancy climbing
+	// toward 1 means the count-min counters are filling up (widen the
+	// sketch or shorten its life), entropy collapsing toward 0 means
+	// the shard's key distribution has — the triage veto is active.
+	if l.sketches != nil {
+		occVec := l.reg.GaugeVec("intddos_sketch_occupancy", "shard")
+		entVec := l.reg.GaugeVec("intddos_sketch_entropy", "shard")
+		for s := range l.sketches {
+			sk := l.sketches[s]
+			ss := strconv.Itoa(s)
+			occVec.WithFunc(ss, sk.Occupancy)
+			entVec.WithFunc(ss, sk.Entropy)
+		}
 	}
 	l.reg.GaugeFunc("intddos_vote_windows", func() float64 { return float64(l.windowCount()) })
 	l.reg.GaugeFunc("intddos_pipeline_shards", func() float64 { return float64(l.nShards) })
@@ -850,6 +931,11 @@ func (l *Live) describeConfig() string {
 	fmt.Fprintf(&b, "features=%d\n", len(cfg.Scaler.Mean))
 	fmt.Fprintf(&b, "poll_interval=%s\npoll_batch=%d\nqueue_cap=%d\ningest_queue_cap=%d\n", cfg.PollInterval, cfg.PollBatch, cfg.QueueCap, cfg.IngestQueueCap)
 	fmt.Fprintf(&b, "predict_batch=%d\npredict_linger=%s\n", cfg.PredictBatch, cfg.PredictLinger)
+	triageModel := ""
+	if l.cascade != nil && len(l.cascade.Stages) > 0 {
+		triageModel = l.cascade.Stages[0].Name
+	}
+	fmt.Fprintf(&b, "triage=%t\ntriage_threshold=%g\ntriage_model=%s\n", cfg.Triage, cfg.TriageThreshold, triageModel)
 	fmt.Fprintf(&b, "skip_new_records=%t\ndrain_on_stop=%t\n", cfg.SkipNewRecords, cfg.DrainOnStop)
 	fmt.Fprintf(&b, "flow_idle_timeout=%s\nsweep_interval=%s\n", cfg.FlowIdleTimeout, cfg.SweepInterval)
 	fmt.Fprintf(&b, "checkpoint_dir=%s\ncheckpoint_every=%s\ncheckpoint_keep=%d\n", cfg.CheckpointDir, cfg.CheckpointEvery, cfg.CheckpointKeep)
@@ -977,7 +1063,8 @@ func (l *Live) Ingest(pi flow.PacketInfo) {
 	// the read lock means the shard's ingest stalled behind the
 	// barrier — counted, because from the outside it is
 	// indistinguishable from slow ingest.
-	bar := &l.ckptMu[pi.Key.Shard(l.nShards)]
+	shard := pi.Key.Shard(l.nShards)
+	bar := &l.ckptMu[shard]
 	if !bar.TryRLock() {
 		l.met.ingestStalls.Inc()
 		bar.RLock()
@@ -986,6 +1073,12 @@ func (l *Live) Ingest(pi flow.PacketInfo) {
 	start := time.Now()
 	if pi.At == 0 {
 		pi.At = now()
+	}
+	// Triage sketch: fed on the ingest path, under the shard barrier,
+	// so a checkpoint capture (which holds every barrier for write)
+	// never races an update — the sketch is quiescent at the cut.
+	if l.sketches != nil {
+		l.sketches[shard].Update(pi.Key.Hash())
 	}
 	var (
 		feats   []float64
@@ -1256,12 +1349,25 @@ func (l *Live) sweep() {
 }
 
 // batchScratch is a prediction worker's reusable scoring buffers: the
-// feature-row view of the current micro-batch and the standardized
-// rows the ensemble reads. One worker owns one scratch, so batch calls
-// never allocate row storage after warm-up.
+// feature-row view of the current micro-batch, the standardized rows
+// the ensemble reads, the vote buffers recycled across batches (only
+// the flat per-row vote storage is allocated per batch — callers
+// retain those rows in Decisions), and the triage-path buffers. One
+// worker owns one scratch, so batch calls never allocate row storage
+// after warm-up.
 type batchScratch struct {
 	rows   [][]float64
 	scaled [][]float64
+
+	// scoreBatch buffers (reused headers; see ml.EnsembleVotesInto
+	// for the retention rationale).
+	votes [][]int
+	ones  []int
+
+	// Tiered-inference buffers.
+	cs  ml.CascadeScratch
+	sus []bool
+	sub [][]float64
 }
 
 // superviseWorker owns one prediction worker slot: it runs the worker
@@ -1436,7 +1542,11 @@ func (l *Live) predictBatch(b *workerBatch, s *batchScratch) {
 		s.rows = append(s.rows, q.rec.Features)
 	}
 	s.scaled = l.cfg.Scaler.TransformBatch(s.scaled, s.rows)
-	votes, ones, navail := l.scoreBatch(s.scaled)
+	if l.cascade != nil {
+		l.triageBatch(b, s, dequeued)
+		return
+	}
+	votes, ones, navail := l.scoreBatch(s, s.scaled)
 	if navail == 0 {
 		// Every ensemble member is out: no best-effort answer exists.
 		l.abandon(int64(len(b.batch)), "no_model")
@@ -1473,14 +1583,123 @@ func (l *Live) predictBatch(b *workerBatch, s *batchScratch) {
 		if ones[i] >= quorum {
 			raw = 1
 		}
-		l.finish(b.batch[i], raw, votes[i], predicted)
+		l.finish(b.batch[i], raw, votes[i], predicted, 0)
 		b.done++
 	}
 }
 
+// triageBatch is predictBatch's tiered path: the per-shard sketches
+// veto benign exits for suspicious flows, the cascade early-exits
+// rows its stage-0 model is confident about, and only the
+// fall-through remainder pays for the fault-isolated ensemble vote.
+// Records are finished in arrival order regardless of which tier
+// decided them, so the per-flow decision sequence is identical to the
+// untiered path's — only the votes behind confident rows change.
+// With an inert cascade (threshold <= 0) every row falls through and
+// the output is bit-identical to the legacy path.
+func (l *Live) triageBatch(b *workerBatch, s *batchScratch, dequeued time.Time) {
+	triageT0 := time.Now()
+	if cap(s.sus) < len(b.batch) {
+		s.sus = make([]bool, len(b.batch))
+	}
+	sus := s.sus[:len(b.batch)]
+	for i, q := range b.batch {
+		sk := l.sketches[q.rec.Key.Shard(l.nShards)]
+		sus[i] = sk.Suspicious(q.rec.Key.Hash(),
+			triageHeavyHitterFrac, triageEntropyFloor, triageMinSample)
+	}
+	stage, tlabel := l.cascade.TriageBatch(s.scaled, sus, &s.cs)
+	l.met.triageLatency.Since(triageT0)
+
+	// Full ensemble on the fall-through remainder only, in batch
+	// order.
+	if cap(s.sub) < len(b.batch) {
+		s.sub = make([][]float64, len(b.batch))
+	}
+	sub := s.sub[:0]
+	nExit := 0
+	for i := range b.batch {
+		if stage[i] == 0 {
+			sub = append(sub, s.scaled[i])
+		} else {
+			nExit++
+		}
+	}
+	var votes [][]int
+	var ones []int
+	navail, quorum := 0, 0
+	if len(sub) > 0 {
+		votes, ones, navail = l.scoreBatch(s, sub)
+		if navail > 0 {
+			quorum = l.effectiveQuorum(navail)
+			if navail < len(l.cfg.Models) {
+				l.met.degradedBatches.Inc()
+			}
+		}
+	}
+
+	predicted := time.Now()
+	n := len(b.batch)
+	perSample := predicted.Sub(dequeued) / time.Duration(n)
+	l.met.batchSize.Observe(float64(n))
+	// Exited rows carry their single stage-0 vote as provenance; the
+	// slices are retained in Decisions, so they get fresh storage —
+	// one flat allocation for the whole batch.
+	exitFlat := make([]int, nExit)
+	e, j := 0, 0
+	decided := 0
+	for i := range b.batch {
+		l.met.stagePredict.Observe(perSample.Seconds())
+		l.met.sampleLatency.Observe(perSample.Seconds())
+		b.batch[i].tr.StageAt("scale_predict", dequeued, predicted)
+		l.jHop(b.batch[i].rec.Key, b.batch[i].rec.Updates, "predict")
+		if st := stage[i]; st > 0 {
+			if st == 1 {
+				l.met.triageExitStage1.Inc()
+			} else {
+				l.met.triageExits.With(strconv.Itoa(st)).Inc()
+			}
+			ev := exitFlat[e : e+1 : e+1]
+			ev[0] = tlabel[i]
+			e++
+			l.finish(b.batch[i], tlabel[i], ev, predicted, st)
+			decided++
+			b.done++
+			continue
+		}
+		l.met.triageFallthrough.Inc()
+		if navail == 0 {
+			// Every ensemble member is out: no best-effort answer
+			// exists for fall-through rows. Exited rows still decide —
+			// the cascade's stage-0 model answered before the ensemble
+			// was consulted.
+			q := b.batch[i]
+			l.abandon(1, "no_model")
+			l.taintKey(q.rec.Key)
+			l.jAbort(q.rec.Key, q.rec.Updates, "no_model")
+			b.done++
+			continue
+		}
+		if navail < len(l.cfg.Models) {
+			l.taintKey(b.batch[i].rec.Key)
+		}
+		raw := 0
+		if ones[j] >= quorum {
+			raw = 1
+		}
+		l.finish(b.batch[i], raw, votes[j], predicted, 0)
+		decided++
+		j++
+		b.done++
+	}
+	l.Predictions.Add(int64(decided))
+	l.met.predictions.Add(int64(decided))
+}
+
 // finish applies window voting on the flow's shard and logs the
-// decision.
-func (l *Live) finish(q queued, raw int, votes []int, predicted time.Time) {
+// decision. stage is the decision's cascade provenance (0 for the
+// full-ensemble path).
+func (l *Live) finish(q queued, raw int, votes []int, predicted time.Time, stage int) {
 	rec := q.rec
 	t := now()
 	sh := l.shards[rec.Key.Shard(l.nShards)]
@@ -1506,6 +1725,7 @@ func (l *Live) finish(q queued, raw int, votes []int, predicted time.Time) {
 		At:         t,
 		Latency:    t - rec.UpdatedAt,
 		Votes:      votes,
+		Stage:      stage,
 		Truth:      rec.Truth,
 		AttackType: rec.AttackType,
 	}

@@ -24,6 +24,7 @@ import (
 
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/ml/sketch"
 	"github.com/amlight/intddos/internal/netsim"
 	"github.com/amlight/intddos/internal/store"
 	"github.com/amlight/intddos/internal/telemetry"
@@ -89,6 +90,20 @@ type Config struct {
 	// merged global journal order, so the decision stream — and Table
 	// VI — is bit-exact at every shard count.
 	Shards int
+
+	// Triage enables tiered inference: a streaming sketch over the
+	// ingest stream plus a confidence-thresholded stage-0 model
+	// early-exit confident rows before the full ensemble vote (ROADMAP
+	// item 2). Off (the default) keeps the paper's score-everything
+	// contract bit-identical. TriageThreshold is the minimum stage-0
+	// confidence |2p-1| to exit (<= 0 leaves the cascade inert — the
+	// tiered code path runs but every row falls through, still
+	// bit-identical). TriageModel picks the stage-0 model; nil selects
+	// the last probability-capable ensemble member (GNB in the paper's
+	// MLP/RF/GNB order — also the cheapest).
+	Triage          bool
+	TriageThreshold float64
+	TriageModel     ml.Classifier
 }
 
 // Decision is one final, smoothed classification of a flow snapshot.
@@ -101,8 +116,15 @@ type Decision struct {
 	// registration (§III-2's Prediction Latency).
 	At      netsim.Time
 	Latency netsim.Time
-	// Votes are the raw per-model outputs for this snapshot.
+	// Votes are the raw per-model outputs for this snapshot. For a
+	// triage-exited record (Stage > 0) the slice holds the single
+	// stage-0 vote instead of the full ensemble's.
 	Votes []int
+	// Stage is the decision's provenance in the tiered cascade: 0 for
+	// the full-ensemble path (every decision when triage is off, so
+	// legacy output is unchanged), n >= 1 when cascade stage n
+	// early-exited the record.
+	Stage int
 
 	Truth      bool
 	AttackType string
@@ -130,12 +152,28 @@ type Mechanism struct {
 	windows map[flow.Key][]int
 
 	scaled [][]float64 // reusable standardization batch buffer
-	// scoredVotes/scoredOnes cache batch-scored results for the queue
-	// head: index 0 always corresponds to queue[0]. Scoring is pure,
-	// so scoring records at batch time instead of service time changes
-	// nothing observable.
-	scoredVotes [][]int
-	scoredOnes  []int
+	// scoredVotes/scoredRaw/scoredStages cache batch-scored results
+	// for the queue head: index 0 always corresponds to queue[0].
+	// Scoring is pure, so scoring records at batch time instead of
+	// service time changes nothing observable. scoredRaw is the raw
+	// verdict (quorum vote, or the stage-0 label for exited records)
+	// and scoredStages the cascade provenance per record.
+	scoredVotes  [][]int
+	scoredRaw    []int
+	scoredStages []int
+
+	// Tiered inference (nil/unused when Config.Triage is off): the
+	// early-exit cascade, the streaming triage sketch fed by observe,
+	// and the reusable scoring buffers behind the scored caches.
+	cascade  *ml.Cascade
+	sketch   *sketch.Sketch
+	vs       ml.VoteScratch
+	cs       ml.CascadeScratch
+	votesBuf [][]int
+	rawBuf   []int
+	stageBuf []int
+	subBuf   [][]float64
+	susBuf   []bool
 
 	// OnDecision observes every final decision as it is made.
 	OnDecision func(Decision)
@@ -148,6 +186,11 @@ type Mechanism struct {
 	Predictions  int // ensemble runs completed
 	DroppedPolls int // updates dropped at a full prediction queue
 	MaxQueue     int
+
+	// Tiered-inference stats: records early-exited by the cascade vs
+	// records that paid for the full ensemble vote.
+	TriageExited      int
+	TriageFallthrough int
 }
 
 // New validates cfg and builds a mechanism.
@@ -208,6 +251,16 @@ func New(eng *netsim.Engine, cfg Config) (*Mechanism, error) {
 		delete(m.windows, k)
 	}
 	m.DB.SetJournalNew(!cfg.SkipNewRecords)
+	if cfg.Triage {
+		pm, ok := resolveTriageModel(cfg.TriageModel, cfg.Models)
+		if !ok {
+			return nil, errors.New("core: triage enabled but no probability-capable model available")
+		}
+		m.cascade = &ml.Cascade{Stages: []ml.CascadeStage{
+			{Name: pm.Name(), Model: pm, Threshold: cfg.TriageThreshold},
+		}}
+		m.sketch = sketch.New(0, 0)
+	}
 	return m, nil
 }
 
@@ -236,6 +289,9 @@ func (m *Mechanism) Observe(pi flow.PacketInfo) { m.observe(pi) }
 // observe is the Data Processor ingest path: update the flow table
 // and write the feature snapshot to the database.
 func (m *Mechanism) observe(pi flow.PacketInfo) {
+	if m.sketch != nil {
+		m.sketch.Update(pi.Key.Hash())
+	}
 	st, _ := m.Table.Observe(pi)
 	feats := st.Features(nil, m.cfg.Features)
 	m.DB.UpsertFlow(st.Key, feats, st.RegisteredAt, st.LastAt, st.Updates, pi.Label, pi.AttackType)
@@ -273,8 +329,11 @@ func (m *Mechanism) startService() {
 }
 
 // scoreHead batch-scores the queue's head block through the scaler
-// and ensemble batch paths, filling the scored caches consumed one
-// record per service completion.
+// and the tiered scoring path, filling the scored caches consumed one
+// record per service completion. Without triage the block goes
+// straight through the ensemble batch path; with triage the cascade
+// early-exits confident rows (under the sketch's suspicion veto) and
+// only the fall-through remainder pays for the full ensemble vote.
 func (m *Mechanism) scoreHead() {
 	k := m.cfg.PredictBatch
 	if k > len(m.queue) {
@@ -285,7 +344,90 @@ func (m *Mechanism) scoreHead() {
 		rows[i] = m.queue[i].Features
 	}
 	m.scaled = m.cfg.Scaler.TransformBatch(m.scaled, rows)
-	m.scoredVotes, m.scoredOnes = ml.EnsembleVotes(m.cfg.Models, m.scaled)
+	if cap(m.rawBuf) < k {
+		m.rawBuf = make([]int, k)
+	}
+	if cap(m.stageBuf) < k {
+		m.stageBuf = make([]int, k)
+	}
+	m.scoredRaw = m.rawBuf[:k]
+	m.scoredStages = m.stageBuf[:k]
+
+	if m.cascade == nil {
+		var ones []int
+		m.scoredVotes, ones = ml.EnsembleVotesInto(&m.vs, m.cfg.Models, m.scaled)
+		for i := 0; i < k; i++ {
+			m.scoredStages[i] = 0
+			raw := 0
+			if ones[i] >= m.cfg.ModelQuorum {
+				raw = 1
+			}
+			m.scoredRaw[i] = raw
+		}
+		return
+	}
+
+	// Stage-0 sketch verdict: a suspicious flow (heavy hitter, or any
+	// flow while key entropy has collapsed) is never early-exited
+	// benign.
+	if cap(m.susBuf) < k {
+		m.susBuf = make([]bool, k)
+	}
+	sus := m.susBuf[:k]
+	for i := 0; i < k; i++ {
+		sus[i] = m.sketch.Suspicious(m.queue[i].Key.Hash(),
+			triageHeavyHitterFrac, triageEntropyFloor, triageMinSample)
+	}
+	stage, tlabel := m.cascade.TriageBatch(m.scaled, sus, &m.cs)
+
+	// Full ensemble on the fall-through remainder only, preserving
+	// queue order inside the sub-batch.
+	if cap(m.subBuf) < k {
+		m.subBuf = make([][]float64, k)
+	}
+	sub := m.subBuf[:0]
+	nExit := 0
+	for i := 0; i < k; i++ {
+		if stage[i] == 0 {
+			sub = append(sub, m.scaled[i])
+		} else {
+			nExit++
+		}
+	}
+	var subVotes [][]int
+	var subOnes []int
+	if len(sub) > 0 {
+		subVotes, subOnes = ml.EnsembleVotesInto(&m.vs, m.cfg.Models, sub)
+	}
+	if cap(m.votesBuf) < k {
+		m.votesBuf = make([][]int, k)
+	}
+	m.scoredVotes = m.votesBuf[:k]
+	// Exited records carry their single stage-0 vote as provenance;
+	// the rows are retained in Decisions, so they get fresh storage.
+	exitFlat := make([]int, nExit)
+	e, j := 0, 0
+	for i := 0; i < k; i++ {
+		if stage[i] > 0 {
+			ev := exitFlat[e : e+1 : e+1]
+			ev[0] = tlabel[i]
+			e++
+			m.scoredVotes[i] = ev
+			m.scoredRaw[i] = tlabel[i]
+			m.scoredStages[i] = stage[i]
+			m.TriageExited++
+			continue
+		}
+		m.scoredVotes[i] = subVotes[j]
+		raw := 0
+		if subOnes[j] >= m.cfg.ModelQuorum {
+			raw = 1
+		}
+		m.scoredRaw[i] = raw
+		m.scoredStages[i] = 0
+		m.TriageFallthrough++
+		j++
+	}
 }
 
 // completeService is the Prediction module finishing one item, plus
@@ -301,15 +443,12 @@ func (m *Mechanism) completeService() {
 	rec := m.queue[0]
 	copy(m.queue, m.queue[1:])
 	m.queue = m.queue[:len(m.queue)-1]
-	votes, ones := m.scoredVotes[0], m.scoredOnes[0]
+	votes, raw, stage := m.scoredVotes[0], m.scoredRaw[0], m.scoredStages[0]
 	m.scoredVotes = m.scoredVotes[1:]
-	m.scoredOnes = m.scoredOnes[1:]
+	m.scoredRaw = m.scoredRaw[1:]
+	m.scoredStages = m.scoredStages[1:]
 
 	m.Predictions++
-	raw := 0
-	if ones >= m.cfg.ModelQuorum {
-		raw = 1
-	}
 
 	// Data Processor aggregation: slide the per-flow window and take
 	// a strict majority (ties resolve benign).
@@ -335,6 +474,7 @@ func (m *Mechanism) completeService() {
 		At:         now,
 		Latency:    now - rec.UpdatedAt,
 		Votes:      votes,
+		Stage:      stage,
 		Truth:      rec.Truth,
 		AttackType: rec.AttackType,
 	}

@@ -59,6 +59,23 @@ type LiveConfig struct {
 	// byte-for-byte at 1 and 32. Zero or one is the paper-faithful
 	// record-at-a-time default.
 	PredictBatch int
+	// Triage enables the tiered cascade: a count-min/entropy sketch
+	// plus a single cheap stage-0 model early-exits confident records
+	// before the full ensemble vote. Off (the default) is the exact
+	// paper pipeline — the golden tests pin that byte-for-byte.
+	Triage bool
+	// TriageThreshold is the stage-0 confidence |2p-1| needed to
+	// early-exit; zero resolves to core.DefaultTriageThreshold when
+	// Triage is set. A negative value keeps the cascade wired in but
+	// inert (every record falls through), which the property tests use
+	// to pin the split/merge plumbing to the legacy path.
+	TriageThreshold float64
+	// TriageModel names the ensemble member serving stage 0 (matched
+	// case-sensitively against the trained model names, e.g. "RF").
+	// Empty selects RF: its vote-fraction probabilities are calibrated
+	// enough to gate on, where GNB's saturate to 0/1 even on zero-day
+	// attacks it has never seen.
+	TriageModel string
 }
 
 // fillDefaults resolves zero-valued fields.
@@ -89,6 +106,14 @@ func (cfg *LiveConfig) fillDefaults() {
 	}
 	if cfg.ModelQuorum > len(cfg.Ensemble) {
 		cfg.ModelQuorum = (len(cfg.Ensemble) + 1) / 2
+	}
+	if cfg.Triage {
+		if cfg.TriageThreshold == 0 {
+			cfg.TriageThreshold = core.DefaultTriageThreshold
+		}
+		if cfg.TriageModel == "" {
+			cfg.TriageModel = "RF"
+		}
 	}
 }
 
@@ -242,18 +267,43 @@ func collectPaced(recs []trace.Record, speed float64, dst *ml.Dataset) {
 	tb.Run()
 }
 
+// triageModelFor resolves cfg.TriageModel against the trained
+// ensemble; nil (with no error) when triage is off.
+func triageModelFor(cfg LiveConfig, models []ml.Classifier) (ml.Classifier, error) {
+	if !cfg.Triage || cfg.TriageModel == "" {
+		return nil, nil
+	}
+	for _, m := range models {
+		if m.Name() == cfg.TriageModel {
+			return m, nil
+		}
+	}
+	var names []string
+	for _, m := range models {
+		names = append(names, m.Name())
+	}
+	return nil, fmt.Errorf("triage model %q not in trained ensemble %v", cfg.TriageModel, names)
+}
+
 // replayLive runs one flow type through a fresh testbed + mechanism.
 func replayLive(recs []trace.Record, speed float64, models []ml.Classifier, scaler *ml.StandardScaler, cfg LiveConfig) ([]core.Decision, error) {
 	tb := testbed.New(testbed.Config{})
+	tm, err := triageModelFor(cfg, models)
+	if err != nil {
+		return nil, err
+	}
 	mech, err := core.New(tb.Eng, core.Config{
-		Models:       models,
-		Scaler:       scaler,
-		PollInterval: cfg.PollInterval,
-		ServiceTime:  cfg.ServiceTime,
-		ModelQuorum:  cfg.ModelQuorum,
-		VoteWindow:   cfg.VoteWindow,
-		Shards:       cfg.Shards,
-		PredictBatch: cfg.PredictBatch,
+		Models:          models,
+		Scaler:          scaler,
+		PollInterval:    cfg.PollInterval,
+		ServiceTime:     cfg.ServiceTime,
+		ModelQuorum:     cfg.ModelQuorum,
+		VoteWindow:      cfg.VoteWindow,
+		Shards:          cfg.Shards,
+		PredictBatch:    cfg.PredictBatch,
+		Triage:          cfg.Triage,
+		TriageThreshold: cfg.TriageThreshold,
+		TriageModel:     tm,
 	})
 	if err != nil {
 		return nil, err

@@ -8,8 +8,39 @@ package ml
 // so per-batch costs (tree-arena faults, activation buffers, hoisted
 // constants) are paid per model instead of per sample.
 func EnsembleVotes(models []Classifier, X [][]float64) (votes [][]int, ones []int) {
-	votes = make([][]int, len(X))
-	ones = make([]int, len(X))
+	return EnsembleVotesInto(nil, models, X)
+}
+
+// VoteScratch holds the reusable buffers for EnsembleVotesInto. The
+// zero value is ready to use; do not share one scratch between
+// goroutines.
+type VoteScratch struct {
+	votes [][]int
+	ones  []int
+}
+
+// EnsembleVotesInto is EnsembleVotes with the outer votes header and
+// the ones buffer recycled from s across calls — the per-batch
+// allocations a prediction worker would otherwise pay on every
+// micro-batch. The flat per-row vote storage is still allocated fresh
+// each call because callers retain the row slices in Decisions and
+// prediction records; only the buffers that die with the batch are
+// reused. A nil scratch allocates everything, matching EnsembleVotes.
+func EnsembleVotesInto(s *VoteScratch, models []Classifier, X [][]float64) (votes [][]int, ones []int) {
+	if s == nil {
+		s = &VoteScratch{}
+	}
+	if cap(s.votes) < len(X) {
+		s.votes = make([][]int, len(X))
+	}
+	if cap(s.ones) < len(X) {
+		s.ones = make([]int, len(X))
+	}
+	votes = s.votes[:len(X)]
+	ones = s.ones[:len(X)]
+	for i := range ones {
+		ones[i] = 0
+	}
 	flat := make([]int, len(X)*len(models))
 	for i := range votes {
 		votes[i] = flat[i*len(models) : (i+1)*len(models) : (i+1)*len(models)]

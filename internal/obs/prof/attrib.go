@@ -98,6 +98,12 @@ func PipelineStages() []StageRule {
 		{"core.(*Live).upsertFlow", "core.ingest"},
 		{"core.(*Live).shardPoller", "core.poll"},
 		{"core.(*Live).pollOnce", "core.poll"},
+		// Triage rules precede core.predict: triageBatch calls scoreBatch
+		// for fall-through rows, so a stack blocked under the cascade
+		// attributes to the triage stage, not the generic predict bucket.
+		{"core.(*Live).triageBatch", "core.triage"},
+		{"ml.(*Cascade)", "core.triage"},
+		{"sketch.(*Sketch)", "core.triage"},
 		{"core.(*Live).predictBatch", "core.predict"},
 		{"core.(*Live).fillBatch", "worker.queue_recv"},
 		{"core.(*Live).runWorker", "worker.queue_recv"},
