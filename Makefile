@@ -3,14 +3,16 @@
 # smoke over every wire-format parser, the chaos smoke (the
 # fault-injection suite under the race detector), the recovery smoke
 # (kill -9 a checkpointing live pipeline, restart, verify restore and
-# closed accounting), and the diagnostics smoke (pull and validate
-# diagnostic bundles from a running pipeline).
+# closed accounting), the diagnostics smoke (pull and validate
+# diagnostic bundles from a running pipeline), and the soak smoke (the
+# live pipeline under an impaired wire plus a scrambled multi-pass
+# feed, with both accounting ledgers required to close).
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-obs bench-shard bench-shard-smoke bench-batch bench-checkpoint bench-tier bench-tier-smoke fuzz-smoke chaos-smoke recovery-smoke diag-smoke clean
+.PHONY: check vet build test race bench bench-obs bench-shard bench-shard-smoke bench-batch bench-checkpoint bench-tier bench-tier-smoke fuzz-smoke chaos-smoke recovery-smoke diag-smoke soak-smoke impair-smoke clean
 
-check: vet build test race fuzz-smoke chaos-smoke recovery-smoke diag-smoke
+check: vet build test race fuzz-smoke chaos-smoke recovery-smoke diag-smoke soak-smoke
 
 vet:
 	$(GO) vet ./...
@@ -66,6 +68,23 @@ recovery-smoke:
 # scripts/diagcheck (scripts/diag_smoke.sh).
 diag-smoke:
 	bash scripts/diag_smoke.sh
+
+# soak-smoke runs the adverse-network soak under the race detector:
+# the stage-2 ensemble fed a multi-pass reordered/duplicated/stale
+# report stream materialized through a lossy wire, with a fault
+# schedule firing inside the pipeline. Passes only if the report and
+# pipeline ledgers both close and accuracy loss stays bounded (~30s).
+soak-smoke:
+	$(GO) test -race -count=1 -run TestSoakSmoke ./internal/experiment/
+
+# impair-smoke regenerates the trimmed impairment sweep (baseline +
+# the 1% loss / 0.1% dup acceptance point) and validates the artifact
+# with diagcheck: accounting closed on every row, sane accuracies.
+impair-smoke:
+	$(GO) run ./cmd/reproduce -scale tiny -only impair -impair-quick \
+		-impair-out $(CURDIR)/impair_smoke.json
+	$(GO) run ./scripts/diagcheck -impair $(CURDIR)/impair_smoke.json
+	rm -f $(CURDIR)/impair_smoke.json
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
@@ -140,5 +159,5 @@ bench-checkpoint:
 	@echo wrote $(CURDIR)/BENCH_checkpoint.json
 
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_shard_smoke.json BENCH_batch.json BENCH_checkpoint.json BENCH_tier.json BENCH_tier_smoke.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_shard_smoke.json BENCH_batch.json BENCH_checkpoint.json BENCH_tier.json BENCH_tier_smoke.json impair_smoke.json
 	$(GO) clean ./...

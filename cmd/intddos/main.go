@@ -7,6 +7,7 @@
 //
 //	intddos [-scale small] [-seed 42] [-packets 2500] [-trace file.amtr] [-v]
 //	intddos -live [-obs-addr :9090] [-live-for 1m] [-checkpoint-dir dir] [-diag-bundle out.tar.gz]
+//	intddos -live [-netem "netem[link=agent->collector]:loss=1%,dup=0.1%"] [-dedup-window 16]
 //
 // With -trace the replayed traffic comes from a capture written by
 // datagen instead of a generated workload. With -live the pipeline
@@ -43,6 +44,9 @@ func main() {
 	predictLinger := flag.Duration("predict-linger", 0, "how long a -live prediction worker waits to fill a micro-batch (0: score immediately)")
 	faultSpec := flag.String("fault-spec", "", "inject faults into the -live pipeline, e.g. \"drop=0.01,store.err=0.1,panic=0.02\" (see README: fault tolerance)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+	netemSpec := flag.String("netem", "", "impair the -live replay's report wire, e.g. \"netem[link=agent->collector]:loss=1%,dup=0.1%\" (see README: adverse networks)")
+	netemSeed := flag.Int64("netem-seed", 0, "seed for the -netem impairment RNGs (0: the experiment seed)")
+	dedupWindow := flag.Int("dedup-window", 0, "per-source dedup/reorder window for the -live pipeline (0: admit every report, the paper's behavior)")
 	checkpointDir := flag.String("checkpoint-dir", "", "make -live crash-recoverable: resume from the newest checkpoint in this directory and snapshot into it")
 	checkpointEvery := flag.Duration("checkpoint-every", 10*time.Second, "periodic checkpoint interval for -live (0: only the final snapshot on exit)")
 	diagBundle := flag.String("diag-bundle", "", "write a diagnostic bundle (tar.gz of profiles, metrics, health, config, events) to this path when the -live run ends")
@@ -77,11 +81,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "intddos:", err)
 			os.Exit(1)
 		}
-		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, injector, *checkpointDir, *checkpointEvery, *diagBundle, *profileDir, *profileEvery, *triage, *triageThreshold, *triageModel, reg, *verbose)
+		netem, err := intddos.ParseNetem(*netemSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "intddos:", err)
+			os.Exit(1)
+		}
+		nseed := *netemSeed
+		if nseed == 0 {
+			nseed = *seed
+		}
+		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, injector, netem, nseed, *dedupWindow, *checkpointDir, *checkpointEvery, *diagBundle, *profileDir, *profileEvery, *triage, *triageThreshold, *triageModel, reg, *verbose)
 		return
 	}
 	if *faultSpec != "" {
 		fmt.Fprintln(os.Stderr, "intddos: -fault-spec only applies to the -live pipeline")
+		os.Exit(1)
+	}
+	if *netemSpec != "" || *dedupWindow != 0 {
+		fmt.Fprintln(os.Stderr, "intddos: -netem and -dedup-window only apply to the -live pipeline")
 		os.Exit(1)
 	}
 	if *checkpointDir != "" {
@@ -126,7 +143,7 @@ func main() {
 // registry continuously scrapeable while doing so. A final metrics
 // summary — counters, queue gauges, per-stage latency percentiles —
 // is printed on exit.
-func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, injector *intddos.FaultInjector, checkpointDir string, checkpointEvery time.Duration, diagBundle, profileDir string, profileEvery time.Duration, triage bool, triageThreshold float64, triageModel string, reg *intddos.ObsRegistry, verbose bool) {
+func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, injector *intddos.FaultInjector, netem intddos.NetemSpec, netemSeed int64, dedupWindow int, checkpointDir string, checkpointEvery time.Duration, diagBundle, profileDir string, profileEvery time.Duration, triage bool, triageThreshold float64, triageModel string, reg *intddos.ObsRegistry, verbose bool) {
 	capture, err := intddos.Collect(intddos.DataConfig{Scale: scale, Seed: seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -178,6 +195,7 @@ func runLive(scale string, seed int64, packets int, liveFor time.Duration, shard
 		Triage:          triage,
 		TriageThreshold: triageThreshold,
 		TriageModel:     stageZero,
+		DedupWindow:     dedupWindow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -194,9 +212,12 @@ func runLive(scale string, seed int64, packets int, liveFor time.Duration, shard
 	}
 
 	// Materialize the sink's reports once; the live loop replays them.
+	// -netem impairs this rig's wires, so the replayed stream carries
+	// real loss/dup/reorder; unset it leaves the rig on the exact
+	// unimpaired path.
 	maxReports := 5 * packets
 	var reports []*intddos.Report
-	tb := intddos.NewTestbed(intddos.TestbedConfig{})
+	tb := intddos.NewTestbed(intddos.TestbedConfig{Netem: netem, NetemSeed: netemSeed})
 	tb.Collector.OnReport = func(r *intddos.Report, _ intddos.Time) {
 		if len(reports) < maxReports {
 			reports = append(reports, r)
@@ -281,6 +302,14 @@ replay:
 
 	fmt.Printf("\n%d passes, %d reports, %d decisions, %d shed, %d evicted\n",
 		passes, live.Reports.Load(), len(live.Decisions()), live.Shed.Load(), live.Evictions.Load())
+	if dedupWindow > 0 {
+		fmt.Printf("dedup (window %d): %d duplicates, %d stale, %d reordered, %d sequence gaps\n",
+			dedupWindow, live.Duplicates.Load(), live.StaleReps.Load(), live.Reordered.Load(), live.SeqGaps.Load())
+	}
+	for name, ls := range tb.ImpairedStats() {
+		fmt.Printf("netem %s: sent=%d delivered=%d lost=%d dup=%d reordered=%d rate_dropped=%d\n",
+			name, ls.Sent, ls.Delivered, ls.Lost, ls.Duplicated, ls.Reordered, ls.RateDropped)
+	}
 	if polled, decided, shed, abandoned := live.Polled.Load(), int64(live.DecisionCount()), live.Shed.Load(), live.Abandoned.Load(); polled == decided+shed+abandoned {
 		fmt.Printf("accounting: CLOSED (polled=%d == decided=%d + shed=%d + abandoned=%d)\n", polled, decided, shed, abandoned)
 	} else {

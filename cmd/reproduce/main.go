@@ -25,7 +25,7 @@ import (
 func main() {
 	scale := flag.String("scale", intddos.ScaleSmall, "workload scale: tiny, small, or full")
 	seed := flag.Int64("seed", 42, "experiment seed")
-	only := flag.String("only", "", "comma-separated subset: table1..table6, figure3, figure4, figure5, figure7, coverage, ablation")
+	only := flag.String("only", "", "comma-separated subset: table1..table6, figure3, figure4, figure5, figure7, coverage, ablation (on request: roc, mitigation, scaling, chaos, triage, impair, soak)")
 	packets := flag.Int("packets", 2500, "packets per flow type in the live (Table VI) replays")
 	shards := flag.Int("shards", 0, "database shards for the live (Table VI) replays (0: the paper's single-lock store; 1 is observably identical to 0)")
 	predictBatch := flag.Int("predict-batch", 0, "scoring micro-batch size for the live (Table VI) replays (0/1: the paper's record-at-a-time prediction; results are identical at any size)")
@@ -34,6 +34,10 @@ func main() {
 	triageModel := flag.String("triage-model", "rf", "ensemble member serving cascade stage 0 (mlp, rf, or gnb; rf's calibrated probabilities gate best)")
 	faultSpec := flag.String("fault-spec", "", "fault schedule for the chaos artifact (e.g. \"drop=0.05,store.err=0.1,panic=0.02\"; empty: clean baseline)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the chaos artifact's fault schedule")
+	netemSpec := flag.String("netem", "", "impair the capture's links, e.g. \"netem[link=agent->collector]:loss=1%,dup=0.1%\" (empty: exact unimpaired captures)")
+	netemSeed := flag.Int64("netem-seed", 0, "seed for the -netem impairment RNGs (0: the experiment seed)")
+	impairOut := flag.String("impair-out", "", "also write the impairment-sweep artifact (-only impair) as JSON to this path")
+	impairQuick := flag.Bool("impair-quick", false, "trim the impairment sweep to baseline + the acceptance point (CI smoke)")
 	checkpointDir := flag.String("checkpoint-dir", "", "resume the chaos artifact from (and snapshot into) this checkpoint directory")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval for the chaos artifact (0: one snapshot at the end of the run)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
@@ -47,6 +51,11 @@ func main() {
 	}
 	sel := func(k string) bool { return len(want) == 0 || want[k] }
 
+	// -netem impairs every capture below; unset it stays nil and the
+	// captures are byte-identical to an unimpaired run.
+	netem, err := intddos.ParseNetem(*netemSpec)
+	fail(err)
+
 	fmt.Printf("# Reproduction run: scale=%s seed=%d\n\n", *scale, *seed)
 	start := time.Now()
 
@@ -55,9 +64,10 @@ func main() {
 	needCoverage := sel("figure5") || sel("coverage")
 
 	var tablesCap, coverageCap *intddos.Capture
-	var err error
 	if needTables {
-		tablesCap, err = intddos.Collect(intddos.DataConfig{Scale: *scale, Seed: *seed})
+		tablesCap, err = intddos.Collect(intddos.DataConfig{
+			Scale: *scale, Seed: *seed, Netem: netem, NetemSeed: *netemSeed,
+		})
 		fail(err)
 		fmt.Printf("capture (tables rate 1/%d): %d packets, %d INT rows, %d sFlow rows\n\n",
 			tablesCap.Config.SFlowRate, len(tablesCap.Workload.Records), tablesCap.INT.Len(), tablesCap.SFlow.Len())
@@ -65,6 +75,7 @@ func main() {
 	if needCoverage {
 		coverageCap, err = intddos.Collect(intddos.DataConfig{
 			Scale: *scale, Seed: *seed, SFlowRate: intddos.CoverageSFlowRate(*scale),
+			Netem: netem, NetemSeed: *netemSeed,
 		})
 		fail(err)
 	}
@@ -161,6 +172,34 @@ func main() {
 		})
 		fail(err)
 		fmt.Println(intddos.FormatChaos(res))
+	}
+	if sel("impair") && len(want) > 0 {
+		// Adverse-network artifact; produced on request. Re-runs the
+		// Table III/IV protocols across a grid of report-wire
+		// impairments and reports accuracy deltas plus per-row
+		// accounting closure.
+		sweep, err := intddos.RunImpairmentSweep(intddos.ImpairConfig{
+			Scale: *scale, Seed: *seed, NetemSeed: *netemSeed, Quick: *impairQuick,
+		})
+		fail(err)
+		fmt.Println(intddos.FormatImpairmentSweep(sweep))
+		if *impairOut != "" {
+			fail(intddos.WriteImpairJSON(*impairOut, sweep))
+			fmt.Printf("impairment artifact: %s\n\n", *impairOut)
+		}
+	}
+	if sel("soak") && len(want) > 0 {
+		// Adverse-network soak; produced on request. Feeds the live
+		// pipeline a multi-pass scrambled report stream materialized
+		// through an impaired wire and checks both closure ledgers.
+		// (The soak's wire profile is its own default; -netem shapes
+		// the capture artifacts, not this run.)
+		res, err := intddos.RunSoak(intddos.SoakConfig{
+			Scale: *scale, Seed: *seed, NetemSeed: *netemSeed,
+			FaultSpec: *faultSpec, FaultSeed: *faultSeed,
+		})
+		fail(err)
+		fmt.Println(intddos.FormatSoak(res))
 	}
 	if sel("triage") && len(want) > 0 {
 		// Tiered-inference artifact; produced on request. Sweeps benign

@@ -118,6 +118,21 @@ type (
 	TriageSweep = experiment.TriageSweep
 	// TriageCell is one sweep measurement.
 	TriageCell = experiment.TriageCell
+	// ImpairConfig parameterizes the adverse-network sweep: Table
+	// III/IV re-run over a grid of report-wire impairments.
+	ImpairConfig = experiment.ImpairConfig
+	// ImpairPoint is one sweep grid point (name + netem sub-clauses).
+	ImpairPoint = experiment.ImpairPoint
+	// ImpairRow is one grid point's accounting and accuracy outcome.
+	ImpairRow = experiment.ImpairRow
+	// ImpairResult is the sweep artifact (see WriteImpairJSON).
+	ImpairResult = experiment.ImpairResult
+	// SoakConfig parameterizes the adverse-network soak: the live
+	// pipeline fed a scrambled (reordered/duplicated/stale) multi-pass
+	// report stream materialized through an impaired wire.
+	SoakConfig = experiment.SoakConfig
+	// SoakResult is the soak outcome: ledgers, wire stats, accuracy.
+	SoakResult = experiment.SoakResult
 )
 
 // ML layer types.
@@ -206,6 +221,15 @@ type (
 	// faults of a FaultSpec fire; wire it into
 	// LiveRuntimeConfig.Fault to chaos-test the live pipeline.
 	FaultInjector = fault.Injector
+	// NetemSpec maps link names to netem-style impairments; wire it
+	// into TestbedConfig.Netem or DataConfig.Netem ("*" matches every
+	// link).
+	NetemSpec = fault.NetemSpec
+	// LinkImpairment is one link's netem parameters (delay/jitter,
+	// loss, dup, reorder, rate cap, queue limit).
+	LinkImpairment = fault.LinkImpairment
+	// LinkImpairStats is an impaired link's delivery ledger.
+	LinkImpairStats = netsim.ImpairStats
 )
 
 // Pipeline health states, in increasing severity.
@@ -330,6 +354,23 @@ func ParseFaultSpec(spec string, seed int64) (*FaultInjector, error) {
 	return fault.Parse(spec, seed)
 }
 
+// ParseNetem parses netem clauses in the fault grammar
+// ("netem[link=agent->collector]:delay=2ms,jitter=1ms,loss=0.5%,dup=0.1%",
+// ...) into a per-link impairment spec. An empty spec returns a nil
+// NetemSpec, which impairs nothing.
+func ParseNetem(spec string) (NetemSpec, error) { return fault.ParseNetem(spec) }
+
+// Names of the testbed's impairable links, as ParseNetem's link=
+// selector addresses them.
+const (
+	LinkSourceSwitch    = testbed.LinkSourceSwitch
+	LinkSwitchLoop      = testbed.LinkSwitchLoop
+	LinkSwitchTarget    = testbed.LinkSwitchTarget
+	LinkSwitchCollector = testbed.LinkSwitchCollector
+	LinkAgentCollector  = testbed.LinkAgentCollector
+	LinkSFlowCollector  = testbed.LinkSFlowCollector
+)
+
 // ListenReports opens a UDP INT-report collector on addr
 // ("127.0.0.1:0" picks a free port).
 func ListenReports(addr string) (*NetCollector, error) { return telemetry.ListenReports(addr) }
@@ -434,6 +475,19 @@ func RunTriageSweep(cfg TriageSweepConfig) (*TriageSweep, error) {
 	return experiment.RunTriageSweep(cfg)
 }
 
+// RunImpairmentSweep re-runs the Table III/IV experiments across a
+// grid of report-wire impairments, quantifying the accuracy cost of
+// adverse telemetry networks. Row 0 is always the clean baseline.
+func RunImpairmentSweep(cfg ImpairConfig) (*ImpairResult, error) {
+	return experiment.RunImpairmentSweep(cfg)
+}
+
+// RunSoak trains the stage-2 ensemble, then feeds the wall-clock
+// runtime a multi-pass reordered/duplicated/stale report stream
+// materialized through an impaired wire, asserting that the report
+// and pipeline ledgers still close and accuracy stays bounded.
+func RunSoak(cfg SoakConfig) (*SoakResult, error) { return experiment.RunSoak(cfg) }
+
 // DefaultTriageThreshold is the stage-0 exit confidence used when
 // triage is enabled without an explicit threshold.
 const DefaultTriageThreshold = core.DefaultTriageThreshold
@@ -471,6 +525,8 @@ var (
 	FormatTableVMatrix    = experiment.FormatTableVMatrix
 	FormatChaos           = experiment.FormatChaos
 	FormatTriageSweep     = experiment.FormatTriageSweep
+	FormatImpairmentSweep = experiment.FormatImpairmentSweep
+	FormatSoak            = experiment.FormatSoak
 )
 
 // CSV exports for re-plotting outside Go.
@@ -483,6 +539,7 @@ var (
 	WriteScalingCSV = experiment.WriteScalingCSV
 	WriteDatasetCSV = experiment.WriteDatasetCSV
 	WriteCSVFile    = experiment.WriteCSVFile
+	WriteImpairJSON = experiment.WriteImpairJSON
 )
 
 // ReadTrace and WriteTrace persist packet captures.

@@ -160,6 +160,20 @@ type LiveConfig struct {
 	ProfileDir      string
 	ProfileInterval time.Duration
 
+	// DedupWindow enables per-source report deduplication at
+	// HandleReport: each source's last DedupWindow sequence numbers are
+	// remembered, duplicate and stale reports are suppressed before
+	// they can become flow observations (one report never becomes two
+	// decisions over a duplicating wire), and reordered arrivals within
+	// the window are admitted. Zero (the default) disables dedup — the
+	// report path is byte-identical to the pre-dedup pipeline. Only
+	// reports carrying a meaningful source key participate: dedup is
+	// per exporter, never global.
+	DedupWindow int
+	// DedupMaxSources bounds the dedup tracker's per-source state
+	// (least-recently-active eviction; default 1024).
+	DedupMaxSources int
+
 	// Fault injects a deterministic fault schedule into the pipeline:
 	// telemetry drop/corrupt/delay at ingestion, store stalls and
 	// transient errors (the store is wrapped automatically), worker
@@ -211,6 +225,10 @@ type LiveConfig struct {
 // nil-safe, so a zero value disables instrumentation.
 type liveMetrics struct {
 	reports     *obs.Counter
+	dupReports  *obs.Counter
+	staleReps   *obs.Counter
+	reordered   *obs.Counter
+	seqGaps     *obs.Counter
 	snapshots   *obs.Counter
 	predictions *obs.Counter
 	shed        *obs.Counter
@@ -282,6 +300,10 @@ func newLiveMetrics(reg *obs.Registry) liveMetrics {
 		triageFallthrough: triageExits.With("fallthrough"),
 		triageLatency:     reg.Histogram("intddos_triage_seconds", nil),
 		reports:           reg.Counter("intddos_reports_total"),
+		dupReports:        reg.Counter("intddos_reports_duplicate_total"),
+		staleReps:         reg.Counter("intddos_reports_stale_total"),
+		reordered:         reg.Counter("intddos_reports_reordered_total"),
+		seqGaps:           reg.Counter("intddos_reports_seq_gaps_total"),
 		snapshots:         reg.Counter("intddos_snapshots_total"),
 		predictions:       reg.Counter("intddos_predictions_total"),
 		shed:              reg.Counter("intddos_shed_total"),
@@ -450,9 +472,19 @@ type Live struct {
 	// prediction goroutine; keep it fast).
 	OnDecision func(Decision)
 
+	// dedup suppresses duplicate/stale reports per source at
+	// HandleReport (nil when LiveConfig.DedupWindow is zero).
+	dedup *telemetry.SeqTracker
+
 	// Stats (atomics: read while running). Mirrored into the obs
-	// registry; kept for compatibility with existing callers.
+	// registry; kept for compatibility with existing callers. With
+	// dedup on, the report ledger closes as
+	// Reports == Duplicates + StaleReports + fault drops + ingests.
 	Reports     atomic.Int64
+	Duplicates  atomic.Int64 // reports suppressed as duplicates
+	StaleReps   atomic.Int64 // reports rejected as stale
+	Reordered   atomic.Int64 // reports admitted out of order
+	SeqGaps     atomic.Int64 // reports inferred lost upstream
 	Snapshots   atomic.Int64
 	Predictions atomic.Int64
 	Shed        atomic.Int64
@@ -618,6 +650,9 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		reg:         cfg.Registry,
 	}
 	l.fdb, _ = db.(store.Fallible)
+	if cfg.DedupWindow > 0 {
+		l.dedup = telemetry.NewSeqTracker(cfg.DedupWindow, cfg.DedupMaxSources)
+	}
 	for i := range l.shards {
 		l.shards[i] = &liveShard{windows: make(map[flow.Key][]int)}
 	}
@@ -979,6 +1014,32 @@ func (l *Live) sleepQuit(d time.Duration) bool {
 func (l *Live) HandleReport(r *telemetry.Report) {
 	l.Reports.Add(1)
 	l.met.reports.Inc()
+	// Duplicate suppression runs before the fault schedule and the
+	// demux: over a duplicating or reordering wire, one exported report
+	// must never become two flow observations (and so two decisions),
+	// and a stale straggler must not rewind a flow's history. Reports
+	// with no source identity skip dedup — sequence numbers are only
+	// meaningful per exporter.
+	if l.dedup != nil && r.SourceKey() != "" {
+		res := l.dedup.Observe(r.SourceKey(), r.Seq)
+		if res.Gaps > 0 {
+			l.SeqGaps.Add(int64(res.Gaps))
+			l.met.seqGaps.Add(int64(res.Gaps))
+		}
+		switch res.Verdict {
+		case telemetry.SeqDuplicate:
+			l.Duplicates.Add(1)
+			l.met.dupReports.Inc()
+			return
+		case telemetry.SeqStale:
+			l.StaleReps.Add(1)
+			l.met.staleReps.Inc()
+			return
+		case telemetry.SeqReordered:
+			l.Reordered.Add(1)
+			l.met.reordered.Inc()
+		}
+	}
 	in := l.cfg.Fault
 	if in == nil {
 		l.IngestAsync(flow.FromINT(r, now()))

@@ -145,6 +145,65 @@ func TestLiveHandleReport(t *testing.T) {
 	}
 }
 
+func dedupReport(seq uint64) *telemetry.Report {
+	return &telemetry.Report{
+		Seq: seq,
+		Src: netip.MustParseAddr("10.0.0.9"), Dst: netip.MustParseAddr("10.0.0.2"),
+		SrcPort: 5, DstPort: 80, Proto: netsim.TCP, Length: 40,
+		Hops:  []telemetry.HopMetadata{{SwitchID: 3, QueueDepth: 1, IngressTS: 10, EgressTS: 20}},
+		Truth: telemetry.Truth{Label: true, AttackType: "synscan"},
+	}
+}
+
+func TestLiveDedupSuppressesDuplicateAndStaleReports(t *testing.T) {
+	cfg := liveConfig(attackDetector())
+	cfg.DedupWindow = 4
+	l, err := NewLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	defer l.Stop()
+
+	l.HandleReport(dedupReport(1))
+	l.HandleReport(dedupReport(1))  // duplicate
+	l.HandleReport(dedupReport(10)) // forward jump: 8 inferred gaps
+	l.HandleReport(dedupReport(2))  // stale: 10-2 >= window 4
+	l.HandleReport(dedupReport(9))  // reordered, admitted
+
+	if !waitFor(t, 2*time.Second, func() bool { return len(l.Decisions()) == 3 }) {
+		t.Fatalf("decisions = %d, want 3 (dup and stale suppressed)", len(l.Decisions()))
+	}
+	if l.Duplicates.Load() != 1 || l.StaleReps.Load() != 1 || l.Reordered.Load() != 1 {
+		t.Errorf("dup/stale/reordered = %d/%d/%d, want 1/1/1",
+			l.Duplicates.Load(), l.StaleReps.Load(), l.Reordered.Load())
+	}
+	if l.SeqGaps.Load() != 8 {
+		t.Errorf("seq gaps = %d, want 8", l.SeqGaps.Load())
+	}
+	// Report ledger: every report is a suppression or an ingest.
+	if got := l.Duplicates.Load() + l.StaleReps.Load() + l.Snapshots.Load(); got != l.Reports.Load() {
+		t.Errorf("report ledger open: %d suppressed+ingested != %d reports", got, l.Reports.Load())
+	}
+}
+
+func TestLiveDedupOffAdmitsDuplicates(t *testing.T) {
+	l, err := NewLive(liveConfig(attackDetector()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	defer l.Stop()
+	l.HandleReport(dedupReport(1))
+	l.HandleReport(dedupReport(1))
+	if !waitFor(t, 2*time.Second, func() bool { return len(l.Decisions()) == 2 }) {
+		t.Fatalf("decisions = %d, want 2 (dedup disabled by default)", len(l.Decisions()))
+	}
+	if l.Duplicates.Load() != 0 {
+		t.Errorf("duplicates = %d with dedup off", l.Duplicates.Load())
+	}
+}
+
 // slowModel delays predictions so the queue can fill.
 type slowModel struct{ d time.Duration }
 

@@ -8,6 +8,7 @@ package experiment
 import (
 	"fmt"
 
+	"github.com/amlight/intddos/internal/fault"
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/ml"
 	"github.com/amlight/intddos/internal/netsim"
@@ -31,6 +32,16 @@ type DataConfig struct {
 	// hop-latency ablation, which restores the feature §IV-B2
 	// excluded.
 	INTSet flow.FeatureSet
+
+	// Netem impairs the rig's links during the capture (see
+	// testbed.Config.Netem); nil leaves the capture byte-identical to
+	// an unimpaired run. NetemSeed drives the impairment RNGs.
+	Netem     fault.NetemSpec
+	NetemSeed int64
+	// ReorderWindow overrides the INT collector's per-source
+	// acceptance window (0: the collector default of 64) — the knob
+	// the impairment sweep tightens.
+	ReorderWindow int
 }
 
 // The paper runs one sFlow feed (production 1/4096) for both the
@@ -86,6 +97,16 @@ type Capture struct {
 	Delivered    int
 	INTReports   int
 	SFlowSamples int
+
+	// Impairment accounting: per-link ledgers for every impaired link
+	// (empty on a clean capture) and the INT collector's sequence
+	// classification counts.
+	LinkStats  map[string]netsim.ImpairStats
+	Duplicates int
+	Stale      int
+	Reordered  int
+	SeqGaps    int
+	Healed     int
 }
 
 // Collect replays the workload through the Figure 6 testbed with both
@@ -103,7 +124,10 @@ func Collect(cfg DataConfig) (*Capture, error) {
 		EnableSFlow: true,
 		SFlowRate:   cfg.SFlowRate,
 		Seed:        cfg.Seed,
+		Netem:       cfg.Netem,
+		NetemSeed:   cfg.NetemSeed,
 	})
+	tb.Collector.ReorderWindow = cfg.ReorderWindow
 
 	intSet := cfg.INTSet
 	if intSet == nil {
@@ -140,6 +164,12 @@ func Collect(cfg DataConfig) (*Capture, error) {
 	rp.Start()
 	tb.Run()
 	c.Delivered = tb.Target.Received
+	c.LinkStats = tb.ImpairedStats()
+	c.Duplicates = tb.Collector.Duplicates
+	c.Stale = tb.Collector.Stale
+	c.Reordered = tb.Collector.Reordered
+	c.SeqGaps = tb.Collector.SeqGaps
+	c.Healed = tb.Collector.Healed
 	return c, nil
 }
 

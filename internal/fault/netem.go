@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// LinkImpairment is one link's netem parameters in the clause
+// grammar's units: durations for delay/jitter, probabilities for
+// loss/dup/reorder, bits per second for the rate cap. The netsim
+// layer converts it into a netsim.Impairment at wiring time, so this
+// package stays independent of the simulator.
+type LinkImpairment struct {
+	Delay   time.Duration
+	Jitter  time.Duration
+	Loss    float64
+	Dup     float64
+	Reorder float64
+	RateBps int64
+	// Limit bounds the rate-cap queue in packets (0: the netsim
+	// default of 64).
+	Limit int
+}
+
+// Zero reports whether the impairment changes nothing.
+func (li LinkImpairment) Zero() bool {
+	return li.Delay == 0 && li.Jitter == 0 && li.Loss == 0 &&
+		li.Dup == 0 && li.Reorder == 0 && li.RateBps == 0
+}
+
+// String renders the impairment's sub-clauses in the netem grammar.
+func (li LinkImpairment) String() string {
+	var parts []string
+	add := func(format string, args ...any) { parts = append(parts, fmt.Sprintf(format, args...)) }
+	if li.Delay > 0 {
+		add("delay=%v", li.Delay)
+	}
+	if li.Jitter > 0 {
+		add("jitter=%v", li.Jitter)
+	}
+	if li.Loss > 0 {
+		add("loss=%v", li.Loss)
+	}
+	if li.Dup > 0 {
+		add("dup=%v", li.Dup)
+	}
+	if li.Reorder > 0 {
+		add("reorder=%v", li.Reorder)
+	}
+	if li.RateBps > 0 {
+		add("rate=%s", formatRate(li.RateBps))
+	}
+	if li.Limit > 0 {
+		add("limit=%d", li.Limit)
+	}
+	return strings.Join(parts, ",")
+}
+
+// NetemSpec maps link names to impairments. The key "*" is a
+// wildcard matching every link without an exact entry. The zero/nil
+// value impairs nothing.
+type NetemSpec map[string]LinkImpairment
+
+// Zero reports whether the spec impairs nothing.
+func (n NetemSpec) Zero() bool {
+	for _, li := range n {
+		if !li.Zero() {
+			return false
+		}
+	}
+	return true
+}
+
+// For returns the impairment for the named link: an exact entry
+// first, the "*" wildcard otherwise.
+func (n NetemSpec) For(link string) (LinkImpairment, bool) {
+	if li, ok := n[link]; ok {
+		return li, true
+	}
+	li, ok := n["*"]
+	return li, ok
+}
+
+// String renders the spec in the netem clause grammar, links in
+// sorted order; ParseNetem round-trips it.
+func (n NetemSpec) String() string {
+	links := make([]string, 0, len(n))
+	for link := range n {
+		links = append(links, link)
+	}
+	sort.Strings(links)
+	var parts []string
+	for _, link := range links {
+		parts = append(parts, fmt.Sprintf("netem[link=%s]:%s", link, n[link].String()))
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseNetem parses a standalone netem spec — the -netem CLI flag's
+// grammar, which is the netem subset of the full fault-spec grammar
+// (see ParseSpec):
+//
+//	netemspec := section (";" section)*
+//	section   := "netem[link=" LINK "]:" sub ("," sub)*
+//	sub       := "delay=" DUR | "jitter=" DUR | "loss=" PCT
+//	           | "dup=" PCT | "reorder=" PCT | "rate=" RATE
+//	           | "limit=" N
+//	LINK      := link name ("agent->collector", ...) or "*"
+//	PCT       := probability as a percentage ("0.5%") or a plain
+//	             fraction in [0,1] ("0.005")
+//	RATE      := bits per second with an optional tc-style unit:
+//	             "100mbit", "512kbit", "1gbit", "800bit", or a bare
+//	             number of bit/s
+//
+// for example "netem[link=agent->collector]:delay=2ms,jitter=1ms,
+// loss=0.5%,dup=0.1%,rate=100mbit". An empty string parses to the
+// nil (impair-nothing) spec.
+func ParseNetem(s string) (NetemSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	spec, err := ParseSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	if !spec.OnlyNetem() {
+		return nil, fmt.Errorf("fault: netem spec %q contains non-netem clauses %q", s, spec.String())
+	}
+	return spec.Netem, nil
+}
+
+// netemKeys are the sub-clause names that attach to an open netem
+// section. "delay" is shared with the fault grammar and is
+// disambiguated by shape: fault delay is DUR@P, netem delay is DUR.
+var netemKeys = map[string]bool{
+	"delay": true, "jitter": true, "loss": true, "dup": true,
+	"reorder": true, "rate": true, "limit": true,
+}
+
+// parseNetemSub applies one sub-clause to a link's impairment.
+func parseNetemSub(li *LinkImpairment, name, val string) error {
+	switch name {
+	case "delay", "jitter":
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return err
+		}
+		if d < 0 {
+			return fmt.Errorf("negative duration %v", d)
+		}
+		if name == "delay" {
+			li.Delay = d
+		} else {
+			li.Jitter = d
+		}
+	case "loss", "dup", "reorder":
+		p, err := parsePct(val)
+		if err != nil {
+			return err
+		}
+		switch name {
+		case "loss":
+			li.Loss = p
+		case "dup":
+			li.Dup = p
+		case "reorder":
+			li.Reorder = p
+		}
+	case "rate":
+		r, err := parseRate(val)
+		if err != nil {
+			return err
+		}
+		li.RateBps = r
+	case "limit":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return fmt.Errorf("limit %d must be positive", n)
+		}
+		li.Limit = n
+	default:
+		return fmt.Errorf("unknown netem sub-clause %q", name)
+	}
+	return nil
+}
+
+// parsePct parses a probability written either as a percentage
+// ("0.5%" → 0.005) or as a plain fraction in [0,1].
+func parsePct(s string) (float64, error) {
+	if pct, ok := strings.CutSuffix(s, "%"); ok {
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			return 0, err
+		}
+		if v < 0 || v > 100 {
+			return 0, fmt.Errorf("percentage %v%% outside [0%%,100%%]", v)
+		}
+		return v / 100, nil
+	}
+	return parseProb(s)
+}
+
+// rateUnits maps tc-style rate suffixes to bits per second.
+var rateUnits = []struct {
+	suffix string
+	mult   int64
+}{
+	{"gbit", 1_000_000_000},
+	{"mbit", 1_000_000},
+	{"kbit", 1_000},
+	{"bit", 1},
+}
+
+// parseRate parses a tc-style rate ("100mbit", "1gbit", bare bit/s).
+func parseRate(s string) (int64, error) {
+	lower := strings.ToLower(s)
+	mult := int64(1)
+	num := lower
+	for _, u := range rateUnits {
+		if v, ok := strings.CutSuffix(lower, u.suffix); ok {
+			mult, num = u.mult, v
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate %q: %w", s, err)
+	}
+	r := int64(v * float64(mult))
+	if r <= 0 {
+		return 0, fmt.Errorf("rate %q must be positive", s)
+	}
+	return r, nil
+}
+
+// formatRate renders bits per second with the largest exact tc unit.
+func formatRate(bps int64) string {
+	for _, u := range rateUnits {
+		if u.mult > 1 && bps%u.mult == 0 {
+			return fmt.Sprintf("%d%s", bps/u.mult, u.suffix)
+		}
+	}
+	return fmt.Sprintf("%dbit", bps)
+}

@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseNetemFullSection(t *testing.T) {
+	spec, err := ParseNetem("netem[link=agent->collector]:delay=2ms,jitter=1ms,loss=0.5%,dup=0.1%,rate=100mbit")
+	if err != nil {
+		t.Fatalf("ParseNetem: %v", err)
+	}
+	li, ok := spec.For("agent->collector")
+	if !ok {
+		t.Fatalf("no entry for agent->collector: %v", spec)
+	}
+	want := LinkImpairment{
+		Delay: 2 * time.Millisecond, Jitter: time.Millisecond,
+		Loss: 0.005, Dup: 0.001, RateBps: 100_000_000,
+	}
+	if li != want {
+		t.Errorf("impairment = %+v, want %+v", li, want)
+	}
+}
+
+func TestParseNetemWildcardAndMultiSection(t *testing.T) {
+	spec, err := ParseNetem("netem[link=*]:loss=1%;netem[link=agent->collector]:reorder=0.05,limit=16,rate=512kbit")
+	if err != nil {
+		t.Fatalf("ParseNetem: %v", err)
+	}
+	if li, ok := spec.For("source->switch"); !ok || li.Loss != 0.01 {
+		t.Errorf("wildcard lookup = %+v/%v, want loss=0.01 via *", li, ok)
+	}
+	li, _ := spec.For("agent->collector")
+	if li.Reorder != 0.05 || li.Limit != 16 || li.RateBps != 512_000 {
+		t.Errorf("exact entry = %+v", li)
+	}
+	if li.Loss != 0 {
+		t.Errorf("exact entry inherited wildcard loss: %+v", li)
+	}
+}
+
+func TestParseNetemRoundTrip(t *testing.T) {
+	in := "netem[link=agent->collector]:delay=2ms,jitter=1ms,loss=0.005,dup=0.001,rate=100mbit,limit=32;netem[link=*]:reorder=0.1"
+	spec, err := ParseNetem(in)
+	if err != nil {
+		t.Fatalf("ParseNetem: %v", err)
+	}
+	again, err := ParseNetem(spec.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", spec.String(), err)
+	}
+	if again.String() != spec.String() {
+		t.Errorf("round trip: %q != %q", again.String(), spec.String())
+	}
+}
+
+func TestParseSpecComposesFaultAndNetem(t *testing.T) {
+	spec, err := ParseSpec("drop=0.01,netem[link=agent->collector]:delay=2ms,loss=0.5%,store.err=0.1,delay=5ms@0.2")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Drop != 0.01 || spec.StoreErr != 0.1 {
+		t.Errorf("fault clauses lost: %+v", spec)
+	}
+	// The bare-DUR delay and the loss attach to the open netem
+	// section; the DUR@P delay after store.err is a fault clause.
+	li, ok := spec.Netem.For("agent->collector")
+	if !ok || li.Delay != 2*time.Millisecond || li.Loss != 0.005 {
+		t.Errorf("netem section = %+v/%v", li, ok)
+	}
+	if spec.Delay != 5*time.Millisecond || spec.DelayP != 0.2 {
+		t.Errorf("fault delay = %v@%v, want 5ms@0.2", spec.Delay, spec.DelayP)
+	}
+	// Round-trip the combined spec.
+	again, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", spec.String(), err)
+	}
+	if again.String() != spec.String() {
+		t.Errorf("round trip: %q != %q", again.String(), spec.String())
+	}
+}
+
+func TestParseSpecSemicolonClosesNetemSection(t *testing.T) {
+	// After ';' the "delay" belongs to the fault grammar again, so a
+	// bare DUR (no @P) must fail rather than silently attach.
+	if _, err := ParseSpec("netem[link=a]:loss=1%;delay=2ms"); err == nil {
+		t.Errorf("bare delay after ';' should be a fault-grammar error")
+	}
+	spec, err := ParseSpec("netem[link=a]:loss=1%;delay=2ms@0.5")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.DelayP != 0.5 {
+		t.Errorf("fault delay not parsed after section close: %+v", spec)
+	}
+}
+
+func TestParseNetemRejectsFaultClauses(t *testing.T) {
+	if _, err := ParseNetem("drop=0.1"); err == nil {
+		t.Errorf("ParseNetem accepted a fault clause")
+	}
+	if _, err := ParseNetem("netem[link=a]:loss=1%,drop=0.1"); err == nil {
+		t.Errorf("ParseNetem accepted a mixed spec")
+	}
+}
+
+// TestParseErrorsNameClauseAndPosition is the table-driven coverage
+// for the positional parse errors, including the netem sub-clauses.
+func TestParseErrorsNameClauseAndPosition(t *testing.T) {
+	cases := []struct {
+		spec string
+		// want are substrings the error must carry: the clause text
+		// and its position, so a typo in a long schedule is findable.
+		want []string
+	}{
+		{"drop=2", []string{`clause 1`, `"drop=2"`, "offset 0"}},
+		{"drop=0.1,bogus=1", []string{`clause 2`, `"bogus=1"`, "offset 9", "unknown clause"}},
+		{"drop=0.1,delay=5x@0.1", []string{`clause 2`, `"delay=5x@0.1"`, "offset 9"}},
+		{"drop=0.1 corrupt", []string{`clause 2`, `"corrupt"`, "offset 9", "name=value"}},
+		{"model.fail=@0.5", []string{`clause 1`, "model.fail=NAME@P"}},
+		{"netem[link=]:loss=1%", []string{`clause 1`, "link=NAME"}},
+		{"netem[link=a]loss=1%", []string{`clause 1`, "':'"}},
+		{"netem[broken", []string{`clause 1`, "netem[link=NAME]"}},
+		{"netem[link=a]:loss=200%", []string{`clause 1`, "[0%,100%]"}},
+		{"netem[link=a]:loss=1%,dup=nope", []string{`clause 2`, `"dup=nope"`, "offset 22"}},
+		{"netem[link=a]:jitter=-1ms", []string{`clause 1`, "negative duration"}},
+		{"netem[link=a]:rate=0mbit", []string{`clause 1`, "positive"}},
+		{"netem[link=a]:rate=fast", []string{`clause 1`, "bad rate"}},
+		{"netem[link=a]:limit=0", []string{`clause 1`, "positive"}},
+		{"netem[link=a]:limit=1,reorder=1.5", []string{`clause 2`, "offset 22", "[0,1]"}},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q): want error", tc.spec)
+			continue
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("ParseSpec(%q) error %q missing %q", tc.spec, err, w)
+			}
+		}
+	}
+}
+
+func TestParseRateUnits(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"100mbit", 100_000_000},
+		{"1gbit", 1_000_000_000},
+		{"512kbit", 512_000},
+		{"800bit", 800},
+		{"9600", 9600},
+		{"1.5mbit", 1_500_000},
+		{"100MBIT", 100_000_000},
+	}
+	for _, tc := range cases {
+		got, err := parseRate(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseRate(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package netsim
+
+import "math/rand"
+
+// Impairment parameterizes netem-style adverse-network behavior on a
+// Link: added delay with uniform jitter, an explicit reorder knob,
+// probabilistic loss and duplication, and a rate cap with a bounded
+// queue. The zero value impairs nothing, and a link with no
+// impairment attached takes the exact legacy delivery path — the
+// golden tables pin that a disabled impairment is bit-identical.
+//
+// Semantics follow tc/netem (the grammar pumba drives):
+//
+//   - Delay is added to the link's propagation delay on every packet.
+//   - Jitter adds a uniform sample in [0, Jitter] on top of Delay.
+//   - ReorderP is the probability a packet skips Delay+Jitter and is
+//     delivered after the propagation delay alone — netem's "send
+//     immediately" reordering, where the fast packet overtakes its
+//     delayed predecessors. Reorder also emerges from jitter whenever
+//     two samples differ by more than the inter-departure gap.
+//   - Loss drops a packet before it enters the wire.
+//   - Dup delivers a second copy, which runs through the same
+//     delay/jitter pipeline with its own samples.
+//   - RateBps caps link throughput by modeling serialization delay
+//     through a bounded FIFO of Limit packets; arrivals beyond the
+//     bound are tail-dropped.
+//
+// All randomness comes from one seeded stream drawn in engine event
+// order, so a run is deterministic under (topology, workload, seed).
+type Impairment struct {
+	Delay    Time
+	Jitter   Time
+	ReorderP float64
+	Loss     float64
+	Dup      float64
+	RateBps  int64
+	// Limit bounds the rate-cap queue in packets (default 64; only
+	// meaningful when RateBps > 0).
+	Limit int
+	// Seed drives the impairment's random stream.
+	Seed int64
+}
+
+// Zero reports whether the impairment changes nothing.
+func (im Impairment) Zero() bool {
+	return im.Delay == 0 && im.Jitter == 0 && im.ReorderP == 0 &&
+		im.Loss == 0 && im.Dup == 0 && im.RateBps == 0
+}
+
+// ImpairStats is the impaired link's delivery ledger. The closure
+// invariant — every offered packet is delivered, lost, or
+// rate-dropped, with duplication adding extra deliveries — is
+//
+//	Delivered == Sent - Lost - RateDropped + Duplicated
+//
+// and is what the experiment sweeps assert per run.
+type ImpairStats struct {
+	// Sent counts packets offered to the link.
+	Sent int
+	// Delivered counts deliveries scheduled (duplicates count twice).
+	Delivered int
+	// Lost counts packets dropped by the loss probability.
+	Lost int
+	// Duplicated counts extra copies delivered.
+	Duplicated int
+	// Reordered counts packets that took the reorder fast path
+	// (skipped the impairment delay, overtaking delayed traffic).
+	Reordered int
+	// RateDropped counts tail drops at the full rate-cap queue.
+	RateDropped int
+}
+
+// Closed reports whether the delivery ledger balances.
+func (s ImpairStats) Closed() bool {
+	return s.Delivered == s.Sent-s.Lost-s.RateDropped+s.Duplicated
+}
+
+// impairState is the runtime attached to a Link by SetImpairment.
+type impairState struct {
+	Impairment
+	rng       *rand.Rand
+	busyUntil Time // rate cap: when the last queued packet clears the wire
+	queued    int  // rate cap: packets awaiting serialization
+	stats     ImpairStats
+}
+
+func (st *impairState) limit() int {
+	if st.Limit > 0 {
+		return st.Limit
+	}
+	return 64
+}
+
+// SetImpairment attaches (or, with a zero impairment, detaches) an
+// adverse-network model to the link. Call before traffic flows.
+func (l *Link) SetImpairment(im Impairment) {
+	if im.Zero() {
+		l.imp = nil
+		return
+	}
+	l.imp = &impairState{Impairment: im, rng: NewRNG(im.Seed)}
+}
+
+// Impaired reports whether an impairment is attached.
+func (l *Link) Impaired() bool { return l.imp != nil }
+
+// ImpairStats returns the impaired link's delivery ledger, or nil
+// when no impairment is attached.
+func (l *Link) ImpairStats() *ImpairStats {
+	if l.imp == nil {
+		return nil
+	}
+	return &l.imp.stats
+}
+
+// sendImpaired is the adverse-network delivery path: loss, then the
+// delay/jitter/reorder/rate pipeline, then an optional duplicate copy
+// through the same pipeline.
+func (l *Link) sendImpaired(p *Packet) {
+	st := l.imp
+	st.stats.Sent++
+	if st.Loss > 0 && st.rng.Float64() < st.Loss {
+		st.stats.Lost++
+		p.Dropped = true
+		return
+	}
+	l.transmitImpaired(p, st)
+	if st.Dup > 0 && st.rng.Float64() < st.Dup {
+		// A duplicated datagram carries the same bytes; the copy
+		// shares Payload and Hops (receivers decode fresh state) but
+		// has its own delivery bookkeeping.
+		dup := *p
+		st.stats.Duplicated++
+		l.transmitImpaired(&dup, st)
+	}
+}
+
+// transmitImpaired schedules one delivery through the rate cap and
+// the delay/jitter/reorder pipeline.
+func (l *Link) transmitImpaired(p *Packet, st *impairState) {
+	var depart Time // wait before the packet enters the wire
+	if st.RateBps > 0 {
+		if st.queued >= st.limit() {
+			st.stats.RateDropped++
+			p.Dropped = true
+			return
+		}
+		now := l.eng.Now()
+		start := now
+		if st.busyUntil > start {
+			start = st.busyUntil
+		}
+		bits := int64(p.Length) * 8
+		st.busyUntil = start + Time(bits*int64(Second)/st.RateBps)
+		st.queued++
+		depart = st.busyUntil - now
+		l.eng.Schedule(st.busyUntil, func() { st.queued-- })
+	}
+	extra := st.Delay
+	if st.Jitter > 0 {
+		extra += Time(st.rng.Int63n(int64(st.Jitter) + 1))
+	}
+	if st.ReorderP > 0 && extra > 0 && st.rng.Float64() < st.ReorderP {
+		// netem-style reorder: skip the impairment delay so this
+		// packet overtakes in-flight delayed traffic.
+		extra = 0
+		st.stats.Reordered++
+	}
+	st.stats.Delivered++
+	l.Delivered++
+	l.eng.After(depart+l.Delay+extra, func() { l.Dst.Receive(p) })
+}

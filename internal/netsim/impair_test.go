@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// collectTap records delivery order and times.
+type collectTap struct {
+	eng   *Engine
+	ids   []uint64
+	times []Time
+}
+
+func (t *collectTap) Receive(p *Packet) {
+	t.ids = append(t.ids, p.ID)
+	t.times = append(t.times, t.eng.Now())
+}
+
+func sendN(eng *Engine, l *Link, n int) {
+	for i := 0; i < n; i++ {
+		id := eng.NextPacketID()
+		eng.Schedule(Time(i)*Microsecond, func() {
+			l.Send(&Packet{ID: id, Length: 100})
+		})
+	}
+	eng.Run()
+}
+
+func TestImpairmentZeroIsInert(t *testing.T) {
+	run := func(attach bool) []Time {
+		eng := NewEngine()
+		tap := &collectTap{eng: eng}
+		l := NewLink(eng, Microsecond, tap)
+		if attach {
+			l.SetImpairment(Impairment{}) // zero: must detach, not alter
+		}
+		sendN(eng, l, 50)
+		if l.Impaired() {
+			t.Fatalf("zero impairment left the link impaired")
+		}
+		return tap.times
+	}
+	plain, zeroed := run(false), run(true)
+	if len(plain) != len(zeroed) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(plain), len(zeroed))
+	}
+	for i := range plain {
+		if plain[i] != zeroed[i] {
+			t.Fatalf("delivery %d at %v with zero impairment, %v without", i, zeroed[i], plain[i])
+		}
+	}
+}
+
+func TestImpairmentDeterministicUnderSeed(t *testing.T) {
+	run := func(seed int64) ([]uint64, ImpairStats) {
+		eng := NewEngine()
+		tap := &collectTap{eng: eng}
+		l := NewLink(eng, Microsecond, tap)
+		l.SetImpairment(Impairment{
+			Delay: 2 * Microsecond, Jitter: 5 * Microsecond,
+			Loss: 0.1, Dup: 0.05, ReorderP: 0.2, Seed: seed,
+		})
+		sendN(eng, l, 400)
+		return tap.ids, *l.ImpairStats()
+	}
+	idsA, statsA := run(7)
+	idsB, statsB := run(7)
+	if len(idsA) != len(idsB) || statsA != statsB {
+		t.Fatalf("same seed diverged: %+v vs %+v", statsA, statsB)
+	}
+	for i := range idsA {
+		if idsA[i] != idsB[i] {
+			t.Fatalf("delivery order diverged at %d: %d vs %d", i, idsA[i], idsB[i])
+		}
+	}
+	idsC, _ := run(8)
+	same := len(idsA) == len(idsC)
+	if same {
+		for i := range idsA {
+			if idsA[i] != idsC[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+func TestImpairmentLossDupLedger(t *testing.T) {
+	eng := NewEngine()
+	tap := &collectTap{eng: eng}
+	l := NewLink(eng, Microsecond, tap)
+	l.SetImpairment(Impairment{Loss: 0.25, Dup: 0.1, Seed: 3})
+	const n = 2000
+	sendN(eng, l, n)
+	st := l.ImpairStats()
+	if st.Sent != n {
+		t.Fatalf("Sent = %d, want %d", st.Sent, n)
+	}
+	if st.Lost == 0 || st.Duplicated == 0 {
+		t.Fatalf("expected losses and duplicates at p=0.25/0.1: %+v", st)
+	}
+	if !st.Closed() {
+		t.Fatalf("ledger not closed: %+v", st)
+	}
+	if got := len(tap.ids); got != st.Delivered {
+		t.Fatalf("tap saw %d deliveries, ledger says %d", got, st.Delivered)
+	}
+	if st.Delivered != l.Delivered {
+		t.Fatalf("Link.Delivered %d != stats.Delivered %d", l.Delivered, st.Delivered)
+	}
+}
+
+func TestImpairmentReorders(t *testing.T) {
+	eng := NewEngine()
+	tap := &collectTap{eng: eng}
+	l := NewLink(eng, Microsecond, tap)
+	// Large fixed delay with an explicit reorder knob: reordered
+	// packets skip the delay and must overtake their predecessors.
+	l.SetImpairment(Impairment{Delay: 50 * Microsecond, ReorderP: 0.2, Seed: 11})
+	sendN(eng, l, 300)
+	st := l.ImpairStats()
+	if st.Reordered == 0 {
+		t.Fatalf("no packets took the reorder fast path: %+v", st)
+	}
+	inversions := 0
+	for i := 1; i < len(tap.ids); i++ {
+		if tap.ids[i] < tap.ids[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatalf("reorder knob produced no out-of-order deliveries (%d fast-pathed)", st.Reordered)
+	}
+}
+
+func TestImpairmentJitterAloneReorders(t *testing.T) {
+	eng := NewEngine()
+	tap := &collectTap{eng: eng}
+	l := NewLink(eng, Microsecond, tap)
+	// Jitter much larger than the 1µs inter-departure gap: reordering
+	// emerges without the explicit knob.
+	l.SetImpairment(Impairment{Jitter: 20 * Microsecond, Seed: 5})
+	sendN(eng, l, 300)
+	inversions := 0
+	for i := 1; i < len(tap.ids); i++ {
+		if tap.ids[i] < tap.ids[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatalf("20µs jitter over 1µs gaps produced no reordering")
+	}
+}
+
+func TestImpairmentRateCapBoundedQueue(t *testing.T) {
+	eng := NewEngine()
+	tap := &collectTap{eng: eng}
+	l := NewLink(eng, Microsecond, tap)
+	// 100-byte packets at 1 µs spacing need 800 Mbit/s; cap at 8 Mbit/s
+	// with a 4-packet bound so the queue overflows quickly.
+	l.SetImpairment(Impairment{RateBps: 8_000_000, Limit: 4, Seed: 1})
+	sendN(eng, l, 100)
+	st := l.ImpairStats()
+	if st.RateDropped == 0 {
+		t.Fatalf("saturated rate cap dropped nothing: %+v", st)
+	}
+	if !st.Closed() {
+		t.Fatalf("ledger not closed: %+v", st)
+	}
+	// Deliveries must be paced at the serialization time (100 B at
+	// 8 Mbit/s = 100 µs per packet), never faster.
+	for i := 1; i < len(tap.times); i++ {
+		if gap := tap.times[i] - tap.times[i-1]; gap < 100*Microsecond {
+			t.Fatalf("deliveries %d µs apart, rate cap allows 100 µs minimum", gap/Microsecond)
+		}
+	}
+}

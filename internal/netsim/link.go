@@ -23,6 +23,11 @@ type Link struct {
 
 	// Delivered counts packets that transited the link.
 	Delivered int
+
+	// imp, when set by SetImpairment, routes Send through the
+	// adverse-network pipeline (impair.go). Nil keeps the exact
+	// legacy delivery path — bit-identical with impairment off.
+	imp *impairState
 }
 
 // NewLink builds a link delivering to dst after delay.
@@ -32,6 +37,10 @@ func NewLink(eng *Engine, delay Time, dst Receiver) *Link {
 
 // Send schedules delivery of p to the link's destination.
 func (l *Link) Send(p *Packet) {
+	if l.imp != nil {
+		l.sendImpaired(p)
+		return
+	}
 	l.Delivered++
 	l.eng.After(l.Delay, func() { l.Dst.Receive(p) })
 }

@@ -145,6 +145,13 @@ func (sw *Switch) Port(port uint16) Receiver {
 	return ReceiverFunc(func(p *Packet) { sw.ingress(p, port) })
 }
 
+// Wire exposes the egress link for a connected port (nil before
+// Connect), so callers can attach link impairments or read stats.
+func (sw *Switch) Wire(port uint16) *Link {
+	sw.mustPort(port)
+	return sw.wires[port]
+}
+
 // Queue exposes the egress queue for a port, mainly for tests and
 // stats collection.
 func (sw *Switch) Queue(port uint16) *OutputQueue {

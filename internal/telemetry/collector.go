@@ -6,30 +6,52 @@ import (
 )
 
 // Collector is the INT collector: it terminates report datagrams,
-// decodes them, tracks loss via sequence gaps, and hands decoded
-// reports to a subscriber. It corresponds to the "INT Collector" box
-// in the paper's Figures 1 and 2.
+// decodes them, classifies each against its source's sequence window
+// (duplicate suppression, reorder tolerance, stale rejection, loss
+// inference), and hands accepted reports to a subscriber. It
+// corresponds to the "INT Collector" box in the paper's Figures 1
+// and 2, hardened for the adverse WAN links the AmLight deployment
+// actually crosses.
 type Collector struct {
 	eng *netsim.Engine
 
-	// OnReport receives each decoded report with the collector-local
+	// OnReport receives each accepted report with the collector-local
 	// arrival time. This local timestamp is what gives the pipeline a
 	// full-resolution clock — the paper notes INT itself carries only
-	// 32-bit wrapped stamps with no day/hour component.
+	// 32-bit wrapped stamps with no day/hour component. Duplicate and
+	// stale reports are suppressed before this callback.
 	OnReport func(r *Report, at netsim.Time)
 
-	// Stats
+	// ReorderWindow is the per-source acceptance window: a report up
+	// to this many sequence numbers behind its source's newest is
+	// accepted out of order; older is stale (default 64).
+	ReorderWindow int
+	// MaxSources bounds the per-source tracking map; beyond it the
+	// least-recently-active source is evicted (default 1024).
+	MaxSources int
+
+	// Stats. Sequence state is tracked per source (the sink switch
+	// assigns sequence numbers per exporter), so interleaved
+	// multi-agent streams do not inflate SeqGaps.
 	Received     int
 	DecodeErrors int
-	SeqGaps      int // reports inferred lost from sequence discontinuities
-	lastSeq      uint64
+	SeqGaps      int // reports inferred lost from per-source sequence gaps
+	Healed       int // inferred losses that later arrived reordered
+	Duplicates   int // reports suppressed as duplicates
+	Stale        int // reports rejected as older than the window
+	Reordered    int // reports accepted out of order
+	seqs         *SeqTracker
 
 	// Obs mirrors (nil-safe; set by Instrument). The plain-int stats
 	// above are only safe to read from the event loop; these counters
 	// are safe to scrape concurrently.
-	decoded *obs.Counter
-	dropped *obs.Counter
-	gaps    *obs.Counter
+	decoded   *obs.Counter
+	dropped   *obs.Counter
+	gaps      *obs.Counter
+	healed    *obs.Counter
+	dup       *obs.Counter
+	stale     *obs.Counter
+	reordered *obs.Counter
 }
 
 // Instrument registers concurrent-scrape-safe counters for the
@@ -39,6 +61,10 @@ func (c *Collector) Instrument(reg *obs.Registry) {
 	c.decoded = reg.Counter("intddos_telemetry_reports_decoded_total")
 	c.dropped = reg.Counter("intddos_telemetry_reports_dropped_total")
 	c.gaps = reg.Counter("intddos_telemetry_seq_gaps_total")
+	c.healed = reg.Counter("intddos_telemetry_seq_healed_total")
+	c.dup = reg.Counter("intddos_telemetry_reports_duplicate_total")
+	c.stale = reg.Counter("intddos_telemetry_reports_stale_total")
+	c.reordered = reg.Counter("intddos_telemetry_reports_reordered_total")
 }
 
 // NewCollector constructs a collector on eng.
@@ -46,7 +72,32 @@ func NewCollector(eng *netsim.Engine) *Collector {
 	return &Collector{eng: eng}
 }
 
-// Receive implements netsim.Receiver: decode a report datagram.
+// Accepted is how many decoded reports were delivered to OnReport:
+// received minus the duplicate and stale suppressions.
+func (c *Collector) Accepted() int { return c.Received - c.Duplicates - c.Stale }
+
+// Sources returns how many report sources the collector is tracking.
+func (c *Collector) Sources() int {
+	if c.seqs == nil {
+		return 0
+	}
+	return c.seqs.SourceCount()
+}
+
+// tracker lazily builds the per-source sequence tracker.
+func (c *Collector) tracker() *SeqTracker {
+	if c.seqs == nil {
+		w := c.ReorderWindow
+		if w <= 0 {
+			w = 64
+		}
+		c.seqs = NewSeqTracker(w, c.MaxSources)
+	}
+	return c.seqs
+}
+
+// Receive implements netsim.Receiver: decode a report datagram and
+// classify it against its source's sequence window.
 func (c *Collector) Receive(p *netsim.Packet) {
 	rep, err := DecodeReport(p.Payload)
 	if err != nil {
@@ -56,12 +107,30 @@ func (c *Collector) Receive(p *netsim.Packet) {
 	}
 	c.Received++
 	c.decoded.Inc()
-	if c.lastSeq != 0 && rep.Seq > c.lastSeq+1 {
-		c.SeqGaps += int(rep.Seq - c.lastSeq - 1)
-		c.gaps.Add(int64(rep.Seq - c.lastSeq - 1))
+	if rep.Source == "" && p.Src.IsValid() {
+		rep.Source = p.Src.String()
 	}
-	if rep.Seq > c.lastSeq {
-		c.lastSeq = rep.Seq
+	res := c.tracker().Observe(rep.SourceKey(), rep.Seq)
+	if res.Gaps > 0 {
+		c.SeqGaps += res.Gaps
+		c.gaps.Add(int64(res.Gaps))
+	}
+	switch res.Verdict {
+	case SeqDuplicate:
+		c.Duplicates++
+		c.dup.Inc()
+		return
+	case SeqStale:
+		c.Stale++
+		c.stale.Inc()
+		return
+	case SeqReordered:
+		c.Reordered++
+		c.reordered.Inc()
+		if res.Healed {
+			c.Healed++
+			c.healed.Inc()
+		}
 	}
 	// Re-attach simulation ground truth carried on the datagram.
 	rep.Truth = Truth{Label: p.Label, AttackType: p.AttackType, SentAt: p.SentAt}

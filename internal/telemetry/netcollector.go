@@ -108,8 +108,9 @@ func (c *NetCollector) loop() {
 		// ignored.
 		err := c.conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
 		var n int
+		var raddr *net.UDPAddr
 		if err == nil {
-			n, _, err = c.conn.ReadFromUDP(buf)
+			n, raddr, err = c.conn.ReadFromUDP(buf)
 		}
 		select {
 		case <-c.quit:
@@ -140,6 +141,12 @@ func (c *NetCollector) loop() {
 		if derr != nil {
 			c.DecodeErrors.Add(1)
 			continue
+		}
+		// Stamp the exporter's transport identity so downstream
+		// sequence tracking is keyed per source, never shared across
+		// interleaved agent streams.
+		if raddr != nil {
+			rep.Source = raddr.String()
 		}
 		c.Received.Add(1)
 		if c.OnReport != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net/netip"
+	"strconv"
 
 	"github.com/amlight/intddos/internal/netsim"
 )
@@ -31,6 +32,13 @@ type Report struct {
 
 	// Hops is the metadata stack in path order (source hop first).
 	Hops []HopMetadata
+
+	// Source identifies the transport endpoint the report arrived
+	// from (the exporting device's address). It is attached by the
+	// receiving collector, NOT serialized: sequence numbers are only
+	// meaningful per exporter, so dedup/reorder state must be keyed
+	// by source, never shared across interleaved agent streams.
+	Source string
 
 	// Truth carries generator ground truth for accounting only; it is
 	// NOT serialized — a real collector never sees labels.
@@ -60,6 +68,17 @@ func (r *Report) FirstHop() (HopMetadata, bool) {
 		return HopMetadata{}, false
 	}
 	return r.Hops[0], true
+}
+
+// SourceKey returns the identity sequence tracking is keyed by: the
+// sink switch that assigned the sequence number when the metadata
+// stack names one (robust even when several exporters share a relay
+// address), the transport source otherwise.
+func (r *Report) SourceKey() string {
+	if h, ok := r.LastHop(); ok {
+		return "sw" + strconv.FormatUint(uint64(h.SwitchID), 10)
+	}
+	return r.Source
 }
 
 // FiveTuple renders the canonical flow identity string, matching

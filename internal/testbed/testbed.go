@@ -9,7 +9,9 @@ package testbed
 
 import (
 	"net/netip"
+	"sort"
 
+	"github.com/amlight/intddos/internal/fault"
 	"github.com/amlight/intddos/internal/netsim"
 	"github.com/amlight/intddos/internal/sflow"
 	"github.com/amlight/intddos/internal/telemetry"
@@ -47,7 +49,27 @@ type Config struct {
 	SFlowDeterministic bool
 	// Seed drives the sFlow randomized countdown.
 	Seed int64
+
+	// Netem applies netem-style impairment (delay/jitter, loss, dup,
+	// reorder, rate caps) to the rig's named links — see LinkNames for
+	// the names; "*" matches every link. Nil or all-zero leaves every
+	// link on the exact unimpaired fast path.
+	Netem fault.NetemSpec
+	// NetemSeed drives each impaired link's RNG (links are salted by
+	// name, so two impaired links never share a stream).
+	NetemSeed int64
 }
+
+// Names of the rig's impairable links, as the netem grammar addresses
+// them.
+const (
+	LinkSourceSwitch    = "source->switch"    // source host uplink
+	LinkSwitchLoop      = "switch->loop"      // port 3 → port 4 loopback cable
+	LinkSwitchTarget    = "switch->target"    // port 2 egress
+	LinkSwitchCollector = "switch->collector" // port 5 egress (embed-mode reports)
+	LinkAgentCollector  = "agent->collector"  // INT sink's report wire
+	LinkSFlowCollector  = "sflow->collector"  // sFlow agent's export wire
+)
 
 // Testbed is the assembled rig.
 type Testbed struct {
@@ -63,6 +85,57 @@ type Testbed struct {
 	SFlowCollector *sflow.Collector
 
 	collectorHost *netsim.Host
+	links         map[string]*netsim.Link
+}
+
+// Link returns a named link of the rig (nil for unknown names or an
+// sFlow link on a rig without sFlow).
+func (tb *Testbed) Link(name string) *netsim.Link { return tb.links[name] }
+
+// LinkNames lists the rig's impairable links in stable order.
+func (tb *Testbed) LinkNames() []string {
+	names := make([]string, 0, len(tb.links))
+	for name := range tb.links {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ImpairedStats returns per-link impairment ledgers for every link
+// that has an impairment attached.
+func (tb *Testbed) ImpairedStats() map[string]netsim.ImpairStats {
+	out := map[string]netsim.ImpairStats{}
+	for name, l := range tb.links {
+		if l.Impaired() {
+			out[name] = *l.ImpairStats()
+		}
+	}
+	return out
+}
+
+// linkSeed salts the rig seed by link name (FNV-1a) so each impaired
+// link draws from its own deterministic stream.
+func linkSeed(seed int64, name string) int64 {
+	sum := uint64(14695981039346656037)
+	for _, b := range []byte(name) {
+		sum = (sum ^ uint64(b)) * 1099511628211
+	}
+	return seed ^ int64(sum)
+}
+
+// toImpairment converts the grammar's units into the simulator's.
+func toImpairment(li fault.LinkImpairment, seed int64) netsim.Impairment {
+	return netsim.Impairment{
+		Delay:    netsim.Time(li.Delay.Nanoseconds()),
+		Jitter:   netsim.Time(li.Jitter.Nanoseconds()),
+		ReorderP: li.Reorder,
+		Loss:     li.Loss,
+		Dup:      li.Dup,
+		RateBps:  li.RateBps,
+		Limit:    li.Limit,
+		Seed:     seed,
+	}
 }
 
 // New assembles the topology.
@@ -98,20 +171,29 @@ func New(cfg Config) *Testbed {
 	tb.Collector = telemetry.NewCollector(eng)
 	tb.collectorHost.OnReceive = tb.Collector.Receive
 
+	reportWire := netsim.NewLink(eng, cfg.LinkDelay, tb.collectorHost)
 	tb.INTAgent = telemetry.NewAgent(eng, tb.Switch, telemetry.AgentConfig{
 		Mode:          cfg.INTMode,
 		SourcePorts:   []uint16{3},
 		SinkPorts:     []uint16{2},
 		CollectorAddr: CollectorAddr,
-		ReportWire:    netsim.NewLink(eng, cfg.LinkDelay, tb.collectorHost),
+		ReportWire:    reportWire,
 		Sampler:       cfg.INTSampler,
 		DomainID:      1,
 	})
+	tb.links = map[string]*netsim.Link{
+		LinkSourceSwitch:    tb.Source.Uplink,
+		LinkSwitchLoop:      tb.Switch.Wire(3),
+		LinkSwitchTarget:    tb.Switch.Wire(2),
+		LinkSwitchCollector: tb.Switch.Wire(5),
+		LinkAgentCollector:  reportWire,
+	}
 
 	if cfg.EnableSFlow {
 		tb.SFlowCollector = sflow.NewCollector(eng)
 		sfHost := netsim.NewHost(eng, "sflow-collector", netip.AddrFrom4([4]byte{10, 0, 0, 6}))
 		sfHost.OnReceive = tb.SFlowCollector.Receive
+		sfWire := netsim.NewLink(eng, cfg.LinkDelay, sfHost)
 		tb.SFlowAgent = sflow.NewAgent(eng, tb.Switch, sflow.AgentConfig{
 			SampleRate:    cfg.SFlowRate,
 			Deterministic: cfg.SFlowDeterministic,
@@ -121,8 +203,17 @@ func New(cfg Config) *Testbed {
 			// production monitored link.
 			Ports:         []uint16{2},
 			CollectorAddr: sfHost.Addr,
-			Wire:          netsim.NewLink(eng, cfg.LinkDelay, sfHost),
+			Wire:          sfWire,
 		})
+		tb.links[LinkSFlowCollector] = sfWire
+	}
+	// Attach impairments last, so every named link exists. An absent
+	// or all-zero spec never touches a link: Send stays on the exact
+	// legacy path and results are byte-identical to an unimpaired rig.
+	for name, l := range tb.links {
+		if li, ok := cfg.Netem.For(name); ok && !li.Zero() {
+			l.SetImpairment(toImpairment(li, linkSeed(cfg.NetemSeed, name)))
+		}
 	}
 	return tb
 }

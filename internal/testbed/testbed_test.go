@@ -3,6 +3,7 @@ package testbed
 import (
 	"testing"
 
+	"github.com/amlight/intddos/internal/fault"
 	"github.com/amlight/intddos/internal/netsim"
 	"github.com/amlight/intddos/internal/sflow"
 	"github.com/amlight/intddos/internal/telemetry"
@@ -82,5 +83,51 @@ func TestSFlowCoexistsWithINT(t *testing.T) {
 	}
 	if sfSamples != tb.SFlowAgent.Sampled {
 		t.Errorf("collector samples %d != agent %d", sfSamples, tb.SFlowAgent.Sampled)
+	}
+}
+
+func TestNetemImpairsNamedLink(t *testing.T) {
+	spec, err := fault.ParseNetem("netem[link=agent->collector]:loss=40%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := New(Config{Netem: spec, NetemSeed: 11})
+	reports := 0
+	tb.Collector.OnReport = func(*telemetry.Report, netsim.Time) { reports++ }
+	w := traffic.Build(traffic.TinyConfig(3))
+	rp := tb.Replayer(w.Records[:800])
+	rp.Start()
+	tb.Run()
+
+	if !tb.Link(LinkAgentCollector).Impaired() {
+		t.Fatal("agent->collector not impaired")
+	}
+	if tb.Link(LinkSourceSwitch).Impaired() {
+		t.Error("source->switch impaired by a spec naming only agent->collector")
+	}
+	stats := tb.ImpairedStats()[LinkAgentCollector]
+	if !stats.Closed() {
+		t.Errorf("impairment ledger open: %+v", stats)
+	}
+	if stats.Lost == 0 {
+		t.Errorf("no loss at 40%%: %+v", stats)
+	}
+	if reports != stats.Delivered {
+		t.Errorf("collector saw %d reports, link delivered %d", reports, stats.Delivered)
+	}
+	// The data path is untouched: every replayed packet still arrives.
+	if tb.Target.Received != rp.Sent() {
+		t.Errorf("target received %d of %d", tb.Target.Received, rp.Sent())
+	}
+}
+
+func TestNetemUnsetLeavesLinksInert(t *testing.T) {
+	for _, cfg := range []Config{{}, {Netem: fault.NetemSpec{}}} {
+		tb := New(cfg)
+		for _, name := range tb.LinkNames() {
+			if tb.Link(name).Impaired() {
+				t.Errorf("link %s impaired with empty netem spec", name)
+			}
+		}
 	}
 }

@@ -14,6 +14,11 @@
 // bench-tier` / the CI bench-tier smoke): untiered baseline rows plus
 // triaged rows, positive throughput everywhere, exit rates in [0, 1],
 // and a speedup recorded on every triaged row.
+//
+// With -impair it validates an impairment-sweep artifact (`reproduce
+// -only impair -impair-out ...`): a clean baseline row plus at least
+// one impaired row, accuracies in (0, 1], and the accounting ledger
+// closed on every row.
 package main
 
 import (
@@ -48,6 +53,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "diagcheck: %s: %v\n", os.Args[2], err)
 			os.Exit(1)
 		}
+	case len(os.Args) == 3 && os.Args[1] == "-impair":
+		if err := checkImpair(os.Args[2]); err != nil {
+			fmt.Fprintf(os.Stderr, "diagcheck: %s: %v\n", os.Args[2], err)
+			os.Exit(1)
+		}
 	case len(os.Args) == 2:
 		if err := check(os.Args[1]); err != nil {
 			fmt.Fprintf(os.Stderr, "diagcheck: %s: %v\n", os.Args[1], err)
@@ -57,6 +67,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: diagcheck <bundle.tar.gz | http://host/debug/bundle>")
 		fmt.Fprintln(os.Stderr, "       diagcheck -bench-shard <BENCH_shard.json>")
 		fmt.Fprintln(os.Stderr, "       diagcheck -bench-tier <BENCH_tier.json>")
+		fmt.Fprintln(os.Stderr, "       diagcheck -impair <impair.json>")
 		os.Exit(2)
 	}
 }
@@ -164,6 +175,65 @@ func checkBenchTier(path string) error {
 	}
 	fmt.Printf("diagcheck: OK (%d sweep rows: %d baseline, %d triaged)\n",
 		len(sweep.Results), baselines, triaged)
+	return nil
+}
+
+// checkImpair validates an impairment-sweep artifact: row 0 must be
+// the clean baseline, at least one row must actually impair the wire,
+// accuracies must be real scores, and every row's delivery accounting
+// must close (no report unaccounted for between link and collector).
+func checkImpair(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sweep struct {
+		Scale         string   `json:"scale"`
+		ReorderWindow int      `json:"reorder_window"`
+		Models        []string `json:"models"`
+		Rows          []struct {
+			Name             string  `json:"name"`
+			Spec             string  `json:"spec"`
+			INTRows          int     `json:"int_rows"`
+			Lost             int     `json:"link_lost"`
+			Dupd             int     `json:"link_duplicated"`
+			MacroAccuracy    float64 `json:"macro_accuracy"`
+			ZeroDay          float64 `json:"zero_day_accuracy"`
+			AccountingClosed bool    `json:"accounting_closed"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &sweep); err != nil {
+		return fmt.Errorf("not valid sweep JSON: %w", err)
+	}
+	if len(sweep.Rows) < 2 {
+		return fmt.Errorf("sweep has %d rows, want a baseline plus impaired rows", len(sweep.Rows))
+	}
+	if sweep.Rows[0].Spec != "" {
+		return fmt.Errorf("row 0 (%s) is not the clean baseline", sweep.Rows[0].Name)
+	}
+	if len(sweep.Models) == 0 {
+		return fmt.Errorf("sweep names no models")
+	}
+	impaired := 0
+	for i, r := range sweep.Rows {
+		if r.INTRows <= 0 {
+			return fmt.Errorf("row %d (%s): no INT rows", i, r.Name)
+		}
+		if r.MacroAccuracy <= 0 || r.MacroAccuracy > 1 || r.ZeroDay <= 0 || r.ZeroDay > 1 {
+			return fmt.Errorf("row %d (%s): accuracy outside (0, 1]", i, r.Name)
+		}
+		if !r.AccountingClosed {
+			return fmt.Errorf("row %d (%s): accounting leak", i, r.Name)
+		}
+		if r.Spec != "" {
+			impaired++
+		}
+	}
+	if impaired == 0 {
+		return fmt.Errorf("sweep has no impaired rows")
+	}
+	fmt.Printf("diagcheck: OK (%d sweep rows: 1 baseline, %d impaired; reorder_window=%d)\n",
+		len(sweep.Rows), impaired, sweep.ReorderWindow)
 	return nil
 }
 
