@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-obs bench-shard bench-shard-smoke bench-batch bench-checkpoint bench-tier bench-tier-smoke fuzz-smoke chaos-smoke recovery-smoke diag-smoke soak-smoke impair-smoke clean
+.PHONY: check vet build test race bench bench-obs bench-shard bench-shard-smoke bench-batch bench-checkpoint bench-checkpoint-smoke bench-tier bench-tier-smoke fuzz-smoke chaos-smoke recovery-smoke diag-smoke soak-smoke impair-smoke clean
 
-check: vet build test race fuzz-smoke chaos-smoke recovery-smoke diag-smoke soak-smoke
+check: vet build test race fuzz-smoke chaos-smoke recovery-smoke diag-smoke soak-smoke bench-checkpoint-smoke
 
 vet:
 	$(GO) vet ./...
@@ -158,6 +158,18 @@ bench-checkpoint:
 		-bench BenchmarkCheckpoint -benchtime 1x -timeout 30m .
 	@echo wrote $(CURDIR)/BENCH_checkpoint.json
 
+# bench-checkpoint-smoke is the CI gate for the checkpoint sweep: the
+# smallest configuration only (enough to exercise capture, encode,
+# atomic write, and restore — not to measure), then diagcheck
+# validates the JSON shape: flow counts, positive size and write
+# throughput, a barrier hold recorded and bounded by the write, and a
+# restore that brought back every flow.
+bench-checkpoint-smoke:
+	BENCH_CHECKPOINT_OUT=$(CURDIR)/BENCH_checkpoint_smoke.json $(GO) test -run '^$$' \
+		-bench 'BenchmarkCheckpoint/flows-10000$$' -benchtime 1x .
+	$(GO) run ./scripts/diagcheck -bench-checkpoint $(CURDIR)/BENCH_checkpoint_smoke.json
+	rm -f $(CURDIR)/BENCH_checkpoint_smoke.json
+
 clean:
-	rm -f BENCH_obs.json BENCH_shard.json BENCH_shard_smoke.json BENCH_batch.json BENCH_checkpoint.json BENCH_tier.json BENCH_tier_smoke.json impair_smoke.json
+	rm -f BENCH_obs.json BENCH_shard.json BENCH_shard_smoke.json BENCH_batch.json BENCH_checkpoint.json BENCH_checkpoint_smoke.json BENCH_tier.json BENCH_tier_smoke.json impair_smoke.json
 	$(GO) clean ./...

@@ -49,6 +49,8 @@ func main() {
 	dedupWindow := flag.Int("dedup-window", 0, "per-source dedup/reorder window for the -live pipeline (0: admit every report, the paper's behavior)")
 	checkpointDir := flag.String("checkpoint-dir", "", "make -live crash-recoverable: resume from the newest checkpoint in this directory and snapshot into it")
 	checkpointEvery := flag.Duration("checkpoint-every", 10*time.Second, "periodic checkpoint interval for -live (0: only the final snapshot on exit)")
+	checkpointFullEvery := flag.Int("checkpoint-full-every", 16, "write a self-contained full snapshot every Nth checkpoint and incremental deltas between (0/1: every checkpoint full)")
+	checkpointCompress := flag.Bool("checkpoint-compress", false, "flate-compress checkpoint sections (smaller files, more CPU outside the capture barrier)")
 	diagBundle := flag.String("diag-bundle", "", "write a diagnostic bundle (tar.gz of profiles, metrics, health, config, events) to this path when the -live run ends")
 	profileDir := flag.String("profile-dir", "", "capture periodic CPU/mutex/block/goroutine/heap profiles into this directory during -live")
 	profileEvery := flag.Duration("profile-every", 0, "profile capture period for -profile-dir (0: 30s)")
@@ -90,7 +92,7 @@ func main() {
 		if nseed == 0 {
 			nseed = *seed
 		}
-		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, injector, netem, nseed, *dedupWindow, *checkpointDir, *checkpointEvery, *diagBundle, *profileDir, *profileEvery, *triage, *triageThreshold, *triageModel, reg, *verbose)
+		runLive(*scale, *seed, *packets, *liveFor, *shards, *workers, *predictBatch, *predictLinger, injector, netem, nseed, *dedupWindow, *checkpointDir, *checkpointEvery, *checkpointFullEvery, *checkpointCompress, *diagBundle, *profileDir, *profileEvery, *triage, *triageThreshold, *triageModel, reg, *verbose)
 		return
 	}
 	if *faultSpec != "" {
@@ -143,7 +145,7 @@ func main() {
 // registry continuously scrapeable while doing so. A final metrics
 // summary — counters, queue gauges, per-stage latency percentiles —
 // is printed on exit.
-func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, injector *intddos.FaultInjector, netem intddos.NetemSpec, netemSeed int64, dedupWindow int, checkpointDir string, checkpointEvery time.Duration, diagBundle, profileDir string, profileEvery time.Duration, triage bool, triageThreshold float64, triageModel string, reg *intddos.ObsRegistry, verbose bool) {
+func runLive(scale string, seed int64, packets int, liveFor time.Duration, shards, workers, predictBatch int, predictLinger time.Duration, injector *intddos.FaultInjector, netem intddos.NetemSpec, netemSeed int64, dedupWindow int, checkpointDir string, checkpointEvery time.Duration, checkpointFullEvery int, checkpointCompress bool, diagBundle, profileDir string, profileEvery time.Duration, triage bool, triageThreshold float64, triageModel string, reg *intddos.ObsRegistry, verbose bool) {
 	capture, err := intddos.Collect(intddos.DataConfig{Scale: scale, Seed: seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)
@@ -179,23 +181,25 @@ func runLive(scale string, seed int64, packets int, liveFor time.Duration, shard
 	}
 
 	live, err := intddos.NewLiveRuntime(intddos.LiveRuntimeConfig{
-		Models:          []intddos.Classifier{model},
-		Scaler:          scaler,
-		Registry:        reg,
-		FlowIdleTimeout: 30 * time.Second,
-		Shards:          shards,
-		Workers:         workers,
-		PredictBatch:    predictBatch,
-		PredictLinger:   predictLinger,
-		Fault:           injector,
-		CheckpointDir:   checkpointDir,
-		CheckpointEvery: checkpointEvery,
-		ProfileDir:      profileDir,
-		ProfileInterval: profileEvery,
-		Triage:          triage,
-		TriageThreshold: triageThreshold,
-		TriageModel:     stageZero,
-		DedupWindow:     dedupWindow,
+		Models:              []intddos.Classifier{model},
+		Scaler:              scaler,
+		Registry:            reg,
+		FlowIdleTimeout:     30 * time.Second,
+		Shards:              shards,
+		Workers:             workers,
+		PredictBatch:        predictBatch,
+		PredictLinger:       predictLinger,
+		Fault:               injector,
+		CheckpointDir:       checkpointDir,
+		CheckpointEvery:     checkpointEvery,
+		CheckpointFullEvery: checkpointFullEvery,
+		CheckpointCompress:  checkpointCompress,
+		ProfileDir:          profileDir,
+		ProfileInterval:     profileEvery,
+		Triage:              triage,
+		TriageThreshold:     triageThreshold,
+		TriageModel:         stageZero,
+		DedupWindow:         dedupWindow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intddos:", err)

@@ -40,6 +40,7 @@ func main() {
 	impairQuick := flag.Bool("impair-quick", false, "trim the impairment sweep to baseline + the acceptance point (CI smoke)")
 	checkpointDir := flag.String("checkpoint-dir", "", "resume the chaos artifact from (and snapshot into) this checkpoint directory")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval for the chaos artifact (0: one snapshot at the end of the run)")
+	checkpointFullEvery := flag.Int("checkpoint-full-every", 0, "full-snapshot cadence for the chaos artifact: every Nth checkpoint full, deltas between (0/1: every checkpoint full)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	flag.Parse()
 
@@ -169,6 +170,7 @@ func main() {
 			Scale: *scale, Seed: *seed, PacketsPerType: *packets,
 			FaultSpec: *faultSpec, FaultSeed: *faultSeed,
 			CheckpointDir: *checkpointDir, CheckpointEvery: *checkpointEvery,
+			CheckpointFullEvery: *checkpointFullEvery,
 		})
 		fail(err)
 		fmt.Println(intddos.FormatChaos(res))

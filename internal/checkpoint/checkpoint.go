@@ -12,9 +12,17 @@
 // (AMON-style partitioned persistence, arXiv:1509.00268, applied to
 // the paper's one-database design).
 //
-// Encoding is canonical — flows, records, and windows are sorted by
-// their wire-encoded key — so snapshot→restore→snapshot is
-// byte-identical, which is what the format's property tests pin.
+// Since format version 3 a checkpoint can be a delta: only the
+// records, windows, and log tails dirtied since a previous snapshot,
+// chained to that parent file by (sequence number, whole-file CRC).
+// Restore resolves the newest valid chain — base plus every delta in
+// order — and replays it; a torn or missing link drops back to the
+// longest intact prefix, which is itself a consistent cut. Full
+// files are self-contained exactly as before.
+//
+// Encoding is canonical — flows, records, windows, and removal lists
+// are sorted by their wire-encoded key — so snapshot→restore→snapshot
+// is byte-identical, which is what the format's property tests pin.
 package checkpoint
 
 import (
@@ -35,10 +43,17 @@ import (
 //	2 — per-shard prediction logs: each shard section carries its own
 //	    Seq-stamped prediction log and each journal entry its global
 //	    ingest stamp; the global predictions section is written empty.
-const Version = 2
+//	3 — incremental checkpoints: the meta section carries flags
+//	    (delta, compressed sections), the parent link (BaseSeq,
+//	    BaseCRC), shard sections end with a removed-key list, and the
+//	    windows section ends with a removed-window list. Section
+//	    payloads may be flate-compressed.
+const Version = 3
 
 // Snapshot is one checkpoint: everything the live pipeline needs to
-// resume where a crashed process left off.
+// resume where a crashed process left off — or, when Delta is set,
+// everything that changed since the parent snapshot named by
+// (BaseSeq, BaseCRC).
 type Snapshot struct {
 	// Shards is the shard count the snapshot was taken at. Restore
 	// into a pipeline with a different count must fail — keys would
@@ -56,10 +71,28 @@ type Snapshot struct {
 	// TakenAtUnixNano is the wall-clock write time, for operators.
 	TakenAtUnixNano int64
 
+	// Delta marks an incremental snapshot: ShardStates carry only
+	// records dirtied since the parent snapshot (plus each shard's
+	// full journal tail and sequence counter), Windows only dirty
+	// windows, and the Removed lists name state deleted since the
+	// parent. A delta restores only on top of its parent chain.
+	Delta bool
+	// BaseSeq is the parent snapshot's Seq; BaseCRC the CRC-32 (IEEE)
+	// of the parent's entire file bytes. Restore verifies both before
+	// replaying a delta — a chain through a rewritten or torn parent
+	// must not splice. Zero on full snapshots.
+	BaseSeq uint64
+	BaseCRC uint32
+
 	// ShardStates holds per-shard durable state, indexed by shard.
 	ShardStates []ShardState
-	// Windows holds the per-flow model vote windows.
+	// Windows holds the per-flow model vote windows (only the dirty
+	// ones on a delta).
 	Windows []Window
+	// RemovedWindows names vote windows deleted since the parent
+	// snapshot (delta only; restore removes them before applying
+	// Windows).
+	RemovedWindows []flow.Key
 	// Predictions is the version-1 global prediction log in append
 	// order. Version-2 snapshots persist predictions per shard in
 	// ShardStates (store.ShardExport.Preds) and leave this empty; it
@@ -72,10 +105,15 @@ type Snapshot struct {
 // records (including the unexported Welford and wrap-tracking terms —
 // without them restored flows would diverge from their pre-crash
 // feature streams) and the store shard's records, journal tail, and
-// sequence counter.
+// sequence counter. On a delta snapshot Table and Store.Flows hold
+// only records dirtied since the parent, Store.Journal is the shard's
+// complete current tail (it replaces the restored tail — entries
+// polled since the parent must not reappear), and Removed names the
+// flows evicted since the parent.
 type ShardState struct {
-	Table []flow.StateSnapshot
-	Store store.ShardExport
+	Table   []flow.StateSnapshot
+	Store   store.ShardExport
+	Removed []flow.Key
 }
 
 // Window is one flow's ensemble vote window.

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package checkpoint
+
+import "os"
+
+// writeTempContents streams snap into the created temp file. Only
+// Linux has the O_DIRECT fast path (see directio_linux.go); everywhere
+// else the portable buffered writer is the whole story.
+func writeTempContents(tmp *os.File, tmpName string, snap *Snapshot, opt EncodeOptions) (int64, uint32, error) {
+	_ = tmpName
+	return writeTempBuffered(tmp, snap, opt)
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/amlight/intddos/internal/checkpoint"
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/ml"
+	"github.com/amlight/intddos/internal/store"
 )
 
 // RestoreSummary describes the checkpoint NewLive resumed from.
@@ -71,58 +72,102 @@ func bundleFingerprint(models []ml.Classifier, scaler *ml.StandardScaler, featur
 	return h.Sum64()
 }
 
-// restoreLatest loads the newest valid checkpoint in dir into the
-// freshly built (not yet started) pipeline. A missing or empty dir is
-// a clean first boot; a dir holding only corrupt files, or a snapshot
-// from an incompatible pipeline (different shard count, model/scaler
-// bundle, or feature width), is a hard error — resuming with wrong
-// state would be worse than not resuming.
+// restoreLatest loads the newest restorable state in dir into the
+// freshly built (not yet started) pipeline: the newest valid
+// checkpoint plus — when it is a delta — its verified parent chain,
+// replayed base-first. A missing or empty dir is a clean first boot;
+// a dir holding only corrupt files, or a snapshot from an
+// incompatible pipeline (different shard count, model/scaler bundle,
+// or feature width), is a hard error — resuming with wrong state
+// would be worse than not resuming. A chain broken mid-delta (the
+// crash-during-checkpoint case) has already been skipped by
+// LatestChain in favor of the longest intact history.
 func (l *Live) restoreLatest(dir string) error {
-	snap, path, ok, err := checkpoint.Latest(dir)
+	chain, paths, ok, err := checkpoint.LatestChain(dir)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return nil
 	}
-	if snap.Shards != l.nShards {
-		return fmt.Errorf("core: checkpoint %s was taken at %d shards, pipeline has %d — restore with matching -shards",
-			path, snap.Shards, l.nShards)
+	for i, snap := range chain {
+		path := paths[i]
+		if snap.Shards != l.nShards {
+			return fmt.Errorf("core: checkpoint %s was taken at %d shards, pipeline has %d — restore with matching -shards",
+				path, snap.Shards, l.nShards)
+		}
+		if snap.Fingerprint != l.fingerprint {
+			return fmt.Errorf("core: checkpoint %s was taken under a different model/scaler bundle (fingerprint %016x, pipeline %016x)",
+				path, snap.Fingerprint, l.fingerprint)
+		}
+		if want := len(l.cfg.Scaler.Mean); snap.FeatureWidth != want {
+			return fmt.Errorf("core: checkpoint %s has feature width %d, pipeline expects %d",
+				path, snap.FeatureWidth, want)
+		}
 	}
-	if snap.Fingerprint != l.fingerprint {
-		return fmt.Errorf("core: checkpoint %s was taken under a different model/scaler bundle (fingerprint %016x, pipeline %016x)",
-			path, snap.Fingerprint, l.fingerprint)
-	}
-	if want := len(l.cfg.Scaler.Mean); snap.FeatureWidth != want {
-		return fmt.Errorf("core: checkpoint %s has feature width %d, pipeline expects %d",
-			path, snap.FeatureWidth, want)
-	}
-	sum := &RestoreSummary{Path: path, Seq: snap.Seq, TakenAtUnixNano: snap.TakenAtUnixNano}
-	for s := range snap.ShardStates {
-		sh := &snap.ShardStates[s]
+	base := chain[0]
+	basePath := paths[0]
+	for s := range base.ShardStates {
+		sh := &base.ShardStates[s]
 		if err := l.tables.RestoreShard(s, sh.Table); err != nil {
-			return fmt.Errorf("core: restore %s: %w", path, err)
+			return fmt.Errorf("core: restore %s: %w", basePath, err)
 		}
 		if err := l.ckptStore.ImportShard(s, sh.Store); err != nil {
-			return fmt.Errorf("core: restore %s: %w", path, err)
+			return fmt.Errorf("core: restore %s: %w", basePath, err)
 		}
-		sum.Flows += len(sh.Table)
-		sum.StoreFlows += len(sh.Store.Flows)
-		sum.JournalPending += len(sh.Store.Journal)
-		sum.Predictions += len(sh.Store.Preds)
 	}
-	for _, w := range snap.Windows {
+	for _, w := range base.Windows {
 		shard := w.Key.Shard(l.nShards)
 		l.shards[shard].windows[w.Key] = append([]int(nil), w.Votes...)
 	}
-	sum.Windows = len(snap.Windows)
-	if len(snap.Predictions) > 0 {
+	if len(base.Predictions) > 0 {
 		// Version-1 snapshot: the prediction log is one global section;
 		// ImportPredictions routes it onto the per-shard logs.
-		l.ckptStore.ImportPredictions(snap.Predictions)
-		sum.Predictions += len(snap.Predictions)
+		l.ckptStore.ImportPredictions(base.Predictions)
 	}
-	l.ckptSeq.Store(snap.Seq)
+	for i, d := range chain[1:] {
+		path := paths[i+1]
+		if l.deltaStore == nil {
+			return fmt.Errorf("core: restore %s: store does not support incremental checkpoints", path)
+		}
+		for s := range d.ShardStates {
+			sh := &d.ShardStates[s]
+			if err := l.tables.RestoreShardDelta(s, sh.Table, sh.Removed); err != nil {
+				return fmt.Errorf("core: restore %s: %w", path, err)
+			}
+			err := l.deltaStore.ApplyShardDelta(s, store.ShardDeltaExport{
+				Flows:   sh.Store.Flows,
+				Removed: sh.Removed,
+				Journal: sh.Store.Journal,
+				Seq:     sh.Store.Seq,
+				Preds:   sh.Store.Preds,
+			})
+			if err != nil {
+				return fmt.Errorf("core: restore %s: %w", path, err)
+			}
+		}
+		// Removals first, then upserts — the same order the shard apply
+		// uses, so a window deleted and re-voted within one delta
+		// interval survives.
+		for _, k := range d.RemovedWindows {
+			delete(l.shards[k.Shard(l.nShards)].windows, k)
+		}
+		for _, w := range d.Windows {
+			shard := w.Key.Shard(l.nShards)
+			l.shards[shard].windows[w.Key] = append([]int(nil), w.Votes...)
+		}
+	}
+	newest := chain[len(chain)-1]
+	path := paths[len(paths)-1]
+	sum := &RestoreSummary{Path: path, Seq: newest.Seq, TakenAtUnixNano: newest.TakenAtUnixNano}
+	// Counts come from the replayed state, not the files — with a delta
+	// chain the same record may appear in several links.
+	sum.Flows = l.tables.Len()
+	sum.StoreFlows = l.rawDB.FlowCount()
+	sum.JournalPending = l.rawDB.JournalLen()
+	sum.Predictions = l.rawDB.PredictionCount()
+	sum.Windows = l.windowCount()
+	l.ckptSeq.Store(newest.Seq)
 	l.restored = sum
 	l.met.restores.Inc()
 	l.met.restoredRecs.With("flows").Add(int64(sum.Flows))
@@ -131,7 +176,7 @@ func (l *Live) restoreLatest(dir string) error {
 	l.met.restoredRecs.With("windows").Add(int64(sum.Windows))
 	l.met.restoredRecs.With("predictions").Add(int64(sum.Predictions))
 	l.event("checkpoint restored", "component", "checkpoint",
-		"path", path, "seq", snap.Seq, "flows", sum.Flows,
+		"path", path, "seq", newest.Seq, "chain", len(chain), "flows", sum.Flows,
 		"journal_pending", sum.JournalPending, "windows", sum.Windows)
 	return nil
 }
@@ -181,30 +226,98 @@ func (l *Live) settleInflight() error {
 }
 
 // CaptureCheckpoint quiesces the pipeline and captures a consistent
-// snapshot of its durable state: it first drains the ingest demux of
-// everything accepted so far, then blocks new ingest, polling, and
-// sweeps (per-shard write locks the hot paths hold for reads per
-// operation), waits for in-flight records to finish, and exports
-// every shard's flow table and store state (per-shard prediction logs
-// included) and the vote windows. The freeze lasts for the export
-// only; encoding and disk IO happen after the locks are released.
+// full snapshot of its durable state: it first drains the ingest
+// demux of everything accepted so far, then blocks new ingest,
+// polling, and sweeps (per-shard write locks the hot paths hold for
+// reads per operation), waits for in-flight records to finish, and
+// exports every shard's flow table and store state (per-shard
+// prediction logs included) and the vote windows. The freeze lasts
+// for the export only; sorting, encoding, and disk IO happen after
+// the locks are released.
 func (l *Live) CaptureCheckpoint() (*checkpoint.Snapshot, error) {
+	return l.capture(false, nil)
+}
+
+// CaptureDelta captures an incremental snapshot under the same
+// barrier: only the records, windows, and log tails dirtied since the
+// previous capture, plus the keys removed since it. The caller owns
+// the parent link (BaseSeq, BaseCRC) — WriteCheckpoint fills it from
+// the newest file it wrote. A delta capture consumes the dirty marks
+// whether or not the snapshot reaches disk, so a capture that is then
+// dropped must be followed by a full one.
+func (l *Live) CaptureDelta() (*checkpoint.Snapshot, error) {
+	return l.capture(true, nil)
+}
+
+// LastCheckpointBarrier returns the barrier hold of the most recent
+// capture — how long the per-shard locks were held, the pause the
+// pipeline actually feels (encode and IO run outside it).
+func (l *Live) LastCheckpointBarrier() time.Duration {
+	return time.Duration(l.lastBarrierNs.Load())
+}
+
+// captureScratch is the previous full capture's export arrays,
+// recycled into the next one (see Live.ckptScratch).
+type captureScratch struct {
+	tables  []([]flow.StateSnapshot)
+	stores  []store.ShardExport
+	windows []checkpoint.Window
+	votes   []int
+}
+
+// intoExporter is the optional scratch-reusing export surface of a
+// store (DB and ShardedDB implement it); stores without it fall back
+// to plain ExportShard.
+type intoExporter interface {
+	ExportShardInto(shard int, pre store.ShardExport) store.ShardExport
+}
+
+func (l *Live) capture(delta bool, scratch *captureScratch) (*checkpoint.Snapshot, error) {
 	if l.ckptStore == nil {
 		return nil, errors.New("core: store does not support checkpointing")
+	}
+	if delta && (l.deltaStore == nil || !l.deltaTrack) {
+		return nil, errors.New("core: delta capture requires a delta-capable store with tracking enabled")
 	}
 	if err := l.settleIngest(); err != nil {
 		return nil, err
 	}
+	// The barrier hold is timed from before the first lock acquisition
+	// — waiting writers already block new readers, so acquisition time
+	// is pause the pipeline feels too.
+	barrier := time.Now()
 	// Take every shard's barrier in ascending order — the fixed order
 	// the sweeper also uses, so the acquisition set is acyclic.
 	for s := range l.ckptMu {
 		l.ckptMu[s].Lock()
 	}
-	defer func() {
-		for s := range l.ckptMu {
-			l.ckptMu[s].Unlock()
-		}
-	}()
+	snap, err := l.captureLocked(delta, scratch)
+	for s := range l.ckptMu {
+		l.ckptMu[s].Unlock()
+	}
+	hold := time.Since(barrier)
+	l.lastBarrierNs.Store(int64(hold))
+	l.met.ckptBarrier.Observe(hold.Seconds())
+	if err != nil {
+		return nil, err
+	}
+	// Canonical order is produced outside the barrier: the encoder
+	// sorts everything it writes, and sorting here besides makes two
+	// captures of identical state equal as values (map iteration order
+	// must never leak into a snapshot).
+	checkpoint.SortWindows(snap.Windows)
+	checkpoint.SortKeys(snap.RemovedWindows)
+	for s := range snap.ShardStates {
+		checkpoint.SortKeys(snap.ShardStates[s].Removed)
+	}
+	return snap, nil
+}
+
+// captureLocked exports the consistent cut. Callers hold every
+// shard's ckptMu write lock; everything here must stay proportional
+// to what is exported — this is the region the barrier histogram
+// times.
+func (l *Live) captureLocked(delta bool, scratch *captureScratch) (*checkpoint.Snapshot, error) {
 	if err := l.settleInflight(); err != nil {
 		return nil, err
 	}
@@ -214,48 +327,191 @@ func (l *Live) CaptureCheckpoint() (*checkpoint.Snapshot, error) {
 		FeatureWidth:    len(l.cfg.Scaler.Mean),
 		Seq:             l.ckptSeq.Add(1),
 		TakenAtUnixNano: time.Now().UnixNano(),
+		Delta:           delta,
 		ShardStates:     make([]checkpoint.ShardState, l.nShards),
 	}
 	for s := 0; s < l.nShards; s++ {
-		snap.ShardStates[s] = checkpoint.ShardState{
-			Table: l.tables.ExportShard(s),
-			Store: l.ckptStore.ExportShard(s),
+		if delta {
+			states, tableRemoved := l.tables.ExportShardDelta(s)
+			d := l.deltaStore.ExportShardDelta(s)
+			snap.ShardStates[s] = checkpoint.ShardState{
+				Table: states,
+				Store: store.ShardExport{Flows: d.Flows, Journal: d.Journal, Seq: d.Seq, Preds: d.Preds},
+				// Table and store evict together (onEvict), but a
+				// record can exist in only one layer at the cut's edge;
+				// the union removes it from both on replay.
+				Removed: unionKeys(tableRemoved, d.Removed),
+			}
+		} else {
+			var preTable []flow.StateSnapshot
+			var preStore store.ShardExport
+			if scratch != nil && s < len(scratch.tables) {
+				preTable = scratch.tables[s]
+				preStore = scratch.stores[s]
+			}
+			st := checkpoint.ShardState{
+				Table: l.tables.ExportShardInto(s, preTable),
+			}
+			if into, ok := l.ckptStore.(intoExporter); ok {
+				st.Store = into.ExportShardInto(s, preStore)
+			} else {
+				st.Store = l.ckptStore.ExportShard(s)
+			}
+			snap.ShardStates[s] = st
 		}
+	}
+	// Vote copies land in one flat slab with each Window holding a
+	// capped sub-slice — one allocation (amortized) instead of one per
+	// window, and both arrays recycle through the scratch. A mid-loop
+	// slab growth strands earlier windows on the previous backing
+	// array; that is still correct (the slices are never written
+	// again), and in steady state the recycled slab is already sized.
+	wins, votes := snap.Windows, []int(nil)
+	if !delta && scratch != nil {
+		wins, votes = scratch.windows[:0], scratch.votes[:0]
 	}
 	for _, sh := range l.shards {
 		sh.mu.Lock()
-		for k, w := range sh.windows {
-			snap.Windows = append(snap.Windows, checkpoint.Window{Key: k, Votes: append([]int(nil), w...)})
+		if delta {
+			for k := range sh.dirty {
+				if w, ok := sh.windows[k]; ok {
+					off := len(votes)
+					votes = append(votes, w...)
+					wins = append(wins, checkpoint.Window{Key: k, Votes: votes[off:len(votes):len(votes)]})
+				}
+			}
+			for k := range sh.removed {
+				snap.RemovedWindows = append(snap.RemovedWindows, k)
+			}
+		} else {
+			for k, w := range sh.windows {
+				off := len(votes)
+				votes = append(votes, w...)
+				wins = append(wins, checkpoint.Window{Key: k, Votes: votes[off:len(votes):len(votes)]})
+			}
+		}
+		if l.deltaTrack {
+			sh.dirty = make(map[flow.Key]struct{})
+			sh.removed = make(map[flow.Key]struct{})
 		}
 		sh.mu.Unlock()
+	}
+	snap.Windows = wins
+	if scratch != nil {
+		// The slab's base is unrecoverable from the capped sub-slices
+		// in snap.Windows, so the detached scratch carries it out for
+		// WriteCheckpoint to thread into the next capture's scratch.
+		scratch.votes = votes
 	}
 	// Predictions travel inside each ShardExport since format version
 	// 2; the snapshot-level log exists only for version-1 files.
 	return snap, nil
 }
 
+// unionKeys merges two removal lists, deduplicating keys present in
+// both.
+func unionKeys(a, b []flow.Key) []flow.Key {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[flow.Key]struct{}, len(a)+len(b))
+	out := make([]flow.Key, 0, len(a)+len(b))
+	for _, ks := range [2][]flow.Key{a, b} {
+		for _, k := range ks {
+			if _, ok := seen[k]; ok {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 // WriteCheckpoint captures a snapshot and writes it atomically into
-// CheckpointDir, pruning old files down to CheckpointKeep. Returns
-// the file path and encoded size. Failures (including a barrier that
-// cannot quiesce) are counted in intddos_checkpoint_failures_total
-// and surfaced; the previous checkpoint on disk is untouched either
-// way.
+// CheckpointDir, pruning old files down to CheckpointKeep (plus any
+// chain ancestors a retained delta needs). With CheckpointFullEvery
+// > 1 and a base already on disk, the capture is an incremental delta
+// chained to the newest file by (seq, CRC); every Nth checkpoint — and
+// the first one after a restore, a boot, or a failed write — is full.
+// Returns the file path and encoded size. Failures (including a
+// barrier that cannot quiesce) are counted in
+// intddos_checkpoint_failures_total and surfaced; the previous
+// checkpoint on disk is untouched either way.
 func (l *Live) WriteCheckpoint() (string, int, error) {
 	if l.cfg.CheckpointDir == "" {
 		return "", 0, errors.New("core: no CheckpointDir configured")
 	}
+	l.ckptWriteMu.Lock()
+	defer l.ckptWriteMu.Unlock()
 	start := time.Now()
-	snap, err := l.CaptureCheckpoint()
+	delta := l.deltaTrack && l.haveBase &&
+		l.cfg.CheckpointFullEvery > 1 && l.sinceFull+1 < l.cfg.CheckpointFullEvery
+	// A full capture may reuse the previous full capture's arrays —
+	// that snapshot was encoded to disk and dropped, so the memory is
+	// dead, and reuse keeps the copy under the barrier in warm pages.
+	// The scratch is detached first: if anything below fails, it is
+	// simply not reclaimed (a failed write can leave encode goroutines
+	// briefly reading the snapshot, so handing its arrays to the next
+	// capture would race).
+	var scratch *captureScratch
+	if !delta {
+		if l.ckptScratch == nil {
+			l.ckptScratch = &captureScratch{}
+		}
+		scratch, l.ckptScratch = l.ckptScratch, nil
+	}
+	snap, err := l.capture(delta, scratch)
 	if err != nil {
+		// Settle failures happen before any export, so the dirty marks
+		// are untouched and the chain state stays valid.
 		l.met.ckptFailures.Inc()
 		l.event("checkpoint failed", "component", "checkpoint", "err", err.Error())
 		return "", 0, err
 	}
-	path, n, err := checkpoint.WriteDir(l.cfg.CheckpointDir, snap)
+	if delta {
+		snap.BaseSeq = l.lastCkptSeq
+		snap.BaseCRC = l.lastCkptCRC
+	}
+	if l.ckptPostCapture != nil {
+		l.ckptPostCapture(snap)
+	}
+	if l.encScratch == nil {
+		l.encScratch = &checkpoint.EncodeScratch{}
+	}
+	path, n, crc, err := checkpoint.WriteDirOpts(l.cfg.CheckpointDir, snap,
+		checkpoint.EncodeOptions{Compress: l.cfg.CheckpointCompress, Scratch: l.encScratch})
 	if err != nil {
 		l.met.ckptFailures.Inc()
 		l.event("checkpoint failed", "component", "checkpoint", "err", err.Error())
+		// The capture consumed the dirty marks but never reached disk;
+		// a delta chained past this hole would lose those writes, so
+		// the next checkpoint is forced full.
+		l.haveBase = false
 		return "", 0, err
+	}
+	l.lastCkptSeq, l.lastCkptCRC = snap.Seq, crc
+	if delta {
+		l.sinceFull++
+	} else {
+		l.haveBase = true
+		l.sinceFull = 0
+		// The snapshot is on disk and nothing reads it anymore; its
+		// arrays become the next full capture's scratch.
+		re := &captureScratch{
+			tables:  make([][]flow.StateSnapshot, len(snap.ShardStates)),
+			stores:  make([]store.ShardExport, len(snap.ShardStates)),
+			windows: snap.Windows,
+			votes:   scratch.votes,
+		}
+		for s := range snap.ShardStates {
+			re.tables[s] = snap.ShardStates[s].Table
+			re.stores[s] = snap.ShardStates[s].Store
+		}
+		l.ckptScratch = re
 	}
 	l.Checkpoints.Add(1)
 	l.met.ckpts.Inc()
@@ -263,11 +519,13 @@ func (l *Live) WriteCheckpoint() (string, int, error) {
 	l.met.ckptDuration.Since(start)
 	l.met.ckptLastSuccess.Set(float64(time.Now().Unix()))
 	l.event("checkpoint written", "component", "checkpoint",
-		"path", path, "seq", snap.Seq, "bytes", n)
+		"path", path, "seq", snap.Seq, "bytes", n, "delta", delta)
 	if err := checkpoint.Prune(l.cfg.CheckpointDir, l.cfg.CheckpointKeep); err != nil {
 		// The new checkpoint is durable; failing retention is a
-		// disk-hygiene problem, not a lost snapshot.
-		l.met.ckptFailures.Inc()
+		// disk-hygiene problem, not a lost snapshot — counted apart
+		// from write failures so an alert on the latter stays meaningful.
+		l.met.ckptPruneFailures.Inc()
+		l.event("checkpoint prune failed", "component", "checkpoint", "err", err.Error())
 	}
 	return path, n, nil
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -265,7 +267,9 @@ func TestKillRestoreV1Compat(t *testing.T) {
 // fault injector firing — store errors/stalls, worker panics, model
 // failures. Bit-identity is out (faults perturb decisions), but the
 // restored pipeline must still boot from the checkpoint, finish the
-// stream, and close its accounting.
+// stream, and close its accounting. Full-every-4 cadence makes the
+// second checkpoint an incremental delta, so the chain path runs
+// under faults too.
 func TestKillRestoreUnderFaults(t *testing.T) {
 	dir := t.TempDir()
 	mkLive := func() *Live {
@@ -274,6 +278,7 @@ func TestKillRestoreUnderFaults(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg := ckptConfig(dir)
+		cfg.CheckpointFullEvery = 4
 		cfg.Fault = in
 		cfg.WorkerRestartBudget = -1
 		cfg.WorkerRestartBackoff = time.Millisecond
@@ -287,9 +292,13 @@ func TestKillRestoreUnderFaults(t *testing.T) {
 
 	b := mkLive()
 	b.Start()
-	feedRange(b, 20, 0, 3)
+	feedRange(b, 20, 0, 2)
 	if _, _, err := b.WriteCheckpoint(); err != nil {
 		t.Fatalf("checkpoint under faults: %v", err)
+	}
+	feedRange(b, 20, 2, 3)
+	if _, _, err := b.WriteCheckpoint(); err != nil {
+		t.Fatalf("delta checkpoint under faults: %v", err)
 	}
 	b.Stop()
 
@@ -311,6 +320,278 @@ func TestKillRestoreUnderFaults(t *testing.T) {
 	}
 	c.Stop()
 	assertAccounting(t, c)
+}
+
+// compareTraces asserts two per-flow decision traces are
+// bit-identical.
+func compareTraces(t *testing.T, got, want map[string][]string, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: decided %d flows, reference %d", label, len(got), len(want))
+	}
+	for key, wantSeq := range want {
+		gotSeq := got[key]
+		if len(gotSeq) != len(wantSeq) {
+			t.Errorf("%s: flow %s: %d predictions vs reference %d\n got: %v\nwant: %v",
+				label, key, len(gotSeq), len(wantSeq), gotSeq, wantSeq)
+			continue
+		}
+		for i := range wantSeq {
+			if gotSeq[i] != wantSeq[i] {
+				t.Errorf("%s: flow %s decision %d diverged:\n got: %s\nwant: %s",
+					label, key, i, gotSeq[i], wantSeq[i])
+			}
+		}
+	}
+}
+
+// referenceRun processes the full stream uninterrupted and returns
+// its per-flow decision trace and prediction count.
+func referenceRun(t *testing.T, nFlows, total int) (map[string][]string, int) {
+	t.Helper()
+	a, err := NewLive(ckptConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	feedRange(a, nFlows, 0, total)
+	settle(t, a, 5*time.Second)
+	a.Stop()
+	return predTrace(a), len(a.DB.Predictions())
+}
+
+// finishRestored feeds the stream suffix [from, total) into a
+// restored run, waits for the full prediction log, and checks its
+// accounting closes.
+func finishRestored(t *testing.T, c *Live, nFlows, from, total, wantPreds int) {
+	t.Helper()
+	c.Start()
+	feedRange(c, nFlows, from, total)
+	if !waitFor(t, 5*time.Second, func() bool {
+		return len(c.DB.Predictions()) >= wantPreds &&
+			c.Polled.Load() == int64(c.DecisionCount())+c.Shed.Load()+c.Abandoned.Load()
+	}) {
+		t.Fatalf("restored run produced %d predictions, reference %d", len(c.DB.Predictions()), wantPreds)
+	}
+	c.Stop()
+	assertAccounting(t, c)
+}
+
+// TestKillRestoreDeltaChain is the incremental-checkpoint acceptance
+// test: a run that wrote a full snapshot and then two deltas, killed,
+// restores the whole chain and finishes the stream with per-flow
+// decision sequences bit-identical to an uninterrupted reference.
+func TestKillRestoreDeltaChain(t *testing.T) {
+	const nFlows, total = 30, 8
+	cuts := []int{2, 4, 6}
+	want, wantPreds := referenceRun(t, nFlows, total)
+
+	dir := t.TempDir()
+	cfg := ckptConfig(dir)
+	cfg.CheckpointFullEvery = 8 // first write full, the rest deltas
+	b, err := NewLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	prev := 0
+	for _, cut := range cuts {
+		feedRange(b, nFlows, prev, cut)
+		if _, _, err := b.WriteCheckpoint(); err != nil {
+			t.Fatalf("checkpoint at cut %d: %v", cut, err)
+		}
+		prev = cut
+	}
+	b.Stop() // simulated kill
+
+	// The directory must hold the expected chain shape: full(1) with
+	// deltas 2 and 3 linked parent-by-parent.
+	for seq, wantDelta := range map[uint64]bool{1: false, 2: true, 3: true} {
+		m, err := checkpoint.ReadMeta(filepath.Join(dir, checkpoint.FileName(seq)))
+		if err != nil {
+			t.Fatalf("meta seq %d: %v", seq, err)
+		}
+		if m.Delta != wantDelta {
+			t.Fatalf("seq %d: delta=%v, want %v", seq, m.Delta, wantDelta)
+		}
+		if wantDelta && m.BaseSeq != seq-1 {
+			t.Fatalf("seq %d chains to %d, want %d", seq, m.BaseSeq, seq-1)
+		}
+	}
+
+	c, err := NewLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Restore()
+	if r == nil {
+		t.Fatal("no restore summary after booting from a delta chain")
+	}
+	if r.Seq != 3 {
+		t.Fatalf("restored to seq %d, want the chain tip 3", r.Seq)
+	}
+	finishRestored(t, c, nFlows, cuts[len(cuts)-1], total, wantPreds)
+	compareTraces(t, predTrace(c), want, "delta-chain restore")
+}
+
+// TestKillRestoreMidDeltaChain crashes the process mid-delta-write:
+// the newest delta file is torn. Restore must fall back to the
+// longest intact chain prefix — a consistent cut — and re-feeding the
+// stream from that cut must again be bit-identical to the reference.
+func TestKillRestoreMidDeltaChain(t *testing.T) {
+	const nFlows, total = 30, 8
+	cuts := []int{2, 4, 6}
+	want, wantPreds := referenceRun(t, nFlows, total)
+
+	dir := t.TempDir()
+	cfg := ckptConfig(dir)
+	cfg.CheckpointFullEvery = 8
+	b, err := NewLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	prev := 0
+	for _, cut := range cuts {
+		feedRange(b, nFlows, prev, cut)
+		if _, _, err := b.WriteCheckpoint(); err != nil {
+			t.Fatalf("checkpoint at cut %d: %v", cut, err)
+		}
+		prev = cut
+	}
+	b.Stop()
+
+	// Tear the newest delta — the torn tail a crash mid-write leaves
+	// behind if the rename raced the power cut.
+	path3 := filepath.Join(dir, checkpoint.FileName(3))
+	data, err := os.ReadFile(path3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path3, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewLive(cfg)
+	if err != nil {
+		t.Fatalf("restore with torn chain tip: %v", err)
+	}
+	r := c.Restore()
+	if r == nil {
+		t.Fatal("no restore summary")
+	}
+	if r.Seq != 2 {
+		t.Fatalf("restored to seq %d, want the intact prefix tip 2", r.Seq)
+	}
+	// The fallback cut is cuts[1]: replay the stream from there.
+	finishRestored(t, c, nFlows, cuts[1], total, wantPreds)
+	compareTraces(t, predTrace(c), want, "mid-chain fallback restore")
+}
+
+// TestKillRestoreV2Compat pins the version-2 promise alongside v1: a
+// v2 snapshot (per-shard prediction logs, no delta surface) restores
+// into today's pipeline bit-identically.
+func TestKillRestoreV2Compat(t *testing.T) {
+	const nFlows, cut, total = 30, 3, 6
+	want, wantPreds := referenceRun(t, nFlows, total)
+
+	b, err := NewLive(ckptConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	feedRange(b, nFlows, 0, cut)
+	snap, err := b.CaptureCheckpoint()
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	b.Stop()
+	dir := t.TempDir()
+	data := checkpoint.EncodeV2(snap)
+	if err := os.WriteFile(filepath.Join(dir, checkpoint.FileName(snap.Seq)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewLive(ckptConfig(dir))
+	if err != nil {
+		t.Fatalf("restore from v2 snapshot: %v", err)
+	}
+	if c.Restore() == nil {
+		t.Fatal("no restore summary after booting from a v2 checkpoint")
+	}
+	finishRestored(t, c, nFlows, cut, total, wantPreds)
+	compareTraces(t, predTrace(c), want, "v2 restore")
+}
+
+// TestCaptureDeterministic is the vote-window ordering fix's pin: two
+// captures of an unchanged pipeline are equal — as encoded bytes and
+// as values, windows included. Before the fix, map iteration order
+// leaked into Snapshot.Windows, so double-capture equality failed
+// even though the encoder sorted the wire form.
+func TestCaptureDeterministic(t *testing.T) {
+	l, err := NewLive(ckptConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	feedRange(l, 20, 0, 4)
+	settle(t, l, 5*time.Second)
+	s1, err := l.CaptureCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := l.CaptureCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Stop()
+	if len(s1.Windows) == 0 {
+		t.Fatal("capture has no vote windows; the ordering property is vacuous")
+	}
+	// Seq and the wall-clock stamp legitimately differ; everything
+	// else must not.
+	s2.Seq = s1.Seq
+	s2.TakenAtUnixNano = s1.TakenAtUnixNano
+	if !reflect.DeepEqual(s1.Windows, s2.Windows) {
+		t.Error("vote windows differ across double capture (map order leaked)")
+	}
+	if !bytes.Equal(checkpoint.Encode(s1), checkpoint.Encode(s2)) {
+		t.Error("double capture not byte-identical")
+	}
+}
+
+// TestEncodeOutsideBarrier is the regression pin for the tentpole: by
+// the time WriteCheckpoint starts encoding (the post-capture hook),
+// every shard's checkpoint barrier must already be released — encode
+// and IO are not allowed back inside the frozen region.
+func TestEncodeOutsideBarrier(t *testing.T) {
+	l, err := NewLive(ckptConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Start()
+	feedRange(l, 10, 0, 2)
+	hookRan := false
+	l.ckptPostCapture = func(*checkpoint.Snapshot) {
+		hookRan = true
+		for s := range l.ckptMu {
+			if !l.ckptMu[s].TryLock() {
+				t.Errorf("shard %d barrier still held when encoding began", s)
+				continue
+			}
+			l.ckptMu[s].Unlock()
+		}
+	}
+	if _, _, err := l.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !hookRan {
+		t.Fatal("post-capture hook never ran")
+	}
+	if l.LastCheckpointBarrier() <= 0 {
+		t.Error("barrier hold not recorded")
+	}
+	l.Stop()
 }
 
 // TestRestoreRejectsMismatchedPipeline pins the refusal paths: a

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/amlight/intddos/internal/checkpoint"
 	"github.com/amlight/intddos/internal/fault"
 	"github.com/amlight/intddos/internal/flow"
 	"github.com/amlight/intddos/internal/ml"
@@ -126,11 +127,23 @@ type LiveConfig struct {
 	// no periodic checkpoints — WriteCheckpoint can still be called
 	// explicitly (shutdown, signal handler, tests).
 	CheckpointEvery time.Duration
-	// CheckpointKeep is how many checkpoint files to retain (default 3).
+	// CheckpointKeep is how many checkpoint files to retain (default 3;
+	// a delta's chain ancestors are always retained with it).
 	CheckpointKeep int
 	// CheckpointBarrierTimeout bounds how long a checkpoint waits for
 	// in-flight records to finish before giving up (default 5s).
 	CheckpointBarrierTimeout time.Duration
+	// CheckpointFullEvery sets the full-snapshot cadence: every Nth
+	// checkpoint is a self-contained full snapshot and the N-1 between
+	// are incremental deltas carrying only state dirtied since the
+	// previous capture. 0 or 1 writes only full snapshots (the legacy
+	// behavior). Deltas keep the capture barrier's hold time
+	// proportional to the churn since the last checkpoint, not to the
+	// total flow count.
+	CheckpointFullEvery int
+	// CheckpointCompress flate-compresses checkpoint section payloads —
+	// smaller files for slower disks, more CPU outside the barrier.
+	CheckpointCompress bool
 
 	// Registry receives the runtime's metrics, stage histograms, and
 	// decision tracer; nil builds a private registry, readable via
@@ -272,14 +285,21 @@ type liveMetrics struct {
 	triageFallthrough *obs.Counter
 	triageLatency     *obs.Histogram
 
-	// Checkpoint/restore instruments.
-	ckpts           *obs.Counter
-	ckptFailures    *obs.Counter
-	ckptBytes       *obs.Counter
-	ckptDuration    *obs.Histogram
-	ckptLastSuccess *obs.Gauge
-	restores        *obs.Counter
-	restoredRecs    *obs.CounterVec // by kind: flows/store_flows/journal_pending/windows/predictions
+	// Checkpoint/restore instruments. ckptDuration covers the whole
+	// write (capture + encode + fsync); ckptBarrier only the pause the
+	// pipeline actually feels — the window in which the per-shard
+	// barrier locks are held. Prune failures are counted apart from
+	// write failures: a failed write lost a snapshot, a failed prune
+	// only leaked disk.
+	ckpts             *obs.Counter
+	ckptFailures      *obs.Counter
+	ckptPruneFailures *obs.Counter
+	ckptBytes         *obs.Counter
+	ckptDuration      *obs.Histogram
+	ckptBarrier       *obs.Histogram
+	ckptLastSuccess   *obs.Gauge
+	restores          *obs.Counter
+	restoredRecs      *obs.CounterVec // by kind: flows/store_flows/journal_pending/windows/predictions
 
 	// Per-stage latency histograms (children of intddos_stage_seconds
 	// cached so the hot path skips the vec lookup).
@@ -329,8 +349,10 @@ func newLiveMetrics(reg *obs.Registry) liveMetrics {
 		sampleLatency:     reg.Histogram("intddos_predict_sample_seconds", nil),
 		ckpts:             reg.Counter("intddos_checkpoints_total"),
 		ckptFailures:      reg.Counter("intddos_checkpoint_failures_total"),
+		ckptPruneFailures: reg.Counter("intddos_checkpoint_prune_failures_total"),
 		ckptBytes:         reg.Counter("intddos_checkpoint_bytes_total"),
 		ckptDuration:      reg.Histogram("intddos_checkpoint_duration_seconds", nil),
+		ckptBarrier:       reg.Histogram("intddos_checkpoint_barrier_seconds", nil),
 		ckptLastSuccess:   reg.Gauge("intddos_checkpoint_last_success_unixtime"),
 		restores:          reg.Counter("intddos_restores_total"),
 		restoredRecs:      reg.CounterVec("intddos_restored_records_total", "kind"),
@@ -363,9 +385,17 @@ type workerBatch struct {
 // windows of the flows hashed onto the shard. The flow-table stripe
 // lives in the ShardedTable and the journal stripe in the Store, both
 // indexed by the same Key.Shard value.
+//
+// dirty and removed are the windows' delta-checkpoint marks,
+// maintained only while the runtime tracks deltas (CheckpointDir
+// set): windows voted into since the last capture, and windows
+// deleted since it. A key lives in at most one set — the last action
+// wins. Guarded by mu, like the windows they describe.
 type liveShard struct {
 	mu      sync.Mutex
 	windows map[flow.Key][]int
+	dirty   map[flow.Key]struct{}
+	removed map[flow.Key]struct{}
 }
 
 // Live runs the four Figure 2 modules as concurrent goroutines over
@@ -426,6 +456,50 @@ type Live struct {
 	fingerprint uint64
 	restored    *RestoreSummary
 	completed   atomic.Int64 // records fully finished (decision + prediction logged)
+
+	// Incremental checkpointing. deltaStore is the concrete store's
+	// delta surface (non-nil for DB/ShardedDB); deltaTrack reports that
+	// dirty tracking is live across the table, store, and window layers
+	// (set once in NewLive when CheckpointDir is configured, before any
+	// concurrent use). lastBarrierNs is the most recent capture's
+	// barrier hold, for the bench and /metrics.
+	deltaStore    store.DeltaCheckpointable
+	deltaTrack    bool
+	lastBarrierNs atomic.Int64
+
+	// ckptWriteMu serializes WriteCheckpoint callers (the periodic
+	// checkpointer, shutdown, signal handlers) and guards the chain
+	// bookkeeping below: whether a base exists on disk for deltas to
+	// chain to, how many deltas were written since the last full, and
+	// the (seq, CRC) identity of the newest file — the parent link the
+	// next delta records. A failed write clears haveBase: the capture
+	// consumed the dirty marks, so the next checkpoint must be full or
+	// the chain would silently skip a delta.
+	ckptWriteMu sync.Mutex
+	haveBase    bool
+	sinceFull   int
+	lastCkptSeq uint64
+	lastCkptCRC uint32
+
+	// ckptScratch holds the previous full capture's export arrays,
+	// reclaimed after its snapshot has been encoded to disk and handed
+	// back to the next full capture, which then copies into warm
+	// memory instead of allocating (and page-faulting) hundreds of
+	// megabytes inside the barrier. Guarded by ckptWriteMu; only the
+	// WriteCheckpoint path reuses — CaptureCheckpoint callers own
+	// their snapshots indefinitely, so they always get fresh arrays.
+	ckptScratch *captureScratch
+
+	// encScratch is the encoder's buffer freelist, owned here so the
+	// buffers survive the GC cycles between periodic checkpoints
+	// (sync.Pool would be drained long before the next write). Guarded
+	// by ckptWriteMu like ckptScratch; it never influences the encoded
+	// bytes, only allocation.
+	encScratch *checkpoint.EncodeScratch
+
+	// ckptPostCapture, when set (tests), runs after the capture barrier
+	// has released and before the snapshot is encoded or written.
+	ckptPostCapture func(*checkpoint.Snapshot)
 
 	// Multi-producer ingest: HandleReport demuxes reports onto
 	// per-shard queues; one ingester goroutine per shard owns the
@@ -568,6 +642,9 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	if cfg.CheckpointKeep <= 0 {
 		cfg.CheckpointKeep = 3
 	}
+	if cfg.CheckpointFullEvery < 0 {
+		cfg.CheckpointFullEvery = 0
+	}
 	if cfg.CheckpointBarrierTimeout <= 0 {
 		cfg.CheckpointBarrierTimeout = 5 * time.Second
 	}
@@ -632,6 +709,7 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	// checkpoint path exports and imports the real state directly.
 	rawDB := db
 	ckptStore, _ := db.(store.Checkpointable)
+	deltaStore, _ := db.(store.DeltaCheckpointable)
 	if cfg.Fault != nil && cfg.Fault.Spec().HasStoreFaults() {
 		db = fault.WrapStore(db, cfg.Fault)
 	}
@@ -643,6 +721,7 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		DB:          db,
 		rawDB:       rawDB,
 		ckptStore:   ckptStore,
+		deltaStore:  deltaStore,
 		fingerprint: fingerprint,
 		ckptMu:      make([]sync.RWMutex, nShards),
 		ingestQuit:  make(chan struct{}),
@@ -654,7 +733,11 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		l.dedup = telemetry.NewSeqTracker(cfg.DedupWindow, cfg.DedupMaxSources)
 	}
 	for i := range l.shards {
-		l.shards[i] = &liveShard{windows: make(map[flow.Key][]int)}
+		l.shards[i] = &liveShard{
+			windows: make(map[flow.Key][]int),
+			dirty:   make(map[flow.Key]struct{}),
+			removed: make(map[flow.Key]struct{}),
+		}
 	}
 	if cascade != nil {
 		l.cascade = cascade
@@ -798,6 +881,14 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	if cfg.CheckpointDir != "" {
 		if ckptStore == nil {
 			return nil, errors.New("core: CheckpointDir set but store does not support checkpointing")
+		}
+		// Dirty tracking goes live before the restore and before any
+		// concurrent use: restore resets the marks it touches, and every
+		// layer's hot path reads its track flag without synchronization.
+		if deltaStore != nil {
+			l.deltaTrack = true
+			deltaStore.SetDeltaTracking(true)
+			l.tables.SetDeltaTracking(true)
 		}
 		if err := l.restoreLatest(cfg.CheckpointDir); err != nil {
 			return nil, err
@@ -974,6 +1065,7 @@ func (l *Live) describeConfig() string {
 	fmt.Fprintf(&b, "skip_new_records=%t\ndrain_on_stop=%t\n", cfg.SkipNewRecords, cfg.DrainOnStop)
 	fmt.Fprintf(&b, "flow_idle_timeout=%s\nsweep_interval=%s\n", cfg.FlowIdleTimeout, cfg.SweepInterval)
 	fmt.Fprintf(&b, "checkpoint_dir=%s\ncheckpoint_every=%s\ncheckpoint_keep=%d\n", cfg.CheckpointDir, cfg.CheckpointEvery, cfg.CheckpointKeep)
+	fmt.Fprintf(&b, "checkpoint_full_every=%d\ncheckpoint_compress=%t\n", cfg.CheckpointFullEvery, cfg.CheckpointCompress)
 	fmt.Fprintf(&b, "worker_restart_budget=%d\nstore_retries=%d\n", cfg.WorkerRestartBudget, cfg.StoreRetries)
 	fmt.Fprintf(&b, "model_fail_threshold=%d\nmodel_probe_after=%s\nhealth_recency=%s\n", cfg.ModelFailThreshold, cfg.ModelProbeAfter, cfg.HealthRecency)
 	fmt.Fprintf(&b, "trace_sample_every=%d\njourney_sample_every=%d\n", cfg.TraceSampleEvery, l.journeys.SampleEvery())
@@ -1362,7 +1454,13 @@ func (l *Live) onEvict(key flow.Key) {
 	l.DB.DeleteFlow(key)
 	sh := l.shards[key.Shard(l.nShards)]
 	sh.mu.Lock()
-	delete(sh.windows, key)
+	if _, ok := sh.windows[key]; ok {
+		delete(sh.windows, key)
+		if l.deltaTrack {
+			sh.removed[key] = struct{}{}
+			delete(sh.dirty, key)
+		}
+	}
 	sh.mu.Unlock()
 }
 
@@ -1397,7 +1495,13 @@ func (l *Live) sweep() {
 		for _, key := range keys {
 			if !l.tables.Get(key, nil) {
 				sh.mu.Lock()
-				delete(sh.windows, key)
+				if _, ok := sh.windows[key]; ok {
+					delete(sh.windows, key)
+					if l.deltaTrack {
+						sh.removed[key] = struct{}{}
+						delete(sh.dirty, key)
+					}
+				}
 				sh.mu.Unlock()
 			}
 		}
@@ -1770,6 +1874,10 @@ func (l *Live) finish(q queued, raw int, votes []int, predicted time.Time, stage
 		w = w[len(w)-l.cfg.VoteWindow:]
 	}
 	sh.windows[rec.Key] = w
+	if l.deltaTrack {
+		sh.dirty[rec.Key] = struct{}{}
+		delete(sh.removed, rec.Key)
+	}
 	sum := 0
 	for _, v := range w {
 		sum += v

@@ -54,9 +54,12 @@ type ChaosConfig struct {
 	// CheckpointDir, when set, makes the run crash-recoverable: the
 	// pipeline resumes from the newest checkpoint in the directory and
 	// snapshots into it every CheckpointEvery (plus once on Stop when
-	// periodic checkpointing is off).
-	CheckpointDir   string
-	CheckpointEvery time.Duration
+	// periodic checkpointing is off). CheckpointFullEvery sets the
+	// full-snapshot cadence — every Nth checkpoint is full, the rest
+	// incremental deltas (0/1: every checkpoint full).
+	CheckpointDir       string
+	CheckpointEvery     time.Duration
+	CheckpointFullEvery int
 
 	// DiagBundleDir, when set, captures a diagnostic bundle (profiles,
 	// metrics, health, events — see obs.Registry.WriteBundle) into the
@@ -148,6 +151,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		StoreRetryBackoff:    200 * time.Microsecond,
 		CheckpointDir:        cfg.CheckpointDir,
 		CheckpointEvery:      cfg.CheckpointEvery,
+		CheckpointFullEvery:  cfg.CheckpointFullEvery,
 	})
 	if err != nil {
 		return nil, err

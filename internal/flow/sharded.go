@@ -18,6 +18,11 @@ import (
 type ShardedTable struct {
 	shards []tableShard
 
+	// track enables per-shard dirty/removed bookkeeping for
+	// incremental checkpoints (SetDeltaTracking). Read on the observe
+	// hot path; written only before concurrent use begins.
+	track bool
+
 	// onContention, when set, runs every time an observation finds its
 	// shard's mutex already held. Set it before concurrent use begins
 	// (SetContentionHook); core.Live points it at an obs counter.
@@ -31,6 +36,14 @@ func (t *ShardedTable) SetContentionHook(fn func()) { t.onContention = fn }
 type tableShard struct {
 	mu    sync.Mutex
 	table *Table
+
+	// Delta-checkpoint bookkeeping, maintained only while tracking is
+	// on (SetDeltaTracking): keys written since the last export, and
+	// keys evicted since the last export. A key lives in at most one
+	// set — the last action wins — so an incremental capture exports
+	// exactly the difference against its parent snapshot.
+	dirty   map[Key]struct{}
+	removed map[Key]struct{}
 }
 
 // NewShardedTable builds a striped table with n shards (n < 1 is
@@ -42,8 +55,25 @@ func NewShardedTable(n int) *ShardedTable {
 	st := &ShardedTable{shards: make([]tableShard, n)}
 	for i := range st.shards {
 		st.shards[i].table = NewTable()
+		st.shards[i].dirty = make(map[Key]struct{})
+		st.shards[i].removed = make(map[Key]struct{})
 	}
 	return st
+}
+
+// SetDeltaTracking turns per-shard dirty/removed tracking on or off.
+// Enable it before concurrent use begins (it is read on the observe
+// hot path) and before the state an incremental export should diff
+// against is captured; turning it on clears any stale marks.
+func (t *ShardedTable) SetDeltaTracking(on bool) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.dirty = make(map[Key]struct{})
+		s.removed = make(map[Key]struct{})
+		s.mu.Unlock()
+	}
+	t.track = on
 }
 
 // Shards returns the stripe count.
@@ -63,30 +93,90 @@ func (t *ShardedTable) SetIdleTimeout(d netsim.Time) {
 
 // SetOnEvict installs fn as every shard's eviction hook. fn runs
 // under the evicting shard's lock and must not call back into the
-// table.
+// table. The installed hook also feeds the delta-checkpoint removal
+// set: a sweep eviction must reach the next incremental snapshot as a
+// removal, or a restored chain would resurrect the flow.
 func (t *ShardedTable) SetOnEvict(fn func(Key)) {
 	for i := range t.shards {
-		t.shards[i].mu.Lock()
-		t.shards[i].table.OnEvict = fn
-		t.shards[i].mu.Unlock()
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.table.OnEvict = func(k Key) {
+			if t.track {
+				s.removed[k] = struct{}{}
+				delete(s.dirty, k)
+			}
+			if fn != nil {
+				fn(k)
+			}
+		}
+		s.mu.Unlock()
 	}
 }
 
 // ExportShard snapshots every record on one shard for checkpointing.
-// Out-of-range shards yield nil.
+// Out-of-range shards yield nil. With delta tracking on, a full
+// export resets the shard's dirty/removed marks — it is the new base
+// an incremental export diffs against.
 func (t *ShardedTable) ExportShard(shard int) []StateSnapshot {
+	return t.ExportShardInto(shard, nil)
+}
+
+// ExportShardInto is ExportShard reusing dst's backing array when its
+// capacity suffices. The checkpoint writer passes the previous
+// capture's (already encoded, now dead) export back in, so a
+// steady-state capture appends into warm memory instead of allocating
+// — and zeroing — hundreds of megabytes inside the barrier. Callers
+// must ensure nothing else still reads dst.
+func (t *ShardedTable) ExportShardInto(shard int, dst []StateSnapshot) []StateSnapshot {
 	if shard < 0 || shard >= len(t.shards) {
 		return nil
 	}
 	s := &t.shards[shard]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]StateSnapshot, 0, s.table.Len())
+	out := dst[:0]
+	if cap(out) < s.table.Len() {
+		out = make([]StateSnapshot, 0, s.table.Len())
+	}
 	s.table.Range(func(st *State) bool {
 		out = append(out, st.Snapshot())
 		return true
 	})
+	if t.track {
+		s.dirty = make(map[Key]struct{})
+		s.removed = make(map[Key]struct{})
+	}
 	return out
+}
+
+// ExportShardDelta snapshots only the records written since the
+// previous export on one shard, plus the keys evicted since then, and
+// resets the marks — the capture side of an incremental checkpoint.
+// Requires SetDeltaTracking(true); out-of-range shards yield nil.
+func (t *ShardedTable) ExportShardDelta(shard int) (states []StateSnapshot, removed []Key) {
+	if shard < 0 || shard >= len(t.shards) {
+		return nil, nil
+	}
+	s := &t.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.dirty) > 0 {
+		states = make([]StateSnapshot, 0, len(s.dirty))
+		for k := range s.dirty {
+			if st := s.table.Get(k); st != nil {
+				states = append(states, st.Snapshot())
+			}
+		}
+	}
+	if len(s.removed) > 0 {
+		removed = make([]Key, 0, len(s.removed))
+		for k := range s.removed {
+			removed = append(removed, k)
+		}
+	}
+	s.dirty = make(map[Key]struct{})
+	s.removed = make(map[Key]struct{})
+	return states, removed
 }
 
 // RestoreShard inserts restored records into one shard. Records whose
@@ -106,6 +196,39 @@ func (t *ShardedTable) RestoreShard(shard int, states []StateSnapshot) error {
 	s := &t.shards[shard]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for _, sn := range states {
+		s.table.Insert(RestoreState(sn))
+	}
+	return nil
+}
+
+// RestoreShardDelta replays one incremental snapshot's changes on top
+// of the shard's current state: removals first, then upserts — the
+// order that lets a flow evicted and re-created within one delta
+// interval survive the replay. Keys are validated against the shard
+// hash exactly like RestoreShard.
+func (t *ShardedTable) RestoreShardDelta(shard int, states []StateSnapshot, removed []Key) error {
+	if shard < 0 || shard >= len(t.shards) {
+		return fmt.Errorf("flow: restore shard %d out of range (have %d)", shard, len(t.shards))
+	}
+	for _, sn := range states {
+		if got := sn.Key.Shard(len(t.shards)); got != shard {
+			return fmt.Errorf("flow: restored record %s hashes to shard %d, not %d (snapshot from a different shard count?)",
+				sn.Key, got, shard)
+		}
+	}
+	for _, k := range removed {
+		if got := k.Shard(len(t.shards)); got != shard {
+			return fmt.Errorf("flow: removed key %s hashes to shard %d, not %d (snapshot from a different shard count?)",
+				k, got, shard)
+		}
+	}
+	s := &t.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range removed {
+		s.table.Delete(k)
+	}
 	for _, sn := range states {
 		s.table.Insert(RestoreState(sn))
 	}
@@ -139,6 +262,10 @@ func (t *ShardedTable) observe(pi PacketInfo, fn func(*State)) (*State, bool) {
 	}
 	defer s.mu.Unlock()
 	st, created := s.table.Observe(pi)
+	if t.track {
+		s.dirty[pi.Key] = struct{}{}
+		delete(s.removed, pi.Key)
+	}
 	if fn != nil {
 		fn(st)
 	}

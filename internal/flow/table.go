@@ -300,6 +300,17 @@ func (t *Table) Insert(st *State) {
 	t.flows[st.Key] = st
 }
 
+// Delete removes the record for k without firing OnEvict — the
+// restore path's counterpart to Sweep, used when replaying a
+// checkpoint delta's removal list. Reports whether a record existed.
+func (t *Table) Delete(k Key) bool {
+	if _, ok := t.flows[k]; !ok {
+		return false
+	}
+	delete(t.flows, k)
+	return true
+}
+
 // Range calls fn for every live record; returning false stops early.
 func (t *Table) Range(fn func(*State) bool) {
 	for _, st := range t.flows {

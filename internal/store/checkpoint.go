@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"github.com/amlight/intddos/internal/flow"
@@ -31,6 +32,11 @@ type ShardExport struct {
 	Journal []JournalEntry
 	Seq     uint64
 	Preds   []PredictionRecord
+
+	// slab is the shared backing array behind Flows' Features slices.
+	// It is retained only so ExportShardInto can recycle it when the
+	// export it came from is dead; nothing reads it.
+	slab []float64
 }
 
 // Checkpointable is the optional export/import surface of a store.
@@ -51,6 +57,41 @@ type Checkpointable interface {
 	// where the log was one shared section. Version-2 snapshots carry
 	// predictions per shard inside ShardExport instead.
 	ImportPredictions(preds []PredictionRecord)
+}
+
+// ShardDeltaExport is one shard's state difference against the
+// previous export: records upserted since then, keys deleted since
+// then, the complete current journal tail (the tail replaces the
+// restored one — entries polled and trimmed since the parent must not
+// reappear), the shard's sequence counter, and the predictions logged
+// since then. Like ShardExport, everything is deep-copied.
+type ShardDeltaExport struct {
+	Flows   []FlowRecord
+	Removed []flow.Key
+	Journal []JournalEntry
+	Seq     uint64
+	Preds   []PredictionRecord
+}
+
+// DeltaCheckpointable is the incremental-checkpoint surface of a
+// store: per-shard dirty tracking so an export under the capture
+// barrier copies only what changed. Every export — full or delta —
+// resets the marks, so consecutive delta exports chain: each one is
+// the difference against whichever export came before it.
+type DeltaCheckpointable interface {
+	Checkpointable
+	// SetDeltaTracking turns dirty/removed tracking on or off and
+	// clears any stale marks. Enable it before the state an
+	// incremental export diffs against is captured.
+	SetDeltaTracking(on bool)
+	// ExportShardDelta deep-copies one shard's changes since the
+	// previous export and resets the shard's marks. Out-of-range
+	// shards yield a zero export.
+	ExportShardDelta(shard int) ShardDeltaExport
+	// ApplyShardDelta replays a delta export on top of the shard's
+	// current state: removals first, then upserts; the journal tail
+	// and sequence counter are replaced, predictions appended.
+	ApplyShardDelta(shard int, d ShardDeltaExport) error
 }
 
 // cloneRecord deep-copies a flow record (Features is the only
@@ -82,33 +123,189 @@ func raiseCounter(ctr *atomic.Uint64, v uint64) {
 	}
 }
 
+// SetDeltaTracking turns the DB's dirty/removed bookkeeping on or off
+// and clears any stale marks (see DeltaCheckpointable).
+func (db *DB) SetDeltaTracking(on bool) {
+	db.mu.Lock()
+	db.track = on
+	db.dirty = make(map[flow.Key]struct{})
+	db.removed = make(map[flow.Key]struct{})
+	db.mu.Unlock()
+	db.pmu.Lock()
+	db.predMark = 0
+	db.pmu.Unlock()
+}
+
 // ExportShard deep-copies the DB's durable state (the legacy DB is
-// its own single shard).
+// its own single shard). With delta tracking on, a full export resets
+// the dirty/removed marks and the prediction mark — it is the new
+// base an incremental export diffs against.
 func (db *DB) ExportShard(shard int) ShardExport {
+	return db.ExportShardInto(shard, ShardExport{})
+}
+
+// ExportShardInto is ExportShard reusing pre's backing arrays where
+// their capacity suffices. The checkpoint writer hands the previous
+// capture's export — already encoded to disk, no longer read — back
+// in, so the copy under the barrier lands in warm memory instead of
+// freshly allocated (and kernel-zeroed) pages. Callers must ensure
+// nothing else still reads pre.
+func (db *DB) ExportShardInto(shard int, pre ShardExport) ShardExport {
 	if shard != 0 {
 		return ShardExport{}
 	}
 	var ex ShardExport
 	db.mu.Lock()
-	ex.Flows = make([]FlowRecord, 0, len(db.flows))
+	ex.Flows = pre.Flows[:0]
+	if cap(ex.Flows) < len(db.flows) {
+		ex.Flows = make([]FlowRecord, 0, len(db.flows))
+	}
+	// One slab for every record's features instead of a per-record
+	// allocation — at a million flows the difference is the capture
+	// barrier's hold time. featWidth is maintained on every mutation,
+	// so sizing the slab costs no pre-pass over the map (that pass
+	// also ran inside the barrier). Each record's slice is capped, so
+	// records stay independent even if the slab ever regrew.
+	slab := pre.slab[:0]
+	if cap(slab) < db.featWidth {
+		slab = make([]float64, 0, db.featWidth)
+	}
 	for _, rec := range db.flows {
-		ex.Flows = append(ex.Flows, cloneRecord(*rec))
+		snap := *rec
+		start := len(slab)
+		slab = append(slab, rec.Features...)
+		snap.Features = slab[start:len(slab):len(slab)]
+		ex.Flows = append(ex.Flows, snap)
+	}
+	ex.slab = slab
+	if db.track {
+		db.dirty = make(map[flow.Key]struct{})
+		db.removed = make(map[flow.Key]struct{})
 	}
 	db.mu.Unlock()
 	db.jmu.Lock()
-	ex.Journal = make([]JournalEntry, 0, len(db.journal))
+	ex.Journal = pre.Journal[:0]
+	if cap(ex.Journal) < len(db.journal) {
+		ex.Journal = make([]JournalEntry, 0, len(db.journal))
+	}
 	for _, e := range db.journal {
 		ex.Journal = append(ex.Journal, JournalEntry{Seq: e.seq, GSeq: e.gseq, Rec: cloneRecord(e.rec)})
 	}
 	ex.Seq = db.seq
 	db.jmu.Unlock()
 	db.pmu.Lock()
-	ex.Preds = make([]PredictionRecord, 0, len(db.preds))
+	ex.Preds = pre.Preds[:0]
+	if cap(ex.Preds) < len(db.preds) {
+		ex.Preds = make([]PredictionRecord, 0, len(db.preds))
+	}
 	for _, p := range db.preds {
 		ex.Preds = append(ex.Preds, clonePrediction(p))
 	}
+	if db.track && len(db.preds) > 0 {
+		db.predMark = db.preds[len(db.preds)-1].Seq
+	}
 	db.pmu.Unlock()
 	return ex
+}
+
+// ExportShardDelta deep-copies the DB's changes since the previous
+// export and resets the marks (see DeltaCheckpointable). The journal
+// tail is always exported whole: it is already the sliding window the
+// pollers haven't consumed, and replacing it on apply is what keeps
+// trimmed entries from reappearing.
+func (db *DB) ExportShardDelta(shard int) ShardDeltaExport {
+	if shard != 0 {
+		return ShardDeltaExport{}
+	}
+	var d ShardDeltaExport
+	db.mu.Lock()
+	if len(db.dirty) > 0 {
+		d.Flows = make([]FlowRecord, 0, len(db.dirty))
+		for k := range db.dirty {
+			if rec, ok := db.flows[k]; ok {
+				d.Flows = append(d.Flows, cloneRecord(*rec))
+			}
+		}
+	}
+	if len(db.removed) > 0 {
+		d.Removed = make([]flow.Key, 0, len(db.removed))
+		for k := range db.removed {
+			d.Removed = append(d.Removed, k)
+		}
+	}
+	db.dirty = make(map[flow.Key]struct{})
+	db.removed = make(map[flow.Key]struct{})
+	db.mu.Unlock()
+	db.jmu.Lock()
+	d.Journal = make([]JournalEntry, 0, len(db.journal))
+	for _, e := range db.journal {
+		d.Journal = append(d.Journal, JournalEntry{Seq: e.seq, GSeq: e.gseq, Rec: cloneRecord(e.rec)})
+	}
+	d.Seq = db.seq
+	db.jmu.Unlock()
+	db.pmu.Lock()
+	// The log is Seq-sorted (stamps are taken under pmu), so the new
+	// tail is the run after the mark.
+	start := sort.Search(len(db.preds), func(i int) bool { return db.preds[i].Seq > db.predMark })
+	if start < len(db.preds) {
+		d.Preds = make([]PredictionRecord, 0, len(db.preds)-start)
+		for _, p := range db.preds[start:] {
+			d.Preds = append(d.Preds, clonePrediction(p))
+		}
+	}
+	if len(db.preds) > 0 {
+		db.predMark = db.preds[len(db.preds)-1].Seq
+	}
+	db.pmu.Unlock()
+	return d
+}
+
+// ApplyShardDelta replays a delta export on top of the DB's current
+// state (see DeltaCheckpointable). The restore path applies deltas
+// base-first, so after the last one the DB matches the crashed
+// process's state at its final capture.
+func (db *DB) ApplyShardDelta(shard int, d ShardDeltaExport) error {
+	if shard != 0 {
+		return fmt.Errorf("store: apply delta shard %d out of range (DB has exactly one)", shard)
+	}
+	db.mu.Lock()
+	for _, k := range d.Removed {
+		if old, ok := db.flows[k]; ok {
+			db.featWidth -= len(old.Features)
+		}
+		delete(db.flows, k)
+	}
+	for _, rec := range d.Flows {
+		snap := cloneRecord(rec)
+		if old, ok := db.flows[rec.Key]; ok {
+			db.featWidth -= len(old.Features)
+		}
+		db.featWidth += len(snap.Features)
+		db.flows[rec.Key] = &snap
+	}
+	if db.track {
+		db.dirty = make(map[flow.Key]struct{})
+		db.removed = make(map[flow.Key]struct{})
+	}
+	db.mu.Unlock()
+	db.jmu.Lock()
+	db.journal = make([]journalEntry, 0, len(d.Journal))
+	for _, e := range d.Journal {
+		raiseCounter(db.gseqCtr, e.GSeq)
+		db.journal = append(db.journal, journalEntry{seq: e.Seq, gseq: e.GSeq, rec: cloneRecord(e.Rec)})
+	}
+	db.seq = d.Seq
+	db.jmu.Unlock()
+	db.pmu.Lock()
+	for _, p := range d.Preds {
+		db.preds = append(db.preds, clonePrediction(p))
+		raiseCounter(db.predCtr, p.Seq)
+	}
+	if n := len(db.preds); db.track && n > 0 {
+		db.predMark = db.preds[n-1].Seq
+	}
+	db.pmu.Unlock()
+	return nil
 }
 
 // ImportShard replaces the DB's durable state with an export. Journal
@@ -121,9 +318,15 @@ func (db *DB) ImportShard(shard int, ex ShardExport) error {
 	}
 	db.mu.Lock()
 	db.flows = make(map[flow.Key]*FlowRecord, len(ex.Flows))
+	db.featWidth = 0
 	for _, rec := range ex.Flows {
 		snap := cloneRecord(rec)
+		db.featWidth += len(snap.Features)
 		db.flows[rec.Key] = &snap
+	}
+	if db.track {
+		db.dirty = make(map[flow.Key]struct{})
+		db.removed = make(map[flow.Key]struct{})
 	}
 	db.mu.Unlock()
 	db.jmu.Lock()
@@ -144,6 +347,9 @@ func (db *DB) ImportShard(shard int, ex ShardExport) error {
 	for _, p := range ex.Preds {
 		db.preds = append(db.preds, clonePrediction(p))
 		raiseCounter(db.predCtr, p.Seq)
+	}
+	if n := len(db.preds); db.track && n > 0 {
+		db.predMark = db.preds[n-1].Seq
 	}
 	db.pmu.Unlock()
 	return nil
@@ -174,12 +380,45 @@ func (s *ShardedDB) ExportShard(shard int) ShardExport {
 	return s.shards[shard].ExportShard(0)
 }
 
+// ExportShardInto deep-copies one shard's durable state, reusing a
+// dead prior export's backing arrays (see DB.ExportShardInto).
+func (s *ShardedDB) ExportShardInto(shard int, pre ShardExport) ShardExport {
+	if shard < 0 || shard >= len(s.shards) {
+		return ShardExport{}
+	}
+	return s.shards[shard].ExportShardInto(0, pre)
+}
+
 // ImportShard loads an export into one shard.
 func (s *ShardedDB) ImportShard(shard int, ex ShardExport) error {
 	if shard < 0 || shard >= len(s.shards) {
 		return fmt.Errorf("store: import shard %d out of range (have %d)", shard, len(s.shards))
 	}
 	return s.shards[shard].ImportShard(0, ex)
+}
+
+// SetDeltaTracking toggles dirty/removed tracking on every shard.
+func (s *ShardedDB) SetDeltaTracking(on bool) {
+	for _, sh := range s.shards {
+		sh.SetDeltaTracking(on)
+	}
+}
+
+// ExportShardDelta deep-copies one shard's changes since the previous
+// export and resets its marks.
+func (s *ShardedDB) ExportShardDelta(shard int) ShardDeltaExport {
+	if shard < 0 || shard >= len(s.shards) {
+		return ShardDeltaExport{}
+	}
+	return s.shards[shard].ExportShardDelta(0)
+}
+
+// ApplyShardDelta replays a delta export on top of one shard.
+func (s *ShardedDB) ApplyShardDelta(shard int, d ShardDeltaExport) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("store: apply delta shard %d out of range (have %d)", shard, len(s.shards))
+	}
+	return s.shards[shard].ApplyShardDelta(0, d)
 }
 
 // ImportPredictions replaces every shard's prediction log with a
@@ -208,6 +447,8 @@ func (s *ShardedDB) ImportPredictions(preds []PredictionRecord) {
 }
 
 var (
-	_ Checkpointable = (*DB)(nil)
-	_ Checkpointable = (*ShardedDB)(nil)
+	_ Checkpointable      = (*DB)(nil)
+	_ Checkpointable      = (*ShardedDB)(nil)
+	_ DeltaCheckpointable = (*DB)(nil)
+	_ DeltaCheckpointable = (*ShardedDB)(nil)
 )

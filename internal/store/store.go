@@ -152,12 +152,31 @@ type DB struct {
 	mu    sync.Mutex
 	flows map[flow.Key]*FlowRecord
 
+	// featWidth is the running sum of len(Features) across flows,
+	// maintained on every insert/update/delete so a full export can
+	// size its feature slab without a pre-pass over the whole map —
+	// that pre-pass ran inside the checkpoint barrier. Guarded by mu.
+	featWidth int
+
+	// Delta-checkpoint bookkeeping, maintained only while track is on
+	// (SetDeltaTracking): keys upserted since the last export, and keys
+	// deleted since the last export. A key lives in at most one set —
+	// the last action wins. Guarded by mu, like the flow map the marks
+	// describe.
+	track   bool
+	dirty   map[flow.Key]struct{}
+	removed map[flow.Key]struct{}
+
 	jmu     sync.Mutex
 	journal []journalEntry
 	seq     uint64
 
 	pmu   sync.Mutex
 	preds []PredictionRecord
+	// predMark is the Seq of the newest prediction included in the last
+	// export; an incremental export ships only records after it.
+	// Guarded by pmu.
+	predMark uint64
 
 	// gseqCtr stamps journal entries with the global ingest sequence
 	// and predCtr stamps prediction records with the global decision
@@ -231,12 +250,17 @@ func (db *DB) UpsertFlow(key flow.Key, features []float64, registeredAt, updated
 		db.flows[key] = rec
 		created = true
 	}
+	db.featWidth += len(features) - len(rec.Features)
 	rec.Features = append(rec.Features[:0], features...)
 	rec.UpdatedAt = updatedAt
 	rec.Updates = updates
 	rec.Version++
 	rec.Truth = truth
 	rec.AttackType = attackType
+	if db.track {
+		db.dirty[key] = struct{}{}
+		delete(db.removed, key)
+	}
 	if !created || db.JournalNew {
 		snap := *rec
 		snap.Features = append([]float64(nil), rec.Features...)
@@ -399,7 +423,16 @@ func (db *DB) PredictionCount() int {
 func (db *DB) DeleteFlow(key flow.Key) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	rec, ok := db.flows[key]
+	if !ok {
+		return
+	}
+	db.featWidth -= len(rec.Features)
 	delete(db.flows, key)
+	if db.track {
+		db.removed[key] = struct{}{}
+		delete(db.dirty, key)
+	}
 }
 
 // Shards returns 1: the legacy database is a single journal stripe.

@@ -34,9 +34,9 @@ func TestNetCollectorImpairedWire(t *testing.T) {
 	mkReport := func(seq uint64) *Report {
 		// Per-seq field values so corruption of any byte is visible.
 		return &Report{
-			Seq: seq,
-			Src: netip.AddrFrom4([4]byte{10, 0, byte(seq >> 8), byte(seq)}),
-			Dst: netip.MustParseAddr("198.51.100.2"),
+			Seq:     seq,
+			Src:     netip.AddrFrom4([4]byte{10, 0, byte(seq >> 8), byte(seq)}),
+			Dst:     netip.MustParseAddr("198.51.100.2"),
 			SrcPort: uint16(1024 + seq), DstPort: 80,
 			Proto: netsim.UDP, Length: uint16(64 + seq%1000),
 			Hops: []HopMetadata{

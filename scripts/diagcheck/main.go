@@ -15,6 +15,12 @@
 // triaged rows, positive throughput everywhere, exit rates in [0, 1],
 // and a speedup recorded on every triaged row.
 //
+// With -bench-checkpoint it validates a BENCH_checkpoint.json sweep
+// (`make bench-checkpoint` / the CI bench-checkpoint smoke): every
+// row must carry a flow count, a positive encoded size, positive
+// write throughput, a recorded barrier hold, and a restore that
+// brought back exactly the flows it checkpointed.
+//
 // With -impair it validates an impairment-sweep artifact (`reproduce
 // -only impair -impair-out ...`): a clean baseline row plus at least
 // one impaired row, accuracies in (0, 1], and the accounting ledger
@@ -53,6 +59,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "diagcheck: %s: %v\n", os.Args[2], err)
 			os.Exit(1)
 		}
+	case len(os.Args) == 3 && os.Args[1] == "-bench-checkpoint":
+		if err := checkBenchCheckpoint(os.Args[2]); err != nil {
+			fmt.Fprintf(os.Stderr, "diagcheck: %s: %v\n", os.Args[2], err)
+			os.Exit(1)
+		}
 	case len(os.Args) == 3 && os.Args[1] == "-impair":
 		if err := checkImpair(os.Args[2]); err != nil {
 			fmt.Fprintf(os.Stderr, "diagcheck: %s: %v\n", os.Args[2], err)
@@ -67,6 +78,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: diagcheck <bundle.tar.gz | http://host/debug/bundle>")
 		fmt.Fprintln(os.Stderr, "       diagcheck -bench-shard <BENCH_shard.json>")
 		fmt.Fprintln(os.Stderr, "       diagcheck -bench-tier <BENCH_tier.json>")
+		fmt.Fprintln(os.Stderr, "       diagcheck -bench-checkpoint <BENCH_checkpoint.json>")
 		fmt.Fprintln(os.Stderr, "       diagcheck -impair <impair.json>")
 		os.Exit(2)
 	}
@@ -175,6 +187,65 @@ func checkBenchTier(path string) error {
 	}
 	fmt.Printf("diagcheck: OK (%d sweep rows: %d baseline, %d triaged)\n",
 		len(sweep.Results), baselines, triaged)
+	return nil
+}
+
+// checkBenchCheckpoint validates a BenchmarkCheckpoint sweep file:
+// every row must identify its flow count, show a positive encoded
+// size and write throughput, record the barrier hold the capture
+// actually froze the pipeline for, and restore exactly the flows it
+// checkpointed.
+func checkBenchCheckpoint(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sweep struct {
+		Bench   string `json:"bench"`
+		Results []struct {
+			Flows         int     `json:"flows"`
+			Bytes         int     `json:"bytes"`
+			WriteNsPerOp  float64 `json:"write_ns_per_op"`
+			WriteMBPerSec float64 `json:"write_mb_per_sec"`
+			BarrierNs     int64   `json:"barrier_ns"`
+			RestoreNs     float64 `json:"restore_ns"`
+			RestoredFlows int     `json:"restored_flows"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &sweep); err != nil {
+		return fmt.Errorf("not valid sweep JSON: %w", err)
+	}
+	if sweep.Bench != "BenchmarkCheckpoint" {
+		return fmt.Errorf("bench is %q, want BenchmarkCheckpoint", sweep.Bench)
+	}
+	if len(sweep.Results) == 0 {
+		return fmt.Errorf("sweep has no rows")
+	}
+	for i, r := range sweep.Results {
+		if r.Flows <= 0 {
+			return fmt.Errorf("result %d: no flow count", i)
+		}
+		if r.Bytes <= 0 {
+			return fmt.Errorf("result %d (flows=%d): non-positive encoded size", i, r.Flows)
+		}
+		if r.WriteNsPerOp <= 0 || r.WriteMBPerSec <= 0 {
+			return fmt.Errorf("result %d (flows=%d): non-positive write throughput", i, r.Flows)
+		}
+		if r.BarrierNs <= 0 {
+			return fmt.Errorf("result %d (flows=%d): no barrier hold recorded", i, r.Flows)
+		}
+		if r.BarrierNs > int64(r.WriteNsPerOp)+1 {
+			return fmt.Errorf("result %d (flows=%d): barrier %dns exceeds the whole write (%vns)",
+				i, r.Flows, r.BarrierNs, r.WriteNsPerOp)
+		}
+		if r.RestoreNs <= 0 {
+			return fmt.Errorf("result %d (flows=%d): no restore time", i, r.Flows)
+		}
+		if r.RestoredFlows != r.Flows {
+			return fmt.Errorf("result %d: restored %d flows of %d", i, r.RestoredFlows, r.Flows)
+		}
+	}
+	fmt.Printf("diagcheck: OK (%d sweep rows)\n", len(sweep.Results))
 	return nil
 }
 
